@@ -1,0 +1,39 @@
+"""Shared reporting helper for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and emits
+its rows both to stdout and to ``benchmarks/results/<name>.txt`` so the
+numbers survive pytest's output capture and can be referenced from
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(name: str, lines: Iterable[str]) -> str:
+    """Print *lines* and persist them under benchmarks/results/."""
+    text = "\n".join(lines) + "\n"
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"\n===== {name} =====")
+    print(text)
+    return path
+
+
+def env_int(name: str, default: int) -> int:
+    """Integer environment override for experiment scaling."""
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def full_scale() -> bool:
+    """True when REPRO_BENCH_FULL=1 requests paper-scale experiments."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"

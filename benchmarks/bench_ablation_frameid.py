@@ -1,0 +1,90 @@
+"""Ablation: criticality-driven FrameID assignment (Fig. 5, line 1).
+
+The BBC guidelines say DYN messages should receive *unique* FrameIDs
+ordered by criticality CP_m = D_m - LP_m (Eq. (4)).  This ablation
+replaces that policy with (a) an arbitrary name-ordered assignment and
+(b) the deliberately inverted ordering, and measures the cost function
+across a small suite under otherwise identical BBC structures.
+
+Finding (recorded in EXPERIMENTS.md): under this re-derived analysis
+the ordering policy is a second-order effect -- every message inherits
+its graph deadline, so CP_m differences are small and the Eq. (5) sum
+is dominated by CPU-side terms.  The pinned property is therefore that
+the criticality ordering is never *significantly* worse than any
+alternative (within 5 %), while the BBC keeps its unique-FrameID rule
+(whose value shows directly in the Fig. 4 bench: shared FrameIDs cost a
+whole extra bus cycle).
+"""
+
+from repro.analysis import analyse_system
+from repro.core import assign_frame_ids, basic_configuration
+from repro.core.frameid import message_criticalities
+from repro.core.search import BusOptimisationOptions, dyn_segment_bounds
+from repro.synth import paper_suite
+
+from benchmarks._report import env_int, report
+
+
+def frame_id_policies(system):
+    """criticality / arbitrary / inverted FrameID assignments."""
+    by_criticality = assign_frame_ids(system)
+    names = sorted(by_criticality)
+    arbitrary = {name: fid for fid, name in enumerate(names, start=1)}
+    crit = message_criticalities(system)
+    inverted_order = sorted(crit, key=lambda n: (-crit[n], n))
+    inverted = {name: fid for fid, name in enumerate(inverted_order, start=1)}
+    return {
+        "criticality (Eq. 4)": by_criticality,
+        "arbitrary (by name)": arbitrary,
+        "inverted criticality": inverted,
+    }
+
+
+def evaluate(system, frame_ids):
+    options = BusOptimisationOptions()
+    st_nodes = system.st_sender_nodes()
+    from repro.core.search import min_static_slot
+
+    slot = min_static_slot(system, options) if st_nodes else 0
+    lo, hi = dyn_segment_bounds(system, len(st_nodes) * slot, options)
+    n = (lo + hi) // 2 if hi >= lo else max(lo, 1)
+    config = basic_configuration(system, n, options).with_frame_ids(frame_ids)
+    return analyse_system(system, config).cost_value
+
+
+def run_ablation():
+    from repro.synth import GeneratorConfig
+
+    count = env_int("REPRO_ABLATION_COUNT", 4)
+    # Moderate bus load: on deeply overloaded systems the f1 sum is
+    # dominated by CPU-side misses and the FrameID ordering is noise.
+    base = GeneratorConfig(bus_utilisation=(0.10, 0.35))
+    systems = paper_suite(3, count=count, base=base, seed=991)
+    table = {}
+    for i, system in enumerate(systems):
+        for policy, frame_ids in frame_id_policies(system).items():
+            table.setdefault(policy, []).append(evaluate(system, frame_ids))
+    return table
+
+
+def test_frameid_assignment_ablation(benchmark):
+    table = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    lines = ["ABLATION: FrameID assignment policy vs cost function (Eq. 5)"]
+    means = {}
+    for policy, costs in table.items():
+        finite = [c for c in costs if c != float("inf")]
+        mean = sum(finite) / len(finite) if finite else float("inf")
+        means[policy] = mean
+        pretty = ", ".join(f"{c:.0f}" for c in costs)
+        lines.append(f"  {policy:<22} mean={mean:>12.0f}  costs=[{pretty}]")
+    lines.append(
+        "finding: ordering policy is second-order (<5%) for these workloads; "
+        "unique FrameIDs (vs sharing) is the first-order lever (see FIG4)"
+    )
+    report("ablation_frameid", lines)
+
+    best_alternative = min(
+        means["arbitrary (by name)"], means["inverted criticality"]
+    )
+    assert means["criticality (Eq. 4)"] <= 1.05 * best_alternative

@@ -1,0 +1,72 @@
+"""FIG3 -- Optimisation of the ST segment (paper Fig. 3).
+
+Two nodes; N1 sends m1 (4 MT), N2 sends m2 (3 MT) and m3 (2 MT), all in
+the static segment.  Three configurations illustrate the three levers:
+
+  a) two minimal slots               -> m3 waits for N2's slot next cycle,
+  b) a second slot for N2            -> m3 rides slot 3 in the same cycle,
+  c) two slots large enough to pack  -> m2+m3 share one frame.
+
+The paper's schematic reports R(m3) = 16 / 12 / 10; the derivation of
+those exact values is not recoverable from the figure, so this bench
+pins the *mechanisms*: both optimisations must beat (a), and the
+response times must match the analytic schedule exactly (deterministic
+static segment).
+"""
+
+from repro.analysis import analyse_system
+from repro.core.config import FlexRayConfig
+from repro.flexray.simulator import simulate
+
+from benchmarks._report import report
+from tests.util import fig3_system
+
+SCENARIOS = (
+    ("a: 2 slots x 4 MT (minimal)", ("N1", "N2"), 4),
+    ("b: 3 slots x 4 MT (extra slot for N2)", ("N1", "N2", "N2"), 4),
+    ("c: 2 slots x 8 MT (frame packing)", ("N1", "N2"), 8),
+)
+
+PAPER_R3 = {"a": 16, "b": 12, "c": 10}
+
+
+def run_scenarios():
+    system = fig3_system()
+    rows = []
+    for label, slots, size in SCENARIOS:
+        config = FlexRayConfig(
+            static_slots=slots, gd_static_slot=size, n_minislots=0
+        )
+        analysed = analyse_system(system, config)
+        simulated = simulate(system, config, table=analysed.table)
+        rows.append((label, config, analysed, simulated))
+    return rows
+
+
+def test_fig3_static_segment(benchmark):
+    rows = benchmark.pedantic(run_scenarios, rounds=1, iterations=1)
+
+    lines = [
+        "FIG3: response time of m3 under three static-segment structures",
+        f"{'scenario':<42} {'gdCycle':>8} {'R(m3) analysed':>15} {'R(m3) simulated':>16} {'paper':>6}",
+    ]
+    measured = {}
+    for label, config, analysed, simulated in rows:
+        key = label[0]
+        measured[key] = analysed.wcrt["m3"]
+        lines.append(
+            f"{label:<42} {config.gd_cycle:>8} {analysed.wcrt['m3']:>15} "
+            f"{simulated.observed_wcrt['m3']:>16} {PAPER_R3[key]:>6}"
+        )
+    lines.append(
+        "paper shape: both optimisations (b: more slots, c: larger slots) "
+        "beat the minimal configuration (a)"
+    )
+    report("fig3_static_segment", lines)
+
+    # Mechanism assertions (the paper's qualitative claims).
+    assert measured["b"] < measured["a"], "extra slot must speed up m3"
+    assert measured["c"] < measured["a"], "frame packing must speed up m3"
+    # Determinism: simulation equals analysis for static-only systems.
+    for _, __, analysed, simulated in rows:
+        assert simulated.observed_wcrt["m3"] == analysed.wcrt["m3"]

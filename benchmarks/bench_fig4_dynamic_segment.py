@@ -1,0 +1,81 @@
+"""FIG4 -- Optimisation of the DYN segment (paper Fig. 4).
+
+Two nodes exchange three dynamic messages: N1 sends m1 (9 MT) and m3
+(3 MT), N2 sends m2 (5 MT); priority(m1) > priority(m3).  Three
+configurations, simulated on the FTDMA bus model:
+
+  a) m1/m3 share FrameID 1           (paper Table A)  -> R2 = 37
+  b) unique FrameIDs                 (paper Table B)  -> R2 = 35
+  c) unique FrameIDs + longer DYN segment            -> R2 = 21
+
+The paper's absolute numbers depend on unpublished message sizes; the
+pinned property is the strict improvement a > b > c for R(m2) and the
+protocol mechanics visible in the trace (m2 blocked by pLatestTx in the
+first cycle for a/b, first-cycle delivery in c).
+"""
+
+from repro.analysis import analyse_system
+from repro.core.config import FlexRayConfig
+from repro.flexray.events import EventKind
+from repro.flexray.simulator import simulate
+
+from benchmarks._report import report
+from tests.util import fig4_system
+
+SCENARIOS = (
+    ("a: shared FrameID (m1,m3 -> 1), 13 minislots", {"m1": 1, "m2": 2, "m3": 1}, 13),
+    ("b: unique FrameIDs, 13 minislots", {"m1": 1, "m2": 2, "m3": 3}, 13),
+    ("c: unique FrameIDs, 20 minislots", {"m1": 1, "m2": 2, "m3": 3}, 20),
+)
+
+PAPER_R2 = {"a": 37, "b": 35, "c": 21}
+
+
+def run_scenarios():
+    system = fig4_system()
+    rows = []
+    for label, frame_ids, minislots in SCENARIOS:
+        config = FlexRayConfig(
+            static_slots=("N1", "N2"),
+            gd_static_slot=8,
+            n_minislots=minislots,
+            frame_ids=frame_ids,
+        )
+        analysed = analyse_system(system, config)
+        simulated = simulate(system, config, table=analysed.table)
+        rows.append((label, config, analysed, simulated))
+    return rows
+
+
+def test_fig4_dynamic_segment(benchmark):
+    rows = benchmark.pedantic(run_scenarios, rounds=1, iterations=1)
+
+    lines = [
+        "FIG4: response time of m2 under three DYN-segment configurations",
+        f"{'scenario':<46} {'gdCycle':>8} {'R(m2) sim':>10} {'R(m2) bound':>12} {'paper':>6}",
+    ]
+    sim_r2 = {}
+    for label, config, analysed, simulated in rows:
+        key = label[0]
+        sim_r2[key] = simulated.observed_wcrt["m2"]
+        lines.append(
+            f"{label:<46} {config.gd_cycle:>8} {sim_r2[key]:>10} "
+            f"{analysed.wcrt['m2']:>12} {PAPER_R2[key]:>6}"
+        )
+    lines.append("paper shape: R2(a) > R2(b) > R2(c); c delivers m2 in cycle 0")
+    report("fig4_dynamic_segment", lines)
+
+    # Paper's ordering of the three scenarios for the victim message m2.
+    assert sim_r2["a"] > sim_r2["b"] > sim_r2["c"]
+    # Scenario c delivers m2 within the first bus cycle.
+    _, config_c, __, sim_c = rows[2]
+    tx = {
+        e.activity: e.time
+        for e in sim_c.trace
+        if e.kind is EventKind.DYN_TX_START
+    }
+    assert tx["m2"] < config_c.gd_cycle
+    # Simulation never exceeds the analytic worst case.
+    for _, __, analysed, simulated in rows:
+        for name, r in simulated.observed_wcrt.items():
+            assert r <= analysed.wcrt[name]

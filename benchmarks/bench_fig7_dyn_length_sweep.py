@@ -1,0 +1,89 @@
+"""FIG7 -- Influence of the DYN segment length on message response times.
+
+The paper fixes the static segment of a 45-task system (10 ST + 20 DYN
+messages) and sweeps the dynamic segment length: response times are
+high for very short segments (lower-FrameID traffic fills many bus
+cycles), fall to a minimum, then rise again as the bus cycle itself --
+and hence every wasted cycle -- grows.  This regularity is the
+foundation of the OBC/CF curve-fitting heuristic.
+
+Here the same-shaped system comes from the Section 7 generator (45
+tasks, 10 ST / 21 DYN messages); the bench records the response-time
+curve of the highest-FrameID (most-interfered) dynamic messages and
+asserts the U-shape: both ends of the sweep are worse than the interior
+minimum.
+"""
+
+from repro.analysis import analyse_system
+from repro.core.bbc import basic_configuration
+from repro.core.search import BusOptimisationOptions, dyn_segment_bounds, sweep_lengths
+from repro.synth import GeneratorConfig, generate_system
+
+from benchmarks._report import env_int, report
+
+#: Generator seed chosen so the workload matches the paper's Fig. 7
+#: system shape (45 tasks, 10 static / ~20 dynamic messages).
+FIG7_SEED = 46
+
+
+def build_system():
+    return generate_system(
+        GeneratorConfig(
+            n_nodes=3, tasks_per_node=15, tt_graph_share=0.34, seed=FIG7_SEED
+        )
+    )
+
+
+def run_sweep(points: int):
+    system = build_system()
+    options = BusOptimisationOptions()
+    template = basic_configuration(system, n_minislots=1_000, options=options)
+    lo, hi = dyn_segment_bounds(system, template.st_bus, options)
+    lengths = sweep_lengths(lo, hi, points)
+
+    # Track the dynamic messages with the largest FrameIDs: they see the
+    # most lf/ms interference, i.e. the curves plotted in the paper.
+    fids = sorted(template.frame_ids.items(), key=lambda kv: -kv[1])
+    tracked = [name for name, _ in fids[:5]]
+
+    curves = {name: [] for name in tracked}
+    costs = []
+    for n in lengths:
+        result = analyse_system(system, template.with_dyn_length(n))
+        costs.append(result.cost_value)
+        for name in tracked:
+            curves[name].append(result.wcrt[name])
+    return system, lengths, tracked, curves, costs
+
+
+def test_fig7_dyn_length_sweep(benchmark):
+    points = env_int("REPRO_FIG7_POINTS", 20)
+    system, lengths, tracked, curves, costs = benchmark.pedantic(
+        run_sweep, args=(points,), rounds=1, iterations=1
+    )
+
+    lines = [
+        "FIG7: message response times vs DYN segment length (minislots)",
+        system.describe(),
+        "columns: DYN length | " + " | ".join(tracked),
+    ]
+    for i, n in enumerate(lengths):
+        row = " | ".join(f"{curves[name][i]:>8}" for name in tracked)
+        lines.append(f"{n:>8} | {row}")
+    lines.append(
+        "paper shape: U-curve -- short segments inflate BusCycles_m, "
+        "long segments inflate gdCycle"
+    )
+    report("fig7_dyn_length_sweep", lines)
+
+    # The U-shape, on the aggregate cost and on the tracked messages:
+    # both extremes must be worse than the best interior point.
+    interior = costs[1:-1]
+    assert min(interior) < costs[0], "short-end must be worse than interior"
+    assert min(interior) < costs[-1], "long-end must be worse than interior"
+    u_shaped = 0
+    for name in tracked:
+        values = curves[name]
+        if min(values[1:-1]) < values[0] and min(values[1:-1]) < values[-1]:
+            u_shaped += 1
+    assert u_shaped >= 3, f"only {u_shaped}/5 tracked messages show the U-shape"

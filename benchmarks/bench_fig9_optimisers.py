@@ -1,0 +1,154 @@
+"""FIG9 -- Evaluation of the bus optimisation algorithms (paper Fig. 9).
+
+For each system-size class the paper reports (left panel) the average
+percentage deviation of the cost function obtained by BBC / OBC-CF /
+OBC-EE relative to the near-optimal SA baseline, and (right panel) the
+computation time of each algorithm.  Expected shape:
+
+* BBC runs in almost zero time but stops finding schedulable
+  configurations as systems grow (>3 nodes in the paper);
+* OBC/CF and OBC/EE stay within a few percent of SA;
+* OBC/CF is within <1 % of OBC/EE at a fraction (orders of magnitude
+  fewer analyses) of its cost.
+
+Scaled down by default (2 systems per class, classes 2-5 nodes, budgeted
+SA); set REPRO_BENCH_FULL=1 / REPRO_FIG9_COUNT / REPRO_FIG9_MAXNODES for
+paper-scale runs (the paper used 25 systems per class on 2-7 nodes and
+several-hour SA runs).
+"""
+
+import math
+import time
+
+from repro.core import SAOptions, optimise_bbc, optimise_obc, optimise_sa
+from repro.core.search import BusOptimisationOptions
+from repro.synth import paper_suite
+
+from benchmarks._report import env_int, full_scale, report
+
+ALGORITHMS = ("BBC", "OBC/CF", "OBC/EE", "SA")
+
+_cache = {}
+
+
+def bench_options() -> BusOptimisationOptions:
+    if full_scale():
+        return BusOptimisationOptions()
+    return BusOptimisationOptions(
+        max_dyn_points=32,
+        ee_max_dyn_points=192,
+        cf_candidates=128,
+        max_extra_static_slots=1,
+        max_slot_size_steps=2,
+    )
+
+
+def sa_options() -> SAOptions:
+    iterations = 3000 if full_scale() else 220
+    return SAOptions(iterations=iterations, seed=7)
+
+
+def run_suite():
+    """Run all four optimisers over every suite; cached across tests."""
+    if "rows" in _cache:
+        return _cache["rows"]
+    count = env_int("REPRO_FIG9_COUNT", 25 if full_scale() else 3)
+    max_nodes = env_int("REPRO_FIG9_MAXNODES", 7 if full_scale() else 5)
+    seed = env_int("REPRO_FIG9_SEED", 23)
+    options = bench_options()
+    rows = []
+    for n_nodes in range(2, max_nodes + 1):
+        suite = paper_suite(n_nodes, count=count, seed=seed)
+        for idx, system in enumerate(suite):
+            entry = {"n_nodes": n_nodes, "index": idx}
+            for name, runner in (
+                ("BBC", lambda s: optimise_bbc(s, options)),
+                ("OBC/CF", lambda s: optimise_obc(s, options, "curvefit")),
+                ("OBC/EE", lambda s: optimise_obc(s, options, "exhaustive")),
+                ("SA", lambda s: optimise_sa(s, options, sa_options())),
+            ):
+                t0 = time.perf_counter()
+                result = runner(system)
+                entry[name] = {
+                    "cost": result.cost,
+                    "schedulable": result.schedulable,
+                    "evaluations": result.evaluations,
+                    "seconds": time.perf_counter() - t0,
+                }
+            rows.append(entry)
+    _cache["rows"] = rows
+    return rows
+
+
+def _deviation(entry, algorithm):
+    """% deviation of the algorithm's cost vs the SA baseline cost."""
+    sa_cost = entry["SA"]["cost"]
+    cost = entry[algorithm]["cost"]
+    if math.isinf(sa_cost) or math.isinf(cost) or sa_cost == 0:
+        return None
+    return (cost - sa_cost) / abs(sa_cost) * 100.0
+
+
+def _mean(values):
+    values = [v for v in values if v is not None]
+    return sum(values) / len(values) if values else float("nan")
+
+
+def test_fig9_quality(benchmark):
+    rows = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    node_counts = sorted({r["n_nodes"] for r in rows})
+
+    lines = [
+        "FIG9 (left): average % cost deviation vs SA, and schedulable fraction",
+        f"{'nodes':>5} | " + " | ".join(f"{a:>20}" for a in ALGORITHMS),
+    ]
+    for n in node_counts:
+        group = [r for r in rows if r["n_nodes"] == n]
+        cells = []
+        for a in ALGORITHMS:
+            dev = _mean([_deviation(r, a) for r in group])
+            sched = sum(r[a]["schedulable"] for r in group)
+            cells.append(f"{dev:>8.1f}%  {sched}/{len(group)} sched")
+        lines.append(f"{n:>5} | " + " | ".join(f"{c:>20}" for c in cells))
+    lines.append(
+        "paper shape: BBC degrades with size; OBC/CF within ~0.5% of OBC/EE; "
+        "both within ~5% of SA"
+    )
+    report("fig9_quality", lines)
+
+    # OBC variants must never schedule fewer systems than BBC.
+    for n in node_counts:
+        group = [r for r in rows if r["n_nodes"] == n]
+        bbc = sum(r["BBC"]["schedulable"] for r in group)
+        cf = sum(r["OBC/CF"]["schedulable"] for r in group)
+        ee = sum(r["OBC/EE"]["schedulable"] for r in group)
+        assert cf >= bbc and ee >= bbc
+
+
+def test_fig9_runtime(benchmark):
+    rows = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    node_counts = sorted({r["n_nodes"] for r in rows})
+
+    lines = [
+        "FIG9 (right): computation time [s] and exact analyses per algorithm",
+        f"{'nodes':>5} | "
+        + " | ".join(f"{a + ' s / evals':>20}" for a in ALGORITHMS),
+    ]
+    for n in node_counts:
+        group = [r for r in rows if r["n_nodes"] == n]
+        cells = []
+        for a in ALGORITHMS:
+            secs = _mean([r[a]["seconds"] for r in group])
+            evals = _mean([r[a]["evaluations"] for r in group])
+            cells.append(f"{secs:>9.2f} / {evals:>7.0f}")
+        lines.append(f"{n:>5} | " + " | ".join(f"{c:>20}" for c in cells))
+    lines.append("paper shape: BBC almost free; OBC/CF orders of magnitude below OBC/EE")
+    report("fig9_runtime", lines)
+
+    total = {
+        a: sum(r[a]["evaluations"] for r in rows) for a in ALGORITHMS
+    }
+    # The curve-fitting heuristic must do far fewer exact analyses than
+    # exhaustive exploration -- the paper's headline efficiency claim.
+    assert total["OBC/CF"] * 3 < total["OBC/EE"]
+    assert total["BBC"] <= total["OBC/EE"]

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Inspect how the optimisers move through the design space.
+
+Runs BBC, OBC/CF and SA on a generated system, dumps their search
+traces (every evaluated configuration with its cost), and renders the
+winning bus cycle as ASCII art.  Demonstrates the `trace` field of
+:class:`repro.OptimisationResult` and the `repro.viz` helpers.
+"""
+
+from repro import (
+    GeneratorConfig,
+    SAOptions,
+    generate_system,
+    optimise_bbc,
+    optimise_obc,
+    optimise_sa,
+)
+from repro.viz import render_cycle
+
+
+def show_trace(result, limit=12) -> None:
+    print(f"\n{result.describe()}")
+    exact = [p for p in result.trace if p.exact]
+    estimates = [p for p in result.trace if not p.exact]
+    print(f"  trace: {len(exact)} exact analyses, {len(estimates)} interpolations")
+    print(f"  {'slots':>5} {'slot MT':>8} {'minislots':>10} {'cost':>14} {'sched':>6}")
+    for point in exact[:limit]:
+        print(
+            f"  {point.n_static_slots:>5} {point.gd_static_slot:>8} "
+            f"{point.n_minislots:>10} {point.cost:>14.1f} "
+            f"{str(point.schedulable):>6}"
+        )
+    if len(exact) > limit:
+        print(f"  ... {len(exact) - limit} more")
+
+
+def main() -> None:
+    system = generate_system(GeneratorConfig(n_nodes=2, seed=303))
+    print(system.describe())
+
+    bbc = optimise_bbc(system)
+    show_trace(bbc)
+
+    obc = optimise_obc(system, method="curvefit")
+    show_trace(obc)
+
+    sa = optimise_sa(system, sa_options=SAOptions(iterations=150))
+    show_trace(sa)
+
+    winner = min(
+        (r for r in (bbc, obc, sa) if r.config is not None),
+        key=lambda r: r.cost,
+        default=None,
+    )
+    if winner is not None:
+        print(f"\nwinner: {winner.algorithm}")
+        print(render_cycle(winner.config))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Response time vs. DYN segment length (the trade-off behind Fig. 7).
+
+Sweeps the dynamic segment length of a generated system and prints the
+response-time curve of a few dynamic messages as ASCII art: very short
+segments force many filled bus cycles, very long segments make every
+wasted cycle expensive -- the U-shaped trade-off that motivates the
+curve-fitting heuristic of Section 6.2.1.
+"""
+
+from repro import GeneratorConfig, analyse_system, generate_system
+from repro.core import basic_configuration, dyn_segment_bounds
+from repro.core.search import BusOptimisationOptions, sweep_lengths
+
+
+def main() -> None:
+    system = generate_system(GeneratorConfig(n_nodes=3, seed=300))
+    print(system.describe())
+
+    options = BusOptimisationOptions()
+    template = basic_configuration(system, n_minislots=1_000, options=options)
+    lo, hi = dyn_segment_bounds(system, template.st_bus, options)
+    lengths = sweep_lengths(lo, hi, 24)
+
+    dyn_names = sorted(m.name for m in system.application.dyn_messages())[:4]
+    print(f"sweeping DYN length over [{lo}, {hi}] minislots\n")
+
+    curves = {name: [] for name in dyn_names}
+    costs = []
+    for n in lengths:
+        result = analyse_system(system, template.with_dyn_length(n))
+        costs.append(result.cost_value)
+        for name in dyn_names:
+            curves[name].append(result.wcrt.get(name, 0))
+
+    width = 48
+    for name in dyn_names:
+        values = curves[name]
+        top = max(values) or 1
+        print(f"message {name}: response time vs DYN length "
+              f"(max {top} MT)")
+        for n, v in zip(lengths, values):
+            bar = "#" * max(1, round(v / top * width))
+            print(f"  {n:>6} | {bar} {v}")
+        print()
+
+    best = min(zip(costs, lengths))
+    print(f"best cost {best[0]:.0f} at DYN length {best[1]} minislots")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Post-optimisation sensitivity analysis of the cruise controller.
+
+After OBC/CF configures the bus, inspect the result the way a system
+integrator would: which activities sit closest to their deadlines, how
+loaded each bus segment is, and what the static schedule looks like.
+"""
+
+from repro import analyse_system, cruise_controller, optimise_obc
+from repro.analysis.sensitivity import bottlenecks, bus_load
+from repro.viz import render_cycle, render_schedule
+
+
+def main() -> None:
+    system = cruise_controller()
+    print(system.describe())
+
+    result = optimise_obc(system, method="curvefit")
+    print(result.describe())
+    if not result.schedulable:
+        print("no schedulable configuration found; nothing to analyse")
+        return
+
+    analysis = analyse_system(system, result.config)
+
+    print("\n--- tightest activities (least slack first) ---")
+    for entry in bottlenecks(system, analysis, count=8):
+        bar = "#" * round(entry.usage * 30)
+        print(
+            f"  {entry.name:22s} R={entry.wcrt:>7} D={entry.deadline:>7} "
+            f"slack={entry.slack:>7}  |{bar:<30}|"
+        )
+
+    load = bus_load(system, result.config)
+    print("\n--- bus load ---")
+    print(f"  static segment demand : {load.st_demand:6.1%}")
+    print(f"  dynamic segment demand: {load.dyn_demand:6.1%}")
+    print(f"  cycle share (static)  : {load.cycle_share_st:6.1%}")
+
+    print("\n--- bus cycle ---")
+    print(render_cycle(result.config))
+
+    print("\n--- static schedule (first 40 ms) ---")
+    print(render_schedule(analysis.table, system.nodes, until=40_000))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim for legacy (non-PEP-517) editable installs on older setuptools."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,101 @@
+"""repro -- reproduction of "Bus Access Optimisation for FlexRay-based
+Distributed Embedded Systems" (Pop, Pop, Eles, Peng -- DATE 2007).
+
+Public API highlights
+---------------------
+Model:       :class:`Task`, :class:`Message`, :class:`TaskGraph`,
+             :class:`Application`, :class:`System`
+Bus:         :class:`FlexRayConfig`
+Analysis:    :func:`analyse_system`
+Optimisers:  :func:`optimise_bbc`, :func:`optimise_obc`, :func:`optimise_sa`
+Simulation:  :func:`simulate`
+Workloads:   :func:`generate_system`, :func:`cruise_controller`
+"""
+
+from repro.analysis.holistic import AnalysisOptions, AnalysisResult, analyse_system
+from repro.analysis.sensitivity import bottlenecks, bus_load, slack_report
+from repro.casestudy.cruise_control import cruise_controller
+from repro.core.bbc import basic_configuration, optimise_bbc
+from repro.core.ga import GAOptions, optimise_ga
+from repro.core.config import FlexRayConfig
+from repro.core.cost import CostBreakdown, cost_function
+from repro.core.obc import optimise_obc
+from repro.core.result import OptimisationResult, SearchPoint
+from repro.core.sa import SAOptions, optimise_sa
+from repro.core.search import BusOptimisationOptions
+from repro.errors import (
+    AnalysisError,
+    ConfigurationError,
+    ModelError,
+    OptimisationError,
+    ReproError,
+    SchedulingError,
+    SerializationError,
+    SimulationError,
+    ValidationError,
+)
+from repro.flexray.simulator import SimulationOptions, SimulationResult, simulate
+from repro.io.serialization import load_system, save_system
+from repro.model.application import Application
+from repro.model.graph import TaskGraph
+from repro.model.message import Message, MessageKind
+from repro.model.system import System
+from repro.model.task import SchedulingPolicy, Task
+from repro.model.validation import validate_system
+from repro.synth.suite import paper_suite
+from repro.synth.taskgraph_gen import GeneratorConfig, generate_system
+from repro.viz.gantt import render_bus_trace, render_cycle, render_schedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisOptions",
+    "AnalysisResult",
+    "Application",
+    "BusOptimisationOptions",
+    "ConfigurationError",
+    "CostBreakdown",
+    "FlexRayConfig",
+    "GAOptions",
+    "GeneratorConfig",
+    "Message",
+    "MessageKind",
+    "ModelError",
+    "OptimisationError",
+    "OptimisationResult",
+    "ReproError",
+    "SAOptions",
+    "SchedulingError",
+    "SchedulingPolicy",
+    "SearchPoint",
+    "SerializationError",
+    "SimulationError",
+    "SimulationOptions",
+    "SimulationResult",
+    "System",
+    "Task",
+    "TaskGraph",
+    "ValidationError",
+    "analyse_system",
+    "basic_configuration",
+    "bottlenecks",
+    "bus_load",
+    "cost_function",
+    "cruise_controller",
+    "generate_system",
+    "load_system",
+    "optimise_bbc",
+    "optimise_ga",
+    "optimise_obc",
+    "optimise_sa",
+    "paper_suite",
+    "render_bus_trace",
+    "render_cycle",
+    "render_schedule",
+    "save_system",
+    "simulate",
+    "slack_report",
+    "validate_system",
+    "__version__",
+]

@@ -1,0 +1,77 @@
+"""Timing analysis: static scheduling, FPS/DYN response times, holistic loop."""
+
+from repro.analysis.availability import (
+    NodeAvailability,
+    merge_intervals,
+    wrap_busy_intervals,
+)
+from repro.analysis.dyn import (
+    DynInterference,
+    dyn_message_busy_window,
+    dyn_message_wcrt,
+    interference_sets,
+    sigma,
+)
+from repro.analysis.fill import fill_bound, max_filled_cycles
+from repro.analysis.fps import (
+    WcrtResult,
+    fps_task_busy_window,
+    hp_tasks,
+    interference_count,
+)
+from repro.analysis.holistic import (
+    AnalysisOptions,
+    AnalysisResult,
+    analyse_system,
+    analysis_cap,
+)
+from repro.analysis.priorities import critical_path_priorities, message_costs
+from repro.analysis.schedule_table import (
+    ScheduledMessage,
+    ScheduledTask,
+    ScheduleTable,
+)
+from repro.analysis.scheduler import ScheduleOptions, build_schedule
+from repro.analysis.sensitivity import (
+    BusLoad,
+    SlackEntry,
+    bottlenecks,
+    bus_load,
+    slack_report,
+)
+from repro.analysis.st_msg import static_release_offsets, static_response_times
+
+__all__ = [
+    "AnalysisOptions",
+    "AnalysisResult",
+    "BusLoad",
+    "SlackEntry",
+    "DynInterference",
+    "NodeAvailability",
+    "ScheduleOptions",
+    "ScheduleTable",
+    "ScheduledMessage",
+    "ScheduledTask",
+    "WcrtResult",
+    "analyse_system",
+    "analysis_cap",
+    "bottlenecks",
+    "build_schedule",
+    "bus_load",
+    "critical_path_priorities",
+    "dyn_message_busy_window",
+    "dyn_message_wcrt",
+    "fill_bound",
+    "fps_task_busy_window",
+    "hp_tasks",
+    "interference_count",
+    "interference_sets",
+    "max_filled_cycles",
+    "merge_intervals",
+    "message_costs",
+    "sigma",
+    "slack_report",
+    "static_release_offsets",
+    "static_response_times",
+    "wrap_busy_intervals",
+]

@@ -1,0 +1,171 @@
+"""Node availability function.
+
+FPS tasks execute only in the *slack* of the static schedule (Section 2
+of the paper).  The static schedule of a node defines a periodic pattern
+of busy intervals over the hyper-period; this module answers "starting at
+time t0, when has the node delivered x macroticks of slack?" -- the
+primitive the FPS response-time analysis is built on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+
+
+def merge_intervals(intervals: Sequence[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Merge possibly-overlapping (start, end) intervals; drops empty ones."""
+    cleaned = sorted((s, e) for s, e in intervals if e > s)
+    merged: List[Tuple[int, int]] = []
+    for s, e in cleaned:
+        if merged and s <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], e))
+        else:
+            merged.append((s, e))
+    return merged
+
+
+def wrap_busy_intervals(intervals, period):
+    """Fold absolute busy intervals into the periodic pattern [0, period).
+
+    The static scheduler may place jobs beyond the hyper-period when a
+    candidate configuration is overloaded (the spill is exactly what the
+    cost function later reports as deadline misses); for the FPS
+    availability pattern the spill occupies the start of the next period,
+    so each interval is wrapped modulo *period* and split at boundaries.
+    An interval spanning a whole period makes the node permanently busy.
+    """
+    wrapped = []
+    for s, e in intervals:
+        if e - s >= period:
+            return [(0, period)]
+        s_mod = s % period
+        length = e - s
+        if s_mod + length <= period:
+            wrapped.append((s_mod, s_mod + length))
+        else:
+            wrapped.append((s_mod, period))
+            wrapped.append((0, s_mod + length - period))
+    return merge_intervals(wrapped)
+
+
+class NodeAvailability:
+    """Periodic availability pattern of one node.
+
+    Parameters
+    ----------
+    busy:
+        Busy (SCS-occupied) intervals within one period ``[0, period)``.
+        Intervals crossing the period boundary must be split by the
+        caller (the schedule table never produces crossing intervals
+        because SCS jobs complete within the horizon).
+    period:
+        Length of the repeating pattern (the application hyper-period).
+    """
+
+    def __init__(self, busy: Sequence[Tuple[int, int]], period: int):
+        if period <= 0:
+            raise AnalysisError(f"availability period must be positive, got {period}")
+        merged = merge_intervals(busy)
+        for s, e in merged:
+            if s < 0 or e > period:
+                raise AnalysisError(
+                    f"busy interval ({s}, {e}) escapes the period [0, {period})"
+                )
+        self.period = period
+        self.busy = merged
+        self._busy_per_period = sum(e - s for s, e in merged)
+
+    @property
+    def slack_per_period(self) -> int:
+        """Available macroticks in one period."""
+        return self.period - self._busy_per_period
+
+    def is_busy(self, t: int) -> bool:
+        """True when the node is running an SCS task at absolute time *t*."""
+        tp = t % self.period
+        return any(s <= tp < e for s, e in self.busy)
+
+    def available_in(self, t0: int, t1: int) -> int:
+        """Slack macroticks inside the absolute window [t0, t1)."""
+        if t1 <= t0:
+            return 0
+        return (t1 - t0) - self._busy_in(t0, t1)
+
+    def _busy_in(self, t0: int, t1: int) -> int:
+        full_periods, x0 = divmod(t0, self.period)
+        total = 0
+        # advance t0 to the next period boundary
+        first_end = (full_periods + 1) * self.period
+        if t1 <= first_end:
+            return self._busy_in_pattern(x0, t1 - full_periods * self.period)
+        total += self._busy_in_pattern(x0, self.period)
+        t = first_end
+        whole = (t1 - t) // self.period
+        total += whole * self._busy_per_period
+        t += whole * self.period
+        total += self._busy_in_pattern(0, t1 - t)
+        return total
+
+    def _busy_in_pattern(self, a: int, b: int) -> int:
+        """Busy time within [a, b) where 0 <= a <= b <= period."""
+        total = 0
+        for s, e in self.busy:
+            lo = max(s, a)
+            hi = min(e, b)
+            if hi > lo:
+                total += hi - lo
+        return total
+
+    def advance(self, t0: int, demand: int) -> Optional[int]:
+        """Earliest absolute time t >= t0 with ``available_in(t0, t) == demand``.
+
+        Returns ``None`` when the pattern has no slack at all (demand can
+        never be served).
+        """
+        if demand < 0:
+            raise AnalysisError(f"demand must be >= 0, got {demand}")
+        if demand == 0:
+            return t0
+        if self.slack_per_period == 0:
+            return None
+        remaining = demand
+        # Skip whole periods first for efficiency.
+        whole = (remaining - 1) // self.slack_per_period
+        t = t0 + whole * self.period
+        remaining -= whole * self.slack_per_period
+        # Walk gap by gap; guaranteed to terminate because each period
+        # provides slack_per_period > 0.
+        while remaining > 0:
+            base = (t // self.period) * self.period
+            x = t - base
+            served = False
+            for s, e in self._gaps():
+                lo = max(s, x)
+                if lo >= e:
+                    continue
+                room = e - lo
+                if room >= remaining:
+                    return base + lo + remaining
+                remaining -= room
+                served = True
+            t = base + self.period
+            if not served and remaining == demand and self.slack_per_period == 0:
+                return None  # pragma: no cover - guarded above
+        return t
+
+    def busy_starts(self) -> List[int]:
+        """Pattern-relative start times of busy intervals (critical instants)."""
+        return [s for s, _ in self.busy]
+
+    def _gaps(self) -> List[Tuple[int, int]]:
+        gaps: List[Tuple[int, int]] = []
+        prev = 0
+        for s, e in self.busy:
+            if s > prev:
+                gaps.append((prev, s))
+            prev = e
+        if prev < self.period:
+            gaps.append((prev, self.period))
+        return gaps

@@ -1,0 +1,189 @@
+"""Worst-case response times of DYN messages (Section 5.1 of the paper).
+
+A ready DYN message m with FrameID f on node Np is delayed by
+
+* ``hp(m)`` -- higher-priority messages of the same node sharing f
+  (each occupies slot f for a whole cycle),
+* ``lf(m)`` -- any message with a FrameID below f (its frame occupies
+  whole minislots before slot f), and
+* ``ms(m)`` -- the lower dynamic slots themselves: even when unused each
+  costs one minislot of delay.
+
+A bus cycle is *filled* (unusable for m) when slot f is taken by hp(m)
+or when lower-slot traffic pushes the minislot counter past Np's
+``pLatestTx``.  Following Eq. (3):
+
+    w_m(t) = sigma_m + BusCycles_m(t) * gdCycle + w'_m(t)
+
+with ``sigma_m`` the worst first-cycle loss, ``BusCycles_m`` the number
+of filled cycles and ``w'_m`` the delay inside the final cycle.  The
+recurrence is iterated to a fix point; divergence is truncated at a cap
+and flagged.
+
+Filled-cycle counting uses a polynomial bound in the spirit of the
+paper's heuristic from [14].  Write q_j for the minislots of an lf frame
+and a_j = q_j - 1 for its *adjusted* size (a transmitting frame also
+replaces the one minislot its slot would cost anyway).  A cycle with
+lower-slot frame set S is filled exactly when
+
+    sum_{j in S} q_j + (f - 1 - |S|) > pLatestTx - 1
+    <=>  sum_{j in S} a_j >= theta  with  theta = pLatestTx - f + 2.
+
+So the adversary must cover disjoint bins of adjusted size >= theta from
+the lf frame instances released in the window; the number of filled
+cycles is bounded by ``min(#instances, total_adjusted // theta)`` -- an
+upper bound on the real protocol (which additionally serialises slots),
+hence sound for worst-case analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Tuple
+
+from repro.core.config import FlexRayConfig
+from repro.errors import AnalysisError
+from repro.analysis.fill import max_filled_cycles
+from repro.analysis.fps import (
+    MAX_FIXPOINT_ITERATIONS,
+    WcrtResult,
+    interference_count,
+)
+from repro.model.message import Message
+from repro.model.system import System
+from repro.model.times import ceil_div
+
+
+@dataclass(frozen=True)
+class DynInterference:
+    """Interference sets of one DYN message (paper notation hp/lf/ms)."""
+
+    hp: Tuple[Message, ...]
+    lf: Tuple[Message, ...]
+    lower_slots: int  # |ms(m)| = FrameID - 1
+
+
+def interference_sets(
+    message: Message, config: FlexRayConfig, system: System
+) -> DynInterference:
+    """Compute hp(m), lf(m) and |ms(m)| for *message* under *config*."""
+    if not message.is_dynamic:
+        raise AnalysisError(f"message {message.name!r} is not a DYN message")
+    f = config.frame_id_of(message.name)
+    node = system.sender_node(message)
+    hp: List[Message] = []
+    lf: List[Message] = []
+    for other in system.application.dyn_messages():
+        if other.name == message.name:
+            continue
+        other_fid = config.frame_id_of(other.name)
+        if other_fid < f:
+            lf.append(other)
+        elif (
+            other_fid == f
+            and system.sender_node(other) == node
+            and (other.priority, other.name) <= (message.priority, message.name)
+        ):
+            hp.append(other)
+    return DynInterference(hp=tuple(hp), lf=tuple(lf), lower_slots=f - 1)
+
+
+def sigma(message: Message, config: FlexRayConfig) -> int:
+    """Worst loss in the arrival cycle: the message becomes ready just
+    after the earliest possible start of its slot and waits out the rest
+    of the cycle."""
+    f = config.frame_id_of(message.name)
+    return config.gd_cycle - config.st_bus - (f - 1) * config.gd_minislot
+
+
+def dyn_message_busy_window(
+    message: Message,
+    config: FlexRayConfig,
+    system: System,
+    jitters: Mapping[str, int],
+    period_of,
+    cap: int,
+    own_jitter: int = 0,
+    ancestors: frozenset = frozenset(),
+    fill_strategy: str = "bound",
+) -> WcrtResult:
+    """Worst-case queuing delay w_m (Eq. (3)); R_m = J_m + w_m + C_m.
+
+    ``jitters`` maps activity names to release jitters inherited from the
+    sender tasks; ``period_of`` maps an activity name to its period.
+    ``cap`` truncates divergent recurrences (``converged=False``).
+    ``own_jitter``/``ancestors`` drive the same-graph ancestor
+    interference reduction (see :func:`repro.analysis.fps.interference_count`).
+    ``fill_strategy`` selects the filled-cycle computation: the
+    polynomial "bound" or the "exact" bin-covering search of
+    :mod:`repro.analysis.fill` (ref. [14] offers both).
+    """
+    f = config.frame_id_of(message.name)
+    node = system.sender_node(message)
+    p_latest = config.p_latest_tx(node, system)
+    if p_latest is None:  # pragma: no cover - message.is_dynamic guarantees it
+        raise AnalysisError(f"node {node!r} has no pLatestTx")
+    if f > p_latest or p_latest < 1:
+        # The frame can never be sent under this configuration.
+        return WcrtResult(value=cap, converged=False)
+
+    sets = interference_sets(message, config, system)
+    ms_len = config.gd_minislot
+    lam = p_latest - 1  # max minislots consumed before slot f, still sendable
+    theta = lam - f + 2  # adjusted minislots needed to fill one cycle
+
+    sigma_m = sigma(message, config)
+    t = config.message_ct(message)
+    w = 0
+    for _ in range(MAX_FIXPOINT_ITERATIONS):
+        hp_cycles = 0
+        for j in sets.hp:
+            hp_cycles += interference_count(
+                t,
+                period_of(j.name),
+                jitters.get(j.name, 0),
+                j.name in ancestors,
+                own_jitter,
+            )
+        lf_items: List[int] = []  # adjusted size per lf frame instance
+        for j in sets.lf:
+            n = interference_count(
+                t,
+                period_of(j.name),
+                jitters.get(j.name, 0),
+                j.name in ancestors,
+                own_jitter,
+            )
+            lf_items.extend([config.minislots_needed(j) - 1] * n)
+        # theta >= 1 is guaranteed by the f <= p_latest check above.
+        lf_cycles = max_filled_cycles(lf_items, theta, fill_strategy)
+        leftover = max(0, sum(lf_items) - lf_cycles * theta)
+        final_consumed = min(lam, sets.lower_slots + leftover)
+        w_final = config.st_bus + final_consumed * ms_len
+        w = sigma_m + (hp_cycles + lf_cycles) * config.gd_cycle + w_final
+        if w >= cap:
+            return WcrtResult(value=cap, converged=False)
+        if w <= t:
+            return WcrtResult(value=w, converged=True)
+        t = w
+    return WcrtResult(value=w, converged=False)
+
+
+def dyn_message_wcrt(
+    message: Message,
+    config: FlexRayConfig,
+    system: System,
+    jitters: Mapping[str, int],
+    period_of,
+    cap: int,
+    ancestors: frozenset = frozenset(),
+    fill_strategy: str = "bound",
+) -> WcrtResult:
+    """Full worst-case response time R_m = J_m + w_m + C_m (Eq. (2))."""
+    own_jitter = jitters.get(message.name, 0)
+    window = dyn_message_busy_window(
+        message, config, system, jitters, period_of, cap, own_jitter, ancestors,
+        fill_strategy,
+    )
+    value = min(cap, own_jitter + window.value + config.message_ct(message))
+    return WcrtResult(value=value, converged=window.converged)

@@ -1,0 +1,122 @@
+"""Filled-cycle counting for the DYN message analysis.
+
+Ref. [14] of the paper proposes *both* exact approaches and
+polynomial-complexity heuristics for computing how many bus cycles the
+lower-FrameID traffic can make unusable for a message.  In the adjusted
+formulation (see :mod:`repro.analysis.dyn`) this is **bin covering**:
+given the multiset of adjusted frame sizes a_j (minislots) released in
+the window, how many disjoint groups of sum >= theta can be formed?
+
+* :func:`fill_bound` -- the polynomial bound ``min(n, sum // theta)``
+  (always an upper bound on the optimum, hence sound).
+* :func:`max_filled_cycles` -- exact branch-and-bound for small
+  multisets, falling back to the bound beyond ``exact_limit`` items.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import AnalysisError
+
+#: Above this many frame instances the exact search falls back to the
+#: polynomial bound (the search is exponential in the worst case).
+DEFAULT_EXACT_LIMIT = 14
+
+#: Supported strategies, selectable via AnalysisOptions.dyn_fill_strategy.
+FILL_STRATEGIES = ("bound", "exact")
+
+
+def fill_bound(items: Sequence[int], theta: int) -> int:
+    """Polynomial upper bound on the bin-covering optimum.
+
+    Every filled cycle needs at least one frame and at least *theta*
+    adjusted minislots, so ``min(#items-with-size>0 ... n, total // theta)``
+    bounds the count.  (Items of size 0 can never help fill a bin but do
+    occupy a slot; they are excluded from the item count.)
+    """
+    if theta < 1:
+        raise AnalysisError(f"theta must be >= 1, got {theta}")
+    useful = [a for a in items if a > 0]
+    return min(len(useful), sum(useful) // theta)
+
+
+def max_filled_cycles(
+    items: Sequence[int],
+    theta: int,
+    strategy: str = "bound",
+    exact_limit: int = DEFAULT_EXACT_LIMIT,
+) -> int:
+    """Maximum number of disjoint groups with sum >= *theta*.
+
+    ``strategy="bound"`` returns :func:`fill_bound`;
+    ``strategy="exact"`` solves the bin-covering problem exactly when
+    the multiset is small, which tightens the DYN response-time bounds
+    (never loosens them: exact <= bound).
+    """
+    if strategy not in FILL_STRATEGIES:
+        raise AnalysisError(
+            f"unknown fill strategy {strategy!r}; choose from {FILL_STRATEGIES}"
+        )
+    bound = fill_bound(items, theta)
+    if strategy == "bound" or bound <= 1:
+        return bound
+    useful = sorted((a for a in items if a > 0), reverse=True)
+    if len(useful) > exact_limit:
+        return bound
+    lower = _greedy_cover(useful, theta)
+    for k in range(bound, lower, -1):
+        if _can_cover(tuple(useful), theta, k):
+            return k
+    return lower
+
+
+def _greedy_cover(items_desc: List[int], theta: int) -> int:
+    """First-fit-decreasing cover count (a feasible lower bound)."""
+    bins = 0
+    acc = 0
+    for a in items_desc:
+        acc += a
+        if acc >= theta:
+            bins += 1
+            acc = 0
+    return bins
+
+
+def _can_cover(items: Tuple[int, ...], theta: int, k: int) -> bool:
+    """Can the multiset cover *k* bins of at least *theta* each?
+
+    Depth-first search assigning items (largest first) to bins, with
+    symmetry breaking (identical partial bins are interchangeable) and
+    a total-sum prune.
+    """
+    if k <= 0:
+        return True
+    if sum(items) < k * theta:
+        return False
+
+    bins = [0] * k
+
+    def dfs(index: int) -> bool:
+        if all(b >= theta for b in bins):
+            return True
+        if index == len(items):
+            return False
+        remaining = sum(items[index:])
+        deficit = sum(max(0, theta - b) for b in bins)
+        if remaining < deficit:
+            return False
+        seen = set()
+        for i, load in enumerate(bins):
+            if load >= theta or load in seen:
+                continue
+            seen.add(load)
+            bins[i] = min(load + items[index], theta)
+            if dfs(index + 1):
+                bins[i] = load
+                return True
+            bins[i] = load
+        # The item may also be discarded (it is not obliged to interfere).
+        return dfs(index + 1)
+
+    return dfs(0)

@@ -1,0 +1,205 @@
+"""Worst-case response times of FPS tasks.
+
+FPS tasks are preempted by higher-priority FPS tasks of their node and
+can only run in the slack left by the static (SCS) schedule.  We use the
+standard hierarchical-scheduling formulation of the paper's ref. [13]:
+the busy-window recurrence
+
+    w = C_i + sum_{j in hp(i)} ceil((w + J_j) / T_j) * C_j
+
+is solved in *available* time through the node's
+:class:`~repro.analysis.availability.NodeAvailability`, and maximised
+over the critical instants where an SCS busy interval begins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.availability import (
+    NodeAvailability,
+    merge_intervals,
+    wrap_busy_intervals,
+)
+from repro.model.system import System
+from repro.model.task import Task
+from repro.model.times import ceil_div
+
+
+@dataclass(frozen=True)
+class WcrtResult:
+    """Outcome of one response-time computation.
+
+    ``value`` is the worst-case response time in macroticks; when
+    ``converged`` is False the recurrence was truncated at the analysis
+    cap and ``value`` is the cap -- a certain deadline miss, usable by
+    the cost function as a (finite) degree of unschedulability.
+    """
+
+    value: int
+    converged: bool
+
+
+#: Iteration limit of each busy-window fix-point.
+MAX_FIXPOINT_ITERATIONS = 512
+
+
+def hp_tasks(task: Task, tasks_on_node: Sequence[Task]) -> List[Task]:
+    """FPS tasks of the node that can delay *task*.
+
+    Strictly higher priority (smaller value), plus equal-priority peers
+    (ties are modelled pessimistically in both directions).
+    """
+    return [
+        t
+        for t in tasks_on_node
+        if t.is_fps
+        and t.name != task.name
+        and (t.priority, t.name) <= (task.priority, task.name)
+    ]
+
+
+def interference_count(
+    window: int,
+    period: int,
+    jitter: int,
+    is_ancestor: bool,
+    own_jitter: int,
+) -> int:
+    """Activations of one interferer inside a busy window.
+
+    Ordinary interferers follow the classic jittered bound
+    ``ceil((w + J_j) / T_j)``.  Same-graph *ancestors* are phase-locked:
+    instance k of an ancestor always completes before instance k of the
+    analysed activity becomes ready, so only the ancestor's *later*
+    instances (arriving at multiples of its period after the graph
+    release) can interfere -- ``ceil(max(0, w + J_own - T_j) / T_j)``,
+    the offset-based reduction of the paper's ref. [10].
+    """
+    if is_ancestor:
+        slack = window + own_jitter - period
+        return ceil_div(slack, period) if slack > 0 else 0
+    return ceil_div(window + jitter, period)
+
+
+def fps_task_busy_window(
+    task: Task,
+    interferers: Sequence[Task],
+    availability: NodeAvailability,
+    jitters: Mapping[str, int],
+    period_of,
+    cap: int,
+    own_jitter: int = 0,
+    ancestors: frozenset = frozenset(),
+) -> WcrtResult:
+    """Longest busy window of *task* (response time excluding its own jitter).
+
+    Parameters
+    ----------
+    interferers:
+        Higher-priority FPS tasks of the same node.
+    availability:
+        The node's SCS slack pattern.
+    jitters:
+        Release jitter per activity name (defaults to 0 when absent).
+    period_of:
+        Callable mapping an activity name to its period.
+    cap:
+        Truncation bound for divergent recurrences.
+    own_jitter:
+        The analysed task's own release jitter (worst predecessor
+        finish); used only for the ancestor interference reduction.
+    ancestors:
+        Names of same-graph transitive predecessors of *task*.
+    """
+    candidates = [0] + availability.busy_starts()
+    worst = 0
+    converged = True
+    for t0 in candidates:
+        window, ok = _busy_window_at(
+            task,
+            interferers,
+            availability,
+            jitters,
+            period_of,
+            cap,
+            t0,
+            own_jitter,
+            ancestors,
+        )
+        if window >= cap:
+            return WcrtResult(value=cap, converged=False)
+        worst = max(worst, window)
+        converged = converged and ok
+    return WcrtResult(value=worst, converged=converged)
+
+
+def _busy_window_at(
+    task: Task,
+    interferers: Sequence[Task],
+    availability: NodeAvailability,
+    jitters: Mapping[str, int],
+    period_of,
+    cap: int,
+    t0: int,
+    own_jitter: int,
+    ancestors: frozenset,
+) -> Tuple[int, bool]:
+    demand = task.wcet
+    window = 0
+    for _ in range(MAX_FIXPOINT_ITERATIONS):
+        end = availability.advance(t0, demand)
+        if end is None:
+            return cap, False
+        window = end - t0
+        if window >= cap:
+            return cap, False
+        new_demand = task.wcet
+        for j in interferers:
+            count = interference_count(
+                window,
+                period_of(j.name),
+                jitters.get(j.name, 0),
+                j.name in ancestors,
+                own_jitter,
+            )
+            new_demand += count * j.wcet
+        if new_demand == demand:
+            return window, True
+        demand = new_demand
+    return window, False
+
+
+def node_local_fps_cost(
+    system: System,
+    node: str,
+    busy: Sequence[Tuple[int, int]],
+    horizon: int,
+) -> float:
+    """Sum of FPS response times on *node* for a candidate busy pattern.
+
+    Used by the FPS-aware SCS placement heuristic (Fig. 2 line 11) to
+    compare candidate start times; ``math.inf`` when some FPS task can no
+    longer finish.  Jitters are taken as zero -- this is a *relative*
+    score between placements, not a final analysis.
+    """
+    fps = sorted(
+        (t for t in system.tasks_on(node) if t.is_fps),
+        key=lambda t: (t.priority, t.name),
+    )
+    if not fps:
+        return 0.0
+    availability = NodeAvailability(wrap_busy_intervals(busy, horizon), horizon)
+    period_of = lambda name: system.application.period_of(name)  # noqa: E731
+    cap = 16 * horizon
+    total = 0.0
+    for task in fps:
+        result = fps_task_busy_window(
+            task, hp_tasks(task, fps), availability, {}, period_of, cap
+        )
+        if not result.converged:
+            return math.inf
+        total += result.value
+    return total

@@ -1,0 +1,243 @@
+"""Global static scheduling algorithm (Fig. 2 of the paper).
+
+List scheduling over the SCS tasks and ST messages of the application:
+a ready list holds every job whose predecessors are all scheduled; the
+modified critical-path metric selects the next job; tasks are placed in
+the earliest slack of their node, messages in the earliest static slot
+instance of their sender's node with room left in the frame.
+
+With ``fps_aware=True`` the placement of each SCS task additionally
+evaluates a few candidate start times and keeps the one that disturbs
+the FPS tasks of that node the least (Fig. 2, line 11) -- a node-local
+approximation of the paper's holistic re-analysis, chosen so the OBC
+design-space loops stay affordable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.config import FlexRayConfig
+from repro.errors import SchedulingError
+from repro.model.jobs import Job, expand_jobs
+from repro.model.message import Message
+from repro.model.system import System
+from repro.model.task import Task
+from repro.analysis.priorities import critical_path_priorities
+from repro.analysis.schedule_table import ScheduleTable
+
+
+@dataclass(frozen=True)
+class ScheduleOptions:
+    """Tunables of the static scheduler.
+
+    Attributes
+    ----------
+    fps_aware:
+        Evaluate several candidate start times per SCS task and keep the
+        one minimising the node-local FPS response times (slower, closer
+        to the paper's Fig. 2 line 11).
+    fps_candidates:
+        Number of candidate gaps examined when ``fps_aware``.
+    horizon_factor:
+        ST messages may be placed in slots up to
+        ``horizon_factor * hyperperiod`` before scheduling fails; spilling
+        past the hyper-period models a late slot in the following
+        application cycle (it normally also means a deadline miss, which
+        the cost function will report).
+    """
+
+    fps_aware: bool = False
+    fps_candidates: int = 4
+    horizon_factor: int = 4
+
+
+def build_schedule(
+    system: System,
+    config: FlexRayConfig,
+    options: ScheduleOptions = None,
+    wcrt_estimates: Optional[Mapping[str, int]] = None,
+) -> ScheduleTable:
+    """Build the static schedule table for *system* under *config*.
+
+    ``wcrt_estimates`` supplies worst-case response times (relative to the
+    graph release) of FPS tasks / DYN messages that SCS activities depend
+    on; without an estimate such a dependency raises
+    :class:`SchedulingError` (the paper's benchmark systems keep
+    time-triggered and event-triggered graphs separate, so the situation
+    only arises in mixed graphs).
+    """
+    options = options or ScheduleOptions()
+    app = system.application
+    horizon = app.hyperperiod
+    table = ScheduleTable(config, horizon)
+    priorities = critical_path_priorities(app, config)
+
+    jobs = expand_jobs(app, scs_only=True, horizon=horizon)
+    job_by_key: Dict[str, Job] = {j.key: j for j in jobs}
+    scheduled_keys = set()
+
+    # --- dependency bookkeeping -------------------------------------
+    pending: Dict[str, int] = {}
+    successors: Dict[str, List[str]] = {}
+    for j in jobs:
+        count = 0
+        for pred in j.graph.predecessors(j.name):
+            pred_key = f"{pred}#{j.instance}"
+            if pred_key in job_by_key:
+                count += 1
+                successors.setdefault(pred_key, []).append(j.key)
+        pending[j.key] = count
+
+    ready: List[tuple] = []
+    for j in jobs:
+        if pending[j.key] == 0:
+            heapq.heappush(ready, _entry(j, priorities))
+
+    done = 0
+    while ready:
+        job = heapq.heappop(ready)[-1]
+        asap = _asap(job, job_by_key, table, wcrt_estimates, app)
+        if isinstance(job.activity, Task):
+            _schedule_task(table, system, job, asap, options)
+        else:
+            _schedule_st_message(table, system, config, job, asap, options, horizon)
+        scheduled_keys.add(job.key)
+        done += 1
+        for succ_key in successors.get(job.key, ()):  # update TT_ready_list
+            pending[succ_key] -= 1
+            if pending[succ_key] == 0:
+                heapq.heappush(ready, _entry(job_by_key[succ_key], priorities))
+
+    if done != len(jobs):  # pragma: no cover - defensive; DAG guarantees progress
+        missing = sorted(k for k in job_by_key if k not in scheduled_keys)
+        raise SchedulingError(f"jobs never became ready: {missing[:5]}")
+    return table
+
+
+def _entry(job: Job, priorities: Mapping[str, int]) -> tuple:
+    return (-priorities[job.name], job.release, job.name, job.instance, job)
+
+
+def _asap(
+    job: Job,
+    job_by_key: Mapping[str, Job],
+    table: ScheduleTable,
+    estimates: Optional[Mapping[str, int]],
+    app,
+) -> int:
+    """Earliest moment all predecessors of *job* are finished."""
+    asap = job.release
+    base = job.instance * job.graph.period
+    for pred in job.graph.predecessors(job.name):
+        pred_key = f"{pred}#{job.instance}"
+        if pred_key in job_by_key:
+            finish = table.finish_of(pred_key)
+            if finish is None:  # pragma: no cover - ready-list invariant
+                raise SchedulingError(
+                    f"predecessor {pred_key!r} of {job.key!r} not scheduled yet"
+                )
+            asap = max(asap, finish)
+        else:
+            if estimates is None or pred not in estimates:
+                raise SchedulingError(
+                    f"SCS activity {job.name!r} depends on event-triggered "
+                    f"activity {pred!r}; pass wcrt_estimates to schedule it"
+                )
+            asap = max(asap, base + estimates[pred])
+    return asap
+
+
+def _schedule_task(
+    table: ScheduleTable,
+    system: System,
+    job: Job,
+    asap: int,
+    options: ScheduleOptions,
+) -> None:
+    task: Task = job.activity
+    if not options.fps_aware:
+        start = table.first_fit(task.node, asap, task.wcet)
+        table.add_task(job.key, task, start)
+        return
+    best_start, best_score = None, None
+    for start in _placement_candidates(table, job, asap, options):
+        score = _fps_disturbance(table, system, task, start)
+        # prefer lower disturbance; tie-break on earlier start
+        if best_score is None or (score, start) < (best_score, best_start):
+            best_start, best_score = start, score
+    table.add_task(job.key, task, best_start)
+
+
+def _placement_candidates(
+    table: ScheduleTable, job: Job, asap: int, options: ScheduleOptions
+) -> list:
+    """Candidate start times for an SCS task (Fig. 2 line 11).
+
+    The earliest feasible start plus starts spread across the job's slack
+    window up to its deadline: packing every SCS task back-to-back at the
+    period start creates long busy blocks that starve FPS tasks, so the
+    FPS-aware placement must be offered genuinely *later* alternatives,
+    not just the next gap.
+    """
+    task: Task = job.activity
+    k = max(1, options.fps_candidates)
+    latest = max(asap, job.abs_deadline - task.wcet)
+    raw = {asap}
+    if k > 1 and latest > asap:
+        for j in range(1, k):
+            raw.add(asap + round(j * (latest - asap) / (k - 1)))
+    starts = {table.first_fit(task.node, t, task.wcet) for t in raw}
+    return sorted(starts)
+
+
+def _fps_disturbance(
+    table: ScheduleTable, system: System, task: Task, start: int
+) -> float:
+    """Node-local proxy for the worst-case response-time increase of the
+    FPS tasks on ``task.node`` if ``task`` starts at *start*.
+
+    Sum of FPS response times computed against the candidate busy pattern
+    (infinite when some FPS task would no longer terminate).
+    """
+    from repro.analysis.fps import node_local_fps_cost  # local import: no cycle
+
+    busy = table.busy_intervals(task.node)
+    busy.append((start, start + task.wcet))
+    return node_local_fps_cost(system, task.node, busy, table.horizon)
+
+
+def _schedule_st_message(
+    table: ScheduleTable,
+    system: System,
+    config: FlexRayConfig,
+    job: Job,
+    ready: int,
+    options: ScheduleOptions,
+    horizon: int,
+) -> None:
+    message: Message = job.activity
+    node = system.sender_node(message)
+    slots = config.st_slots_of(node)
+    if not slots:
+        raise SchedulingError(
+            f"node {node!r} sends ST message {message.name!r} but owns no static slot"
+        )
+    ct = config.message_ct(message)
+    limit = options.horizon_factor * horizon + config.gd_cycle
+    cycle = max(0, ready // config.gd_cycle)
+    while cycle * config.gd_cycle < limit:
+        for slot in slots:
+            slot_start = cycle * config.gd_cycle + (slot - 1) * config.gd_static_slot
+            if slot_start < ready:
+                continue
+            if table.frame_used(cycle, slot) + ct <= config.gd_static_slot:
+                table.add_message(job.key, message, cycle, slot)
+                return
+        cycle += 1
+    raise SchedulingError(
+        f"no static slot instance before {limit} MT can carry message "
+        f"{job.key!r} (ready at {ready}, C_m={ct})"
+    )

@@ -1,0 +1,43 @@
+"""Response times of statically scheduled activities.
+
+SCS tasks and ST messages have deterministic completion times fixed by
+the schedule table; their worst-case response time is simply the largest
+``finish - period_start`` over the job instances of the hyper-period.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.schedule_table import ScheduleTable
+from repro.model.application import Application
+
+
+def static_response_times(
+    application: Application, table: ScheduleTable
+) -> Dict[str, int]:
+    """WCRT per SCS task / ST message name, relative to the graph release."""
+    wcrt: Dict[str, int] = {}
+    for entry in table.tasks.values():
+        name, instance = entry.job_key.rsplit("#", 1)
+        base = int(instance) * application.period_of(name)
+        wcrt[name] = max(wcrt.get(name, 0), entry.finish - base)
+    for entry in table.messages.values():
+        name, instance = entry.job_key.rsplit("#", 1)
+        base = int(instance) * application.period_of(name)
+        wcrt[name] = max(wcrt.get(name, 0), entry.finish - base)
+    return wcrt
+
+
+def static_release_offsets(
+    application: Application, table: ScheduleTable
+) -> Dict[str, int]:
+    """Worst ready-time offset of each statically scheduled activity.
+
+    For a DYN message produced by an SCS task, the message becomes ready
+    when the task completes; the completion offset (relative to the graph
+    release) acts as the message's inherited "jitter" term J_m in
+    Eq. (2) -- deterministic, but it still shifts the response time that
+    is compared against the relative deadline.
+    """
+    return static_response_times(application, table)

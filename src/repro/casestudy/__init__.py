@@ -1,0 +1,5 @@
+"""Real-life case study: the vehicle cruise controller of Section 7."""
+
+from repro.casestudy.cruise_control import NODES, cruise_controller, shape_summary
+
+__all__ = ["NODES", "cruise_controller", "shape_summary"]

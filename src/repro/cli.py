@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+generate   write a synthetic Section 7 system to JSON
+analyse    run the holistic analysis of a system under a configuration
+optimise   run a bus-access optimiser (bbc / obc-cf / obc-ee / sa / ga)
+simulate   run the discrete-event simulator and print the trace
+show       render a system or configuration as text/Gantt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.holistic import analyse_system
+from repro.casestudy.cruise_control import cruise_controller
+from repro.core.bbc import optimise_bbc
+from repro.core.ga import GAOptions, optimise_ga
+from repro.core.obc import optimise_obc
+from repro.core.sa import SAOptions, optimise_sa
+from repro.errors import ReproError
+from repro.flexray.simulator import SimulationOptions, simulate
+from repro.io.serialization import (
+    config_to_dict,
+    load_config,
+    load_system,
+    save_config,
+    save_system,
+)
+from repro.synth.taskgraph_gen import GeneratorConfig, generate_system
+from repro.viz.gantt import render_bus_trace, render_cycle, render_schedule
+
+OPTIMISERS = ("bbc", "obc-cf", "obc-ee", "sa", "ga")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree of the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FlexRay bus access optimisation (DATE 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="generate a synthetic system")
+    p_gen.add_argument("output", help="output JSON path")
+    p_gen.add_argument("--nodes", type=int, default=3)
+    p_gen.add_argument("--tasks-per-node", type=int, default=10)
+    p_gen.add_argument("--seed", type=int, default=1)
+    p_gen.add_argument(
+        "--cruise-controller",
+        action="store_true",
+        help="write the built-in case study instead of a random system",
+    )
+
+    p_ana = sub.add_parser("analyse", help="holistic schedulability analysis")
+    p_ana.add_argument("system", help="system JSON path")
+    p_ana.add_argument("config", help="bus configuration JSON path")
+    p_ana.add_argument("--json", action="store_true", help="machine output")
+
+    p_opt = sub.add_parser("optimise", help="search for a bus configuration")
+    p_opt.add_argument("system", help="system JSON path")
+    p_opt.add_argument("--algorithm", choices=OPTIMISERS, default="obc-cf")
+    p_opt.add_argument("--output", help="write the best configuration JSON here")
+    p_opt.add_argument("--sa-iterations", type=int, default=400)
+    p_opt.add_argument("--seed", type=int, default=2007)
+
+    p_sim = sub.add_parser("simulate", help="discrete-event simulation")
+    p_sim.add_argument("system", help="system JSON path")
+    p_sim.add_argument("config", help="bus configuration JSON path")
+    p_sim.add_argument("--trace", action="store_true", help="print every event")
+    p_sim.add_argument("--gantt", action="store_true", help="ASCII bus Gantt")
+
+    p_show = sub.add_parser("show", help="describe a system or configuration")
+    p_show.add_argument("path", help="system or configuration JSON path")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args) -> int:
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "analyse":
+        return _cmd_analyse(args)
+    if args.command == "optimise":
+        return _cmd_optimise(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "show":
+        return _cmd_show(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _cmd_generate(args) -> int:
+    if args.cruise_controller:
+        system = cruise_controller()
+    else:
+        system = generate_system(
+            GeneratorConfig(
+                n_nodes=args.nodes,
+                tasks_per_node=args.tasks_per_node,
+                seed=args.seed,
+            )
+        )
+    save_system(system, args.output)
+    print(f"wrote {system.describe()} to {args.output}")
+    return 0
+
+
+def _cmd_analyse(args) -> int:
+    system = load_system(args.system)
+    config = load_config(args.config)
+    result = analyse_system(system, config)
+    if args.json:
+        payload = {
+            "feasible": result.feasible,
+            "schedulable": result.schedulable,
+            "cost": result.cost_value,
+            "wcrt": result.wcrt,
+            "failure": result.failure,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if result.schedulable else 1
+    print(system.describe())
+    print(config.describe())
+    if not result.feasible:
+        print(f"INFEASIBLE: {result.failure}")
+        return 1
+    app = system.application
+    for g in app.graphs:
+        for name in g.topological_order():
+            mark = " " if result.wcrt[name] <= app.deadline_of(name) else "!"
+            print(
+                f" {mark} {name:20s} R={result.wcrt[name]:>8} "
+                f"D={app.deadline_of(name):>8}"
+            )
+    print(f"cost = {result.cost.value:.1f} "
+          f"({'schedulable' if result.schedulable else 'NOT schedulable'})")
+    from repro.analysis.sensitivity import bottlenecks
+
+    print("tightest activities:")
+    for entry in bottlenecks(system, result, count=3):
+        print(
+            f"    {entry.name:20s} slack={entry.slack:>8} "
+            f"({entry.usage:.0%} of deadline)"
+        )
+    return 0 if result.schedulable else 1
+
+
+def _cmd_optimise(args) -> int:
+    system = load_system(args.system)
+    if args.algorithm == "bbc":
+        result = optimise_bbc(system)
+    elif args.algorithm == "obc-cf":
+        result = optimise_obc(system, method="curvefit")
+    elif args.algorithm == "obc-ee":
+        result = optimise_obc(system, method="exhaustive")
+    elif args.algorithm == "sa":
+        result = optimise_sa(
+            system,
+            sa_options=SAOptions(iterations=args.sa_iterations, seed=args.seed),
+        )
+    else:
+        result = optimise_ga(system, ga_options=GAOptions(seed=args.seed))
+    print(result.describe())
+    if result.config is not None and args.output:
+        save_config(result.config, args.output)
+        print(f"wrote best configuration to {args.output}")
+    if result.config is not None and not args.output:
+        print(json.dumps(config_to_dict(result.config), indent=2, sort_keys=True))
+    return 0 if result.schedulable else 1
+
+
+def _cmd_simulate(args) -> int:
+    system = load_system(args.system)
+    config = load_config(args.config)
+    result = simulate(system, config, SimulationOptions())
+    if args.trace:
+        for event in result.trace:
+            print(event)
+    if args.gantt:
+        print(render_cycle(config))
+        print(render_bus_trace(result.trace, config))
+    print(
+        f"finished={result.all_finished} misses={list(result.deadline_misses)}"
+    )
+    for name, r in sorted(result.observed_wcrt.items()):
+        print(f"  {name:20s} observed R = {r}")
+    return 0 if result.all_finished and not result.deadline_misses else 1
+
+
+def _cmd_show(args) -> int:
+    with open(args.path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if "application" in data:
+        system = load_system(args.path)
+        print(system.describe())
+        for g in system.application.graphs:
+            kind = "TT" if all(t.is_scs for t in g.tasks) else "ET"
+            print(
+                f"  graph {g.name} [{kind}] period={g.period} "
+                f"deadline={g.deadline}: {len(g.tasks)} tasks, "
+                f"{len(g.messages)} messages"
+            )
+    else:
+        config = load_config(args.path)
+        print(config.describe())
+        print(render_cycle(config))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Bus access optimisation: configurations, cost, BBC/OBC/SA algorithms.
+
+Exports are resolved lazily (PEP 562): the timing-analysis layer imports
+``repro.core.config`` while the optimisers in this package import the
+analysis layer, so eager re-exports here would create an import cycle.
+"""
+
+from importlib import import_module
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "BusOptimisationOptions": "repro.core.search",
+    "CostBreakdown": "repro.core.cost",
+    "Evaluator": "repro.core.search",
+    "FlexRayConfig": "repro.core.config",
+    "GAOptions": "repro.core.ga",
+    "NewtonInterpolator": "repro.core.curvefit",
+    "OptimisationResult": "repro.core.result",
+    "MappingOptions": "repro.core.mapping",
+    "MappingResult": "repro.core.mapping",
+    "SAOptions": "repro.core.sa",
+    "SearchPoint": "repro.core.result",
+    "assign_frame_ids": "repro.core.frameid",
+    "basic_configuration": "repro.core.bbc",
+    "cost_function": "repro.core.cost",
+    "curvefit_dyn_length": "repro.core.dynlen",
+    "dyn_segment_bounds": "repro.core.search",
+    "exhaustive_dyn_length": "repro.core.dynlen",
+    "message_criticalities": "repro.core.frameid",
+    "min_static_slot": "repro.core.search",
+    "optimise_bbc": "repro.core.bbc",
+    "optimise_ga": "repro.core.ga",
+    "optimise_mapping": "repro.core.mapping",
+    "optimise_obc": "repro.core.obc",
+    "optimise_sa": "repro.core.sa",
+    "quota_slot_assignment": "repro.core.search",
+    "remap_task": "repro.core.mapping",
+    "spread_points": "repro.core.curvefit",
+    "sweep_lengths": "repro.core.search",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    """Resolve re-exported names on first access."""
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    return getattr(import_module(module), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+if TYPE_CHECKING:  # pragma: no cover - static typing aid only
+    from repro.core.bbc import basic_configuration, optimise_bbc
+    from repro.core.config import FlexRayConfig
+    from repro.core.cost import CostBreakdown, cost_function
+    from repro.core.curvefit import NewtonInterpolator, spread_points
+    from repro.core.dynlen import curvefit_dyn_length, exhaustive_dyn_length
+    from repro.core.frameid import assign_frame_ids, message_criticalities
+    from repro.core.ga import GAOptions, optimise_ga
+    from repro.core.mapping import MappingOptions, MappingResult, optimise_mapping
+    from repro.core.obc import optimise_obc
+    from repro.core.result import OptimisationResult, SearchPoint
+    from repro.core.sa import SAOptions, optimise_sa
+    from repro.core.search import (
+        BusOptimisationOptions,
+        Evaluator,
+        dyn_segment_bounds,
+        min_static_slot,
+        quota_slot_assignment,
+        sweep_lengths,
+    )

@@ -1,0 +1,87 @@
+"""Basic Bus Configuration -- BBC (Fig. 5 of the paper).
+
+The BBC derives a bus cycle from the application's minimal bandwidth
+needs: unique criticality-ordered FrameIDs, one static slot per
+ST-sending node, the slot just large enough for the biggest ST frame,
+and a sweep over the legal DYN segment lengths keeping the best cost.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.analysis.holistic import AnalysisResult
+from repro.core.config import FlexRayConfig
+from repro.core.frameid import assign_frame_ids
+from repro.core.result import OptimisationResult
+from repro.core.search import (
+    BusOptimisationOptions,
+    Evaluator,
+    better,
+    dyn_segment_bounds,
+    min_static_slot,
+    sweep_lengths,
+)
+from repro.model.system import System
+
+
+def basic_configuration(
+    system: System, n_minislots: int, options: BusOptimisationOptions = None
+) -> FlexRayConfig:
+    """The BBC static structure with a given DYN segment length.
+
+    When the system has no ST-sending nodes the static segment is empty
+    and ``n_minislots`` is forced to at least 1 so the cycle is not
+    empty.
+    """
+    options = options or BusOptimisationOptions()
+    frame_ids = assign_frame_ids(
+        system, options.bits_per_mt, options.frame_overhead_bytes
+    )
+    st_nodes = system.st_sender_nodes()
+    if not st_nodes:
+        n_minislots = max(1, n_minislots)
+    return FlexRayConfig(
+        static_slots=tuple(st_nodes),
+        gd_static_slot=min_static_slot(system, options) if st_nodes else 0,
+        n_minislots=n_minislots,
+        frame_ids=frame_ids,
+        gd_minislot=options.gd_minislot,
+        bits_per_mt=options.bits_per_mt,
+        frame_overhead_bytes=options.frame_overhead_bytes,
+    )
+
+
+def optimise_bbc(
+    system: System, options: BusOptimisationOptions = None
+) -> OptimisationResult:
+    """Run the BBC algorithm (Fig. 5) and return the best configuration."""
+    options = options or BusOptimisationOptions()
+    start = time.perf_counter()
+    evaluator = Evaluator(system, options)
+
+    st_nodes = system.st_sender_nodes()
+    slot = min_static_slot(system, options) if st_nodes else 0
+    st_bus = len(st_nodes) * slot
+    lo, hi = dyn_segment_bounds(system, st_bus, options)
+    best: Optional[AnalysisResult] = None
+    if lo == 0 and hi == 0:
+        # No DYN messages: the cycle is purely static.
+        best = evaluator.analyse(basic_configuration(system, 0, options))
+    else:
+        for n_minislots in sweep_lengths(lo, hi, options.max_dyn_points):
+            result = evaluator.analyse(
+                basic_configuration(system, n_minislots, options)
+            )
+            if better(result, best):
+                best = result
+    if best is not None and not best.feasible:
+        best = None
+    return OptimisationResult(
+        algorithm="BBC",
+        best=best,
+        evaluations=evaluator.evaluations,
+        elapsed_seconds=time.perf_counter() - start,
+        trace=tuple(evaluator.trace),
+    )

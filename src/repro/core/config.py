@@ -1,0 +1,296 @@
+"""FlexRay bus configuration -- the design variable of the paper.
+
+A :class:`FlexRayConfig` bundles the six design decisions of Section 6:
+
+1. the length of a static slot (``gd_static_slot``),
+2. the number of static slots (``len(static_slots)``),
+3. the assignment of static slots to nodes (``static_slots``),
+4. the length of the dynamic segment (``n_minislots`` x ``gd_minislot``),
+5. the assignment of dynamic slots to nodes, and
+6. the FrameID of each dynamic message (``frame_ids``; the slot-to-node
+   assignment is implied, because the slot of FrameID f belongs to the
+   node that sends the message(s) with FrameID f).
+
+Configurations are immutable; the optimisers derive neighbours with the
+``with_*`` helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.flexray import params
+from repro.model.message import Message
+from repro.model.system import System
+from repro.model.times import ceil_div
+
+
+@dataclass(frozen=True)
+class FlexRayConfig:
+    """Immutable FlexRay bus-cycle configuration.
+
+    Parameters
+    ----------
+    static_slots:
+        Node name per static slot; index i holds the owner of ST slot
+        i + 1 (slots are 1-based on the bus).
+    gd_static_slot:
+        Length of every static slot, in macroticks.
+    n_minislots:
+        Number of minislots in the dynamic segment (may be 0 for a purely
+        static cycle).
+    frame_ids:
+        Mapping from DYN message name to its FrameID (1-based dynamic
+        slot number).  Messages of the same node may share a FrameID.
+    gd_minislot:
+        Length of one minislot in macroticks.
+    bits_per_mt:
+        Bus speed: payload bits transferred per macrotick (8 by default,
+        i.e. one byte per macrotick -- see :mod:`repro.flexray.params`).
+    frame_overhead_bytes:
+        Per-frame protocol overhead added to every frame transmission.
+    """
+
+    static_slots: Tuple[str, ...]
+    gd_static_slot: int
+    n_minislots: int
+    frame_ids: Mapping[str, int] = field(default_factory=dict)
+    gd_minislot: int = params.DEFAULT_GD_MINISLOT
+    bits_per_mt: int = params.DEFAULT_BITS_PER_MT
+    frame_overhead_bytes: int = params.DEFAULT_FRAME_OVERHEAD_BYTES
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "static_slots", tuple(self.static_slots))
+        object.__setattr__(self, "frame_ids", dict(self.frame_ids))
+        if not self.static_slots and self.n_minislots == 0:
+            raise ConfigurationError("bus cycle must contain at least one segment")
+        if len(self.static_slots) > params.MAX_STATIC_SLOTS:
+            raise ConfigurationError(
+                f"{len(self.static_slots)} static slots exceed the protocol limit "
+                f"of {params.MAX_STATIC_SLOTS}"
+            )
+        if self.static_slots:
+            if not (1 <= self.gd_static_slot <= params.MAX_STATIC_SLOT_MT):
+                raise ConfigurationError(
+                    f"gd_static_slot={self.gd_static_slot} outside "
+                    f"[1, {params.MAX_STATIC_SLOT_MT}]"
+                )
+            for node in self.static_slots:
+                if not node:
+                    raise ConfigurationError("static slot owner must be non-empty")
+        elif self.gd_static_slot < 0:
+            raise ConfigurationError("gd_static_slot must be >= 0")
+        if not (0 <= self.n_minislots <= params.MAX_MINISLOTS):
+            raise ConfigurationError(
+                f"n_minislots={self.n_minislots} outside [0, {params.MAX_MINISLOTS}]"
+            )
+        if self.gd_minislot < 1:
+            raise ConfigurationError("gd_minislot must be >= 1 macrotick")
+        if self.bits_per_mt < 1:
+            raise ConfigurationError("bits_per_mt must be >= 1")
+        if self.frame_overhead_bytes < 0:
+            raise ConfigurationError("frame_overhead_bytes must be >= 0")
+        for name, fid in self.frame_ids.items():
+            if not isinstance(fid, int) or isinstance(fid, bool) or fid < 1:
+                raise ConfigurationError(
+                    f"FrameID of message {name!r} must be a positive int, got {fid!r}"
+                )
+            if fid > max(self.n_minislots, 0):
+                raise ConfigurationError(
+                    f"FrameID {fid} of message {name!r} cannot fit in a dynamic "
+                    f"segment of {self.n_minislots} minislots"
+                )
+        if self.gd_cycle > params.MAX_CYCLE_MT:
+            raise ConfigurationError(
+                f"gd_cycle={self.gd_cycle} MT exceeds the protocol maximum "
+                f"of {params.MAX_CYCLE_MT} MT (16 ms)"
+            )
+        if self.gd_cycle <= 0:
+            raise ConfigurationError("gd_cycle must be positive")
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_static_slots(self) -> int:
+        """Number of static slots (``gdNumberOfStaticSlots``)."""
+        return len(self.static_slots)
+
+    @property
+    def st_bus(self) -> int:
+        """Length of the static segment in macroticks."""
+        return self.n_static_slots * self.gd_static_slot
+
+    @property
+    def dyn_bus(self) -> int:
+        """Length of the dynamic segment in macroticks."""
+        return self.n_minislots * self.gd_minislot
+
+    @property
+    def gd_cycle(self) -> int:
+        """Length of the whole communication cycle in macroticks."""
+        return self.st_bus + self.dyn_bus
+
+    # ------------------------------------------------------------------
+    # message metrics
+    # ------------------------------------------------------------------
+    def message_ct(self, message: Message) -> int:
+        """Transmission time C_m of *message* in macroticks (Eq. (1))."""
+        total_bytes = message.size + self.frame_overhead_bytes
+        return ceil_div(total_bytes * 8, self.bits_per_mt)
+
+    def minislots_needed(self, message: Message) -> int:
+        """Number of minislots the DYN frame of *message* occupies."""
+        return ceil_div(self.message_ct(message), self.gd_minislot)
+
+    def frame_id_of(self, message_name: str) -> int:
+        """FrameID assigned to DYN message *message_name*."""
+        try:
+            return self.frame_ids[message_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no FrameID assigned to DYN message {message_name!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # slot ownership
+    # ------------------------------------------------------------------
+    def st_slots_of(self, node: str) -> Tuple[int, ...]:
+        """1-based static slot numbers owned by *node*."""
+        return tuple(
+            i + 1 for i, owner in enumerate(self.static_slots) if owner == node
+        )
+
+    def dyn_slots_of(self, node: str, system: System) -> Tuple[int, ...]:
+        """Sorted 1-based dynamic slot numbers (FrameIDs) used by *node*."""
+        fids = {
+            fid
+            for name, fid in self.frame_ids.items()
+            if system.sender_node(system.application.message(name)) == node
+        }
+        return tuple(sorted(fids))
+
+    def p_latest_tx(self, node: str, system: System) -> Optional[int]:
+        """``pLatestTx`` of *node*: the last minislot counter value at which
+        the node may still start a dynamic transmission.
+
+        Fixed per node at design time from the node's largest DYN frame
+        (Section 3 of the paper).  ``None`` when the node sends no DYN
+        message.  A value < 1 means the node's largest frame does not fit
+        the dynamic segment at all.
+        """
+        largest = 0
+        for m in system.messages_sent_by(node):
+            if m.is_dynamic:
+                largest = max(largest, self.minislots_needed(m))
+        if largest == 0:
+            return None
+        return self.n_minislots - largest + 1
+
+    # ------------------------------------------------------------------
+    # semantic validation against a system
+    # ------------------------------------------------------------------
+    def validate_for(self, system: System) -> None:
+        """Raise :class:`ConfigurationError` unless the configuration is a
+        legal bus setup for *system*:
+
+        * every node appearing in ``static_slots`` exists,
+        * every ST-sending node owns at least one static slot,
+        * the static slot accommodates the largest ST message,
+        * every DYN message has a FrameID,
+        * messages sharing a FrameID originate from the same node,
+        * every DYN frame fits the dynamic segment (pLatestTx >= 1).
+        """
+        app = system.application
+        nodes = set(system.nodes)
+        for owner in self.static_slots:
+            if owner not in nodes:
+                raise ConfigurationError(
+                    f"static slot owner {owner!r} is not a node of the system"
+                )
+        slot_owners = set(self.static_slots)
+        max_st_ct = 0
+        for m in app.st_messages():
+            sender = system.sender_node(m)
+            if sender not in slot_owners:
+                raise ConfigurationError(
+                    f"node {sender!r} sends ST message {m.name!r} but owns no "
+                    "static slot"
+                )
+            max_st_ct = max(max_st_ct, self.message_ct(m))
+        if max_st_ct > self.gd_static_slot:
+            raise ConfigurationError(
+                f"gd_static_slot={self.gd_static_slot} cannot fit the largest ST "
+                f"frame ({max_st_ct} MT)"
+            )
+        fid_owner: Dict[int, str] = {}
+        for m in app.dyn_messages():
+            if m.name not in self.frame_ids:
+                raise ConfigurationError(
+                    f"DYN message {m.name!r} has no FrameID in this configuration"
+                )
+            sender = system.sender_node(m)
+            fid = self.frame_ids[m.name]
+            if fid in fid_owner and fid_owner[fid] != sender:
+                raise ConfigurationError(
+                    f"FrameID {fid} is shared by nodes {fid_owner[fid]!r} and "
+                    f"{sender!r}; a dynamic slot belongs to exactly one node"
+                )
+            fid_owner[fid] = sender
+        for name in self.frame_ids:
+            app.message(name)  # raises ModelError -> surfaced to the caller
+        for node in system.dyn_sender_nodes():
+            latest = self.p_latest_tx(node, system)
+            if latest is not None and latest < 1:
+                raise ConfigurationError(
+                    f"the largest DYN frame of node {node!r} does not fit a "
+                    f"dynamic segment of {self.n_minislots} minislots"
+                )
+            for fid in self.dyn_slots_of(node, system):
+                if latest is not None and fid > latest:
+                    raise ConfigurationError(
+                        f"FrameID {fid} of node {node!r} exceeds its pLatestTx "
+                        f"({latest}); the frame could never be sent"
+                    )
+
+    # ------------------------------------------------------------------
+    # derivation helpers for optimisers
+    # ------------------------------------------------------------------
+    def with_dyn_length(self, n_minislots: int) -> "FlexRayConfig":
+        """Copy with a different dynamic segment length."""
+        return replace(self, n_minislots=n_minislots)
+
+    def with_static(
+        self, static_slots: Tuple[str, ...], gd_static_slot: int
+    ) -> "FlexRayConfig":
+        """Copy with a different static segment structure."""
+        return replace(
+            self, static_slots=tuple(static_slots), gd_static_slot=gd_static_slot
+        )
+
+    def with_frame_ids(self, frame_ids: Mapping[str, int]) -> "FlexRayConfig":
+        """Copy with a different FrameID assignment."""
+        return replace(self, frame_ids=dict(frame_ids))
+
+    def cache_key(self) -> tuple:
+        """Hashable identity of the configuration (``frame_ids`` is a dict,
+        so the dataclass itself is unhashable)."""
+        return (
+            self.static_slots,
+            self.gd_static_slot,
+            self.n_minislots,
+            tuple(sorted(self.frame_ids.items())),
+            self.gd_minislot,
+            self.bits_per_mt,
+            self.frame_overhead_bytes,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"FlexRayConfig(ST: {self.n_static_slots} x {self.gd_static_slot} MT, "
+            f"DYN: {self.n_minislots} x {self.gd_minislot} MT, "
+            f"gdCycle={self.gd_cycle} MT)"
+        )

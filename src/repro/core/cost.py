@@ -1,0 +1,74 @@
+"""Schedulability-degree cost function (Eq. (5) of the paper).
+
+    Cost = f1 = sum_i max(R_i - D_i, 0)   if f1 > 0   (some deadline missed)
+         = f2 = sum_i (R_i - D_i)          if f1 = 0   (all deadlines met)
+
+The function is strictly positive when at least one activity misses its
+deadline and negative (more negative = more slack) when the system is
+schedulable, which lets the optimisers keep improving a schedulable
+solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import AnalysisError
+from repro.model.application import Application
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Cost value plus diagnostic detail."""
+
+    value: float
+    schedulable: bool
+    misses: int
+    worst_violation: int
+    total_slack: int
+
+    def __float__(self) -> float:  # pragma: no cover - convenience
+        return float(self.value)
+
+
+def cost_function(
+    application: Application, wcrt: Mapping[str, int]
+) -> CostBreakdown:
+    """Evaluate Eq. (5) over every activity of *application*.
+
+    ``wcrt`` must contain a worst-case response time for every task and
+    message; a missing entry raises :class:`AnalysisError` rather than
+    silently treating the activity as schedulable.
+    """
+    f1 = 0
+    f2 = 0
+    misses = 0
+    worst = 0
+    for g in application.graphs:
+        for name in g.topological_order():
+            if name not in wcrt:
+                raise AnalysisError(f"no response time for activity {name!r}")
+            r = wcrt[name]
+            d = application.deadline_of(name)
+            diff = r - d
+            f2 += diff
+            if diff > 0:
+                f1 += diff
+                misses += 1
+                worst = max(worst, diff)
+    if f1 > 0:
+        return CostBreakdown(
+            value=float(f1),
+            schedulable=False,
+            misses=misses,
+            worst_violation=worst,
+            total_slack=-f2,
+        )
+    return CostBreakdown(
+        value=float(f2),
+        schedulable=True,
+        misses=0,
+        worst_violation=0,
+        total_slack=-f2,
+    )

@@ -1,0 +1,82 @@
+"""Newton-polynomial curve fitting (Section 6.2.1).
+
+The OBC/CF heuristic analyses only a handful of DYN segment lengths
+exactly and interpolates every message's response time at all other
+lengths with a Newton polynomial -- "extremely fast, in particular when
+recalculating the values after a new point has been added to the set
+Points" (paper footnote 1).  The divided-difference form makes adding a
+point an O(n) update.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import AnalysisError
+
+
+class NewtonInterpolator:
+    """Incremental Newton divided-difference interpolation.
+
+    Stores the diagonal of the divided-difference table, so
+    :meth:`add_point` costs O(n) and evaluation costs O(n).
+    """
+
+    def __init__(self, xs: Sequence[float] = (), ys: Sequence[float] = ()):
+        if len(xs) != len(ys):
+            raise AnalysisError("xs and ys must have equal length")
+        self._xs: List[float] = []
+        self._coeffs: List[float] = []  # Newton coefficients c0, c1, ...
+        self._diag: List[float] = []  # last row of the dd table
+        for x, y in zip(xs, ys):
+            self.add_point(x, y)
+
+    def __len__(self) -> int:
+        return len(self._xs)
+
+    @property
+    def xs(self) -> List[float]:
+        """Interpolation nodes added so far."""
+        return list(self._xs)
+
+    def add_point(self, x: float, y: float) -> None:
+        """Add node (x, y); x must differ from all existing nodes."""
+        if any(x == old for old in self._xs):
+            raise AnalysisError(f"duplicate interpolation node x={x}")
+        # Update the rising diagonal of the divided-difference table.
+        new_diag = [float(y)]
+        for k, prev in enumerate(self._diag):
+            denom = x - self._xs[len(self._xs) - 1 - k]
+            new_diag.append((new_diag[k] - prev) / denom)
+        self._xs.append(float(x))
+        self._diag = new_diag
+        self._coeffs.append(new_diag[-1])
+
+    def __call__(self, x: float) -> float:
+        """Evaluate the interpolating polynomial at *x* (Horner form)."""
+        if not self._xs:
+            raise AnalysisError("cannot evaluate an empty interpolator")
+        result = self._coeffs[-1]
+        for k in range(len(self._coeffs) - 2, -1, -1):
+            result = result * (x - self._xs[k]) + self._coeffs[k]
+        return result
+
+
+def spread_points(lo: int, hi: int, count: int) -> List[int]:
+    """*count* distinct integers evenly spread over [lo, hi], inclusive.
+
+    Used to seed the initial ``Points`` set of the OBC/CF heuristic
+    (the paper used five).
+    """
+    if hi < lo:
+        raise AnalysisError(f"empty range [{lo}, {hi}]")
+    if count < 1:
+        raise AnalysisError("count must be >= 1")
+    if hi == lo:
+        return [lo]
+    count = min(count, hi - lo + 1)
+    if count == 1:
+        return [lo]
+    step = (hi - lo) / (count - 1)
+    points = {lo + round(i * step) for i in range(count)}
+    return sorted(points)

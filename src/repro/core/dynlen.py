@@ -1,0 +1,162 @@
+"""Determining the DYN segment length (Section 6.2.1, Fig. 8).
+
+Two strategies, both searching ``n_minislots`` in the legal range for a
+fixed static-segment structure:
+
+* :func:`exhaustive_dyn_length` -- analyse every candidate (OBC/EE);
+* :func:`curvefit_dyn_length` -- the paper's heuristic: analyse a small
+  seed set exactly, Newton-interpolate every activity's response time
+  over the whole range, and only analyse the most promising candidates
+  until a schedulable one is confirmed or Nmax rounds bring no
+  improvement (OBC/CF).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.holistic import AnalysisResult
+from repro.core.config import FlexRayConfig
+from repro.core.cost import cost_function
+from repro.core.curvefit import NewtonInterpolator, spread_points
+from repro.core.search import Evaluator, better, sweep_lengths
+from repro.model.system import System
+
+
+def exhaustive_dyn_length(
+    evaluator: Evaluator,
+    template: FlexRayConfig,
+    lo: int,
+    hi: int,
+    max_points: Optional[int] = None,
+) -> Optional[AnalysisResult]:
+    """Best configuration over all DYN lengths in [lo, hi] (OBC/EE).
+
+    ``max_points`` caps the sweep resolution; ``None`` uses the
+    evaluator's options (the paper analyses every gdMinislot step, which
+    is the configuration ``max_points >= hi - lo + 1``).
+    """
+    if max_points is None:
+        max_points = evaluator.options.ee_max_dyn_points
+    best: Optional[AnalysisResult] = None
+    for n in sweep_lengths(lo, hi, max_points):
+        result = evaluator.analyse(template.with_dyn_length(n))
+        if better(result, best):
+            best = result
+    return best
+
+
+def curvefit_dyn_length(
+    evaluator: Evaluator,
+    template: FlexRayConfig,
+    lo: int,
+    hi: int,
+) -> Optional[AnalysisResult]:
+    """The curve-fitting heuristic of Fig. 8 (OBC/CF)."""
+    if hi < lo:
+        return None
+    options = evaluator.options
+    system = evaluator.system
+
+    exact: Dict[int, AnalysisResult] = {}
+    interpolators: Dict[str, NewtonInterpolator] = {}
+
+    def analyse_point(n: int) -> AnalysisResult:
+        result = evaluator.analyse(template.with_dyn_length(n))
+        exact[n] = result
+        if result.feasible:
+            for name, r in result.wcrt.items():
+                interpolators.setdefault(name, NewtonInterpolator()).add_point(n, r)
+        return result
+
+    # Line 1-5: seed points, analysed exactly.
+    for n in spread_points(lo, hi, options.initial_cf_points):
+        result = analyse_point(n)
+        if result.schedulable and options.stop_when_schedulable:
+            return result
+
+    candidates = sweep_lengths(lo, hi, options.cf_candidates)
+    best_exact_cost = _best_exact_cost(exact)
+    stale_rounds = 0
+
+    while (
+        stale_rounds < options.cf_max_rounds
+        and len(exact) < options.cf_max_points
+    ):
+        scored = _score_candidates(system, evaluator, template, candidates, exact,
+                                   interpolators)
+        if not scored:
+            break
+        cost_min, n_best = scored[0]
+
+        if n_best in exact:
+            if cost_min <= 0:
+                return exact[n_best]  # line 12: exact and schedulable
+            # Line 18-19: best point already exact but unschedulable --
+            # refine with the best *interpolated* candidate instead.
+            n_next = next((n for _, n in scored if n not in exact), None)
+            if n_next is None:
+                break
+            analyse_point(n_next)
+        else:
+            # Lines 13-17: analyse the promising interpolated point.
+            result = analyse_point(n_best)
+            if result.schedulable:
+                return result
+        new_best = _best_exact_cost(exact)
+        if new_best < best_exact_cost:
+            best_exact_cost = new_best
+            stale_rounds = 0
+        else:
+            stale_rounds += 1
+
+    feasible = [r for r in exact.values() if r.feasible]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda r: r.cost_value)
+
+
+def _best_exact_cost(exact: Dict[int, AnalysisResult]) -> float:
+    return min((r.cost_value for r in exact.values()), default=math.inf)
+
+
+def _score_candidates(
+    system: System,
+    evaluator: Evaluator,
+    template: FlexRayConfig,
+    candidates: List[int],
+    exact: Dict[int, AnalysisResult],
+    interpolators: Dict[str, NewtonInterpolator],
+) -> List[Tuple[float, int]]:
+    """Cost per candidate length: exact when analysed, else interpolated.
+
+    Returns (cost, length) pairs sorted best-first.  Candidates are
+    skipped while fewer than two exact feasible points exist (nothing to
+    interpolate from).
+    """
+    app = system.application
+    scored: List[Tuple[float, int]] = []
+    can_interpolate = interpolators and min(
+        len(ip) for ip in interpolators.values()
+    ) >= 2
+    for n in candidates:
+        if n in exact:
+            scored.append((exact[n].cost_value, n))
+            continue
+        if not can_interpolate:
+            continue
+        # Clamp: a high-degree Newton polynomial can oscillate wildly
+        # between nodes; negative or astronomic response times are noise.
+        wcrt = {
+            name: min(10**12, max(0, round(ip(n))))
+            for name, ip in interpolators.items()
+        }
+        try:
+            cost = cost_function(app, wcrt).value
+        except Exception:  # missing activity: some exact run was infeasible
+            continue
+        evaluator.note_estimate(template.with_dyn_length(n), cost)
+        scored.append((cost, n))
+    scored.sort(key=lambda pair: (pair[0], pair[1]))
+    return scored

@@ -1,0 +1,168 @@
+"""Genetic-algorithm baseline (related work [5] of the paper).
+
+Ding et al., "A GA-Based Scheduling Method for FlexRay Systems"
+(EMSOFT 2005) -- the approach the paper positions itself against (it
+only handles the static segment).  This module provides a GA over the
+*full* design space of Section 6 so it can serve as a second
+population-based reference point next to SA: tournament selection,
+structure crossover, and mutation through the SA neighbourhood moves.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.holistic import AnalysisResult
+from repro.core.config import FlexRayConfig
+from repro.core.result import OptimisationResult
+from repro.core.sa import _initial_config, _neighbour
+from repro.core.search import (
+    BusOptimisationOptions,
+    Evaluator,
+    better,
+    dyn_segment_bounds,
+)
+from repro.errors import ConfigurationError
+from repro.model.system import System
+
+
+@dataclass(frozen=True)
+class GAOptions:
+    """Population and budget of the genetic algorithm."""
+
+    population: int = 12
+    generations: int = 12
+    tournament: int = 3
+    crossover_rate: float = 0.7
+    mutation_rate: float = 0.6
+    elite: int = 2
+    seed: int = 2005
+    max_seconds: Optional[float] = None
+
+
+def optimise_ga(
+    system: System,
+    options: BusOptimisationOptions = None,
+    ga_options: GAOptions = None,
+) -> OptimisationResult:
+    """Evolve bus configurations; returns the best analysed individual."""
+    options = options or BusOptimisationOptions()
+    ga_options = ga_options or GAOptions()
+    start = time.perf_counter()
+    rng = random.Random(ga_options.seed)
+    evaluator = Evaluator(system, options)
+
+    population = _initial_population(system, options, rng, ga_options.population)
+    scored = [(evaluator.analyse(cfg), cfg) for cfg in population]
+    best: Optional[AnalysisResult] = None
+    for result, _ in scored:
+        if result.feasible and better(result, best):
+            best = result
+
+    for _ in range(ga_options.generations):
+        if (
+            ga_options.max_seconds is not None
+            and time.perf_counter() - start > ga_options.max_seconds
+        ):
+            break
+        next_gen: List[FlexRayConfig] = [
+            cfg for _, cfg in sorted(scored, key=lambda rc: rc[0].cost_value)[
+                : ga_options.elite
+            ]
+        ]
+        while len(next_gen) < ga_options.population:
+            parent_a = _tournament(scored, rng, ga_options.tournament)
+            parent_b = _tournament(scored, rng, ga_options.tournament)
+            child = parent_a
+            if rng.random() < ga_options.crossover_rate:
+                child = _crossover(system, parent_a, parent_b, options, rng)
+            if child is None:
+                child = parent_a
+            if rng.random() < ga_options.mutation_rate:
+                mutated = _neighbour(system, child, options, rng)
+                if mutated is not None:
+                    child = mutated
+            next_gen.append(child)
+        scored = [(evaluator.analyse(cfg), cfg) for cfg in next_gen]
+        for result, _ in scored:
+            if result.feasible and better(result, best):
+                best = result
+
+    return OptimisationResult(
+        algorithm="GA",
+        best=best,
+        evaluations=evaluator.evaluations,
+        elapsed_seconds=time.perf_counter() - start,
+        trace=tuple(evaluator.trace),
+    )
+
+
+def _initial_population(
+    system: System,
+    options: BusOptimisationOptions,
+    rng: random.Random,
+    size: int,
+) -> List[FlexRayConfig]:
+    """BBC-shaped individuals with randomised DYN segment lengths."""
+    base = _initial_config(system, options)
+    population = [base]
+    lo, hi = dyn_segment_bounds(system, base.st_bus, options)
+    while len(population) < size:
+        cfg = base
+        if hi >= lo and hi > 0:
+            cfg = base.with_dyn_length(rng.randint(lo, hi))
+        mutated = _neighbour(system, cfg, options, rng)
+        population.append(mutated if mutated is not None else cfg)
+    return population
+
+
+def _tournament(scored, rng: random.Random, k: int) -> FlexRayConfig:
+    """Best of *k* random individuals."""
+    picks = [scored[rng.randrange(len(scored))] for _ in range(max(1, k))]
+    return min(picks, key=lambda rc: rc[0].cost_value)[1]
+
+
+def _crossover(
+    system: System,
+    a: FlexRayConfig,
+    b: FlexRayConfig,
+    options: BusOptimisationOptions,
+    rng: random.Random,
+) -> Optional[FlexRayConfig]:
+    """Structure crossover: static segment from one parent, dynamic
+    segment length from the other, FrameIDs from a random parent choice
+    per message (falling back to parent *a*'s map when the mix would be
+    protocol-illegal)."""
+    static_parent, dyn_parent = (a, b) if rng.random() < 0.5 else (b, a)
+    frame_ids = {}
+    for name in a.frame_ids:
+        source = a if rng.random() < 0.5 else b
+        frame_ids[name] = source.frame_ids.get(name, a.frame_ids[name])
+    try:
+        child = FlexRayConfig(
+            static_slots=static_parent.static_slots,
+            gd_static_slot=static_parent.gd_static_slot,
+            n_minislots=dyn_parent.n_minislots,
+            frame_ids=frame_ids,
+            gd_minislot=a.gd_minislot,
+            bits_per_mt=a.bits_per_mt,
+            frame_overhead_bytes=a.frame_overhead_bytes,
+        )
+        child.validate_for(system)
+    except ConfigurationError:
+        try:
+            child = FlexRayConfig(
+                static_slots=static_parent.static_slots,
+                gd_static_slot=static_parent.gd_static_slot,
+                n_minislots=dyn_parent.n_minislots,
+                frame_ids=dict(a.frame_ids),
+                gd_minislot=a.gd_minislot,
+                bits_per_mt=a.bits_per_mt,
+                frame_overhead_bytes=a.frame_overhead_bytes,
+            )
+        except ConfigurationError:
+            return None
+    return child

@@ -1,0 +1,132 @@
+"""Optimised Bus Configuration heuristic -- OBC (Fig. 6 of the paper).
+
+Explores static-segment alternatives (slot count from the per-sender
+minimum upward, slot size from the largest-frame minimum upward in
+2-byte steps, quota-based round-robin slot assignment) and, for each,
+searches the DYN segment length with either exhaustive exploration
+(OBC/EE) or the curve-fitting heuristic (OBC/CF).  The search ends as
+soon as a schedulable configuration is found (line 7).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.analysis.holistic import AnalysisResult
+from repro.core.config import FlexRayConfig
+from repro.core.dynlen import curvefit_dyn_length, exhaustive_dyn_length
+from repro.core.frameid import assign_frame_ids
+from repro.core.result import OptimisationResult
+from repro.core.search import (
+    BusOptimisationOptions,
+    Evaluator,
+    better,
+    dyn_segment_bounds,
+    min_static_slot,
+    quota_slot_assignment,
+    sweep_lengths,
+)
+from repro.errors import ConfigurationError, OptimisationError
+from repro.flexray import params
+from repro.model.system import System
+
+#: Supported DYN-length search strategies.
+METHODS = ("curvefit", "exhaustive")
+
+
+def optimise_obc(
+    system: System,
+    options: BusOptimisationOptions = None,
+    method: str = "curvefit",
+) -> OptimisationResult:
+    """Run the OBC heuristic; ``method`` selects OBC/CF or OBC/EE."""
+    if method not in METHODS:
+        raise OptimisationError(
+            f"unknown DYN search method {method!r}; choose from {METHODS}"
+        )
+    options = options or BusOptimisationOptions()
+    start = time.perf_counter()
+    evaluator = Evaluator(system, options)
+
+    frame_ids = assign_frame_ids(
+        system, options.bits_per_mt, options.frame_overhead_bytes
+    )
+    st_nodes = system.st_sender_nodes()
+    n_min = len(st_nodes)
+    n_max = min(n_min + options.max_extra_static_slots, params.MAX_STATIC_SLOTS)
+    slot_min = min_static_slot(system, options)
+    slot_max = min(
+        slot_min + params.STATIC_SLOT_STEP_MT * options.max_slot_size_steps,
+        params.MAX_STATIC_SLOT_MT,
+    )
+
+    best: Optional[AnalysisResult] = None
+    for n_slots in range(max(n_min, 0), n_max + 1):
+        slots = quota_slot_assignment(system, n_slots) if n_slots else ()
+        slot_sizes = (
+            range(slot_min, slot_max + 1, params.STATIC_SLOT_STEP_MT)
+            if n_slots
+            else (0,)
+        )
+        for slot_size in slot_sizes:
+            st_bus = n_slots * slot_size
+            lo, hi = dyn_segment_bounds(system, st_bus, options)
+            template = _template(
+                slots, slot_size if n_slots else 0, max(lo, 1), frame_ids, options
+            )
+            if template is None:
+                continue
+            if lo == 0 and hi == 0:
+                # No DYN messages; keep a minimal dynamic segment only when
+                # the cycle would otherwise be empty.
+                try:
+                    no_dyn = template.with_dyn_length(0)
+                except ConfigurationError:
+                    no_dyn = template
+                result = evaluator.analyse(no_dyn)
+            elif hi < lo:
+                continue  # the static segment leaves no room for DYN frames
+            elif method == "curvefit":
+                result = curvefit_dyn_length(evaluator, template, lo, hi)
+            else:
+                result = exhaustive_dyn_length(evaluator, template, lo, hi)
+            if result is not None and not result.feasible:
+                result = None
+            if better(result, best):
+                best = result
+            if (
+                options.stop_when_schedulable
+                and best is not None
+                and best.schedulable
+            ):
+                return _finish(best, evaluator, method, start)
+        if not st_nodes:
+            break  # no static structure to vary
+    return _finish(best, evaluator, method, start)
+
+
+def _template(slots, slot_size, n_minislots, frame_ids, options):
+    try:
+        return FlexRayConfig(
+            static_slots=slots,
+            gd_static_slot=slot_size,
+            n_minislots=n_minislots,
+            frame_ids=frame_ids,
+            gd_minislot=options.gd_minislot,
+            bits_per_mt=options.bits_per_mt,
+            frame_overhead_bytes=options.frame_overhead_bytes,
+        )
+    except ConfigurationError:
+        return None  # e.g. the static segment alone exceeds 16 ms
+
+
+def _finish(best, evaluator, method, start) -> OptimisationResult:
+    name = "OBC/CF" if method == "curvefit" else "OBC/EE"
+    return OptimisationResult(
+        algorithm=name,
+        best=best,
+        evaluations=evaluator.evaluations,
+        elapsed_seconds=time.perf_counter() - start,
+        trace=tuple(evaluator.trace),
+    )

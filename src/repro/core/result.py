@@ -1,0 +1,65 @@
+"""Result records shared by all bus-access optimisers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.analysis.holistic import AnalysisResult
+from repro.core.config import FlexRayConfig
+
+
+@dataclass(frozen=True)
+class SearchPoint:
+    """One evaluated configuration in an optimiser's search trace."""
+
+    n_static_slots: int
+    gd_static_slot: int
+    n_minislots: int
+    cost: float
+    schedulable: bool
+    exact: bool = True  # False for curve-fitting interpolated estimates
+
+
+@dataclass(frozen=True)
+class OptimisationResult:
+    """Outcome of one optimiser run.
+
+    ``best`` is the best *exactly analysed* configuration found (None when
+    the optimiser never reached a feasible configuration); ``evaluations``
+    counts the full scheduling+analysis runs -- the unit the paper uses to
+    explain why OBC/CF beats OBC/EE by orders of magnitude.
+    """
+
+    algorithm: str
+    best: Optional[AnalysisResult]
+    evaluations: int
+    elapsed_seconds: float
+    trace: Tuple[SearchPoint, ...] = field(default=())
+
+    @property
+    def schedulable(self) -> bool:
+        """True when the best configuration meets all deadlines."""
+        return self.best is not None and self.best.schedulable
+
+    @property
+    def cost(self) -> float:
+        """Cost of the best configuration (+inf when none found)."""
+        if self.best is None:
+            return math.inf
+        return self.best.cost_value
+
+    @property
+    def config(self) -> Optional[FlexRayConfig]:
+        """Best configuration, if any."""
+        return None if self.best is None else self.best.config
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        status = "schedulable" if self.schedulable else "NOT schedulable"
+        cfg = "none" if self.config is None else self.config.describe()
+        return (
+            f"{self.algorithm}: {status}, cost={self.cost:.1f}, "
+            f"{self.evaluations} analyses in {self.elapsed_seconds:.2f}s, best={cfg}"
+        )

@@ -1,0 +1,245 @@
+"""Simulated annealing baseline (Section 7).
+
+The paper implements an SA explorer "with moves concerning not only the
+number and size of static slots and size of the DYN segment, but also
+the assignment of slots to nodes and FrameIDs to messages" and runs it
+for hours to obtain near-optimal reference costs.  This module provides
+that baseline with an iteration/time budget so laptop runs finish; the
+budget is a parameter for paper-scale experiments.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.holistic import AnalysisResult
+from repro.core.bbc import basic_configuration
+from repro.core.config import FlexRayConfig
+from repro.core.result import OptimisationResult
+from repro.core.search import (
+    BusOptimisationOptions,
+    Evaluator,
+    better,
+    dyn_segment_bounds,
+    min_static_slot,
+)
+from repro.errors import ConfigurationError
+from repro.flexray import params
+from repro.model.system import System
+
+
+@dataclass(frozen=True)
+class SAOptions:
+    """Annealing schedule and budget."""
+
+    iterations: int = 400
+    seed: int = 2007
+    initial_temperature: Optional[float] = None  # auto: |initial cost| or 100
+    cooling: float = 0.97
+    moves_per_temperature: int = 8
+    max_seconds: Optional[float] = None
+
+
+def optimise_sa(
+    system: System,
+    options: BusOptimisationOptions = None,
+    sa_options: SAOptions = None,
+) -> OptimisationResult:
+    """Anneal over the full design space of Section 6."""
+    options = options or BusOptimisationOptions()
+    sa_options = sa_options or SAOptions()
+    start = time.perf_counter()
+    rng = random.Random(sa_options.seed)
+    evaluator = Evaluator(system, options)
+
+    current_cfg = _initial_config(system, options)
+    current = evaluator.analyse(current_cfg)
+    best: Optional[AnalysisResult] = current if current.feasible else None
+
+    temperature = sa_options.initial_temperature
+    if temperature is None:
+        scale = abs(current.cost_value) if current.feasible else 0.0
+        temperature = max(scale, 100.0)
+
+    moves_left = sa_options.moves_per_temperature
+    for _ in range(sa_options.iterations):
+        if (
+            sa_options.max_seconds is not None
+            and time.perf_counter() - start > sa_options.max_seconds
+        ):
+            break
+        neighbour_cfg = _neighbour(system, current_cfg, options, rng)
+        if neighbour_cfg is None:
+            continue
+        neighbour = evaluator.analyse(neighbour_cfg)
+        if _accept(current, neighbour, temperature, rng):
+            current_cfg, current = neighbour_cfg, neighbour
+        if neighbour.feasible and better(neighbour, best):
+            best = neighbour
+        moves_left -= 1
+        if moves_left <= 0:
+            temperature = max(temperature * sa_options.cooling, 1e-6)
+            moves_left = sa_options.moves_per_temperature
+
+    return OptimisationResult(
+        algorithm="SA",
+        best=best,
+        evaluations=evaluator.evaluations,
+        elapsed_seconds=time.perf_counter() - start,
+        trace=tuple(evaluator.trace),
+    )
+
+
+def _initial_config(
+    system: System, options: BusOptimisationOptions
+) -> FlexRayConfig:
+    """Start from the BBC structure with a mid-range DYN segment."""
+    st_nodes = system.st_sender_nodes()
+    slot = min_static_slot(system, options) if st_nodes else 0
+    lo, hi = dyn_segment_bounds(system, len(st_nodes) * slot, options)
+    if hi >= lo and hi > 0:
+        return basic_configuration(system, (lo + hi) // 2, options)
+    return basic_configuration(system, 0, options)
+
+
+def _accept(
+    current: AnalysisResult,
+    neighbour: AnalysisResult,
+    temperature: float,
+    rng: random.Random,
+) -> bool:
+    cur = current.cost_value
+    new = neighbour.cost_value
+    if math.isinf(new):
+        return False
+    if math.isinf(cur) or new <= cur:
+        return True
+    return rng.random() < math.exp(-(new - cur) / temperature)
+
+
+def _neighbour(
+    system: System,
+    cfg: FlexRayConfig,
+    options: BusOptimisationOptions,
+    rng: random.Random,
+) -> Optional[FlexRayConfig]:
+    """One random legal move; None when the chosen move is inapplicable."""
+    moves = [
+        _move_dyn_length,
+        _move_dyn_scale,
+        _move_slot_size,
+        _move_add_slot,
+        _move_remove_slot,
+        _move_reassign_slot,
+        _move_swap_frame_ids,
+        _move_relocate_frame_id,
+    ]
+    move = rng.choice(moves)
+    try:
+        return move(system, cfg, options, rng)
+    except ConfigurationError:
+        return None
+
+
+def _move_dyn_length(system, cfg, options, rng) -> Optional[FlexRayConfig]:
+    lo, hi = dyn_segment_bounds(system, cfg.st_bus, options)
+    if hi < lo:
+        return None
+    span = max(1, (hi - lo) // 10)
+    delta = rng.randint(1, span) * rng.choice((-1, 1))
+    return cfg.with_dyn_length(min(hi, max(lo, cfg.n_minislots + delta)))
+
+
+def _move_dyn_scale(system, cfg, options, rng) -> Optional[FlexRayConfig]:
+    """Halve or double the DYN segment -- lets the annealer traverse the
+    orders-of-magnitude range of legal lengths quickly."""
+    lo, hi = dyn_segment_bounds(system, cfg.st_bus, options)
+    if hi < lo:
+        return None
+    factor = rng.choice((0.5, 2.0))
+    n = int(cfg.n_minislots * factor)
+    return cfg.with_dyn_length(min(hi, max(lo, n)))
+
+
+def _move_slot_size(system, cfg, options, rng) -> Optional[FlexRayConfig]:
+    if not cfg.static_slots:
+        return None
+    step = params.STATIC_SLOT_STEP_MT * rng.randint(1, 3) * rng.choice((-1, 1))
+    size = cfg.gd_static_slot + step
+    size = max(min_static_slot(system, options), size)
+    size = min(size, params.MAX_STATIC_SLOT_MT)
+    return cfg.with_static(cfg.static_slots, size)
+
+
+def _move_add_slot(system, cfg, options, rng) -> Optional[FlexRayConfig]:
+    st_nodes = system.st_sender_nodes()
+    if not st_nodes or len(cfg.static_slots) >= params.MAX_STATIC_SLOTS:
+        return None
+    node = rng.choice(st_nodes)
+    position = rng.randint(0, len(cfg.static_slots))
+    slots = (
+        cfg.static_slots[:position] + (node,) + cfg.static_slots[position:]
+    )
+    return cfg.with_static(slots, cfg.gd_static_slot)
+
+
+def _move_remove_slot(system, cfg, options, rng) -> Optional[FlexRayConfig]:
+    st_nodes = system.st_sender_nodes()
+    if len(cfg.static_slots) <= len(st_nodes):
+        return None
+    removable = [
+        i
+        for i, owner in enumerate(cfg.static_slots)
+        if cfg.static_slots.count(owner) > 1
+    ]
+    if not removable:
+        return None
+    i = rng.choice(removable)
+    slots = cfg.static_slots[:i] + cfg.static_slots[i + 1 :]
+    return cfg.with_static(slots, cfg.gd_static_slot)
+
+
+def _move_reassign_slot(system, cfg, options, rng) -> Optional[FlexRayConfig]:
+    st_nodes = system.st_sender_nodes()
+    if not cfg.static_slots or len(st_nodes) < 2:
+        return None
+    candidates = [
+        i
+        for i, owner in enumerate(cfg.static_slots)
+        if cfg.static_slots.count(owner) > 1
+    ]
+    if not candidates:
+        return None
+    i = rng.choice(candidates)
+    new_owner = rng.choice([n for n in st_nodes if n != cfg.static_slots[i]])
+    slots = cfg.static_slots[:i] + (new_owner,) + cfg.static_slots[i + 1 :]
+    return cfg.with_static(slots, cfg.gd_static_slot)
+
+
+def _move_swap_frame_ids(system, cfg, options, rng) -> Optional[FlexRayConfig]:
+    names = sorted(cfg.frame_ids)
+    if len(names) < 2:
+        return None
+    a, b = rng.sample(names, 2)
+    frame_ids = dict(cfg.frame_ids)
+    frame_ids[a], frame_ids[b] = frame_ids[b], frame_ids[a]
+    return cfg.with_frame_ids(frame_ids)
+
+
+def _move_relocate_frame_id(system, cfg, options, rng) -> Optional[FlexRayConfig]:
+    names = sorted(cfg.frame_ids)
+    if not names or cfg.n_minislots < 1:
+        return None
+    name = rng.choice(names)
+    used = set(cfg.frame_ids.values())
+    free = [f for f in range(1, min(cfg.n_minislots, len(names) * 2) + 1)
+            if f not in used]
+    if not free:
+        return None
+    frame_ids = dict(cfg.frame_ids)
+    frame_ids[name] = rng.choice(free)
+    return cfg.with_frame_ids(frame_ids)

@@ -1,0 +1,221 @@
+"""Shared machinery of the bus-access optimisers.
+
+Holds the option record, the DYN segment bounds of Section 6.1, the
+quota-based round-robin static slot assignment of Section 6.2, and the
+evaluation bookkeeping (analysis counting + search traces) that the
+experiments of Section 7 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.holistic import AnalysisOptions, AnalysisResult, analyse_system
+from repro.core.config import FlexRayConfig
+from repro.core.result import SearchPoint
+from repro.errors import OptimisationError
+from repro.flexray import params
+from repro.model.system import System
+from repro.model.times import ceil_div
+
+
+@dataclass(frozen=True)
+class BusOptimisationOptions:
+    """Knobs shared by BBC, OBC/EE, OBC/CF and SA.
+
+    The paper explores the full protocol ranges (up to 1023 static slots,
+    661 MT slots, 7994 minislots) but stops at the first schedulable
+    configuration; the ``max_*`` fields bound the exploration so runs
+    stay laptop-sized, and can be raised for paper-scale experiments.
+    """
+
+    analysis: AnalysisOptions = field(default_factory=AnalysisOptions)
+    gd_minislot: int = params.DEFAULT_GD_MINISLOT
+    bits_per_mt: int = params.DEFAULT_BITS_PER_MT
+    frame_overhead_bytes: int = params.DEFAULT_FRAME_OVERHEAD_BYTES
+    #: BBC evaluates at most this many DYN lengths in its single sweep.
+    max_dyn_points: int = 48
+    #: OBC/EE sweep resolution: the paper analyses every gdMinislot step;
+    #: this cap keeps runs laptop-sized while staying dense enough to find
+    #: narrow schedulable windows.  Raise towards MAX_MINISLOTS for
+    #: paper-exact exhaustive exploration.
+    ee_max_dyn_points: int = 1024
+    #: OBC/CF: exactly analysed seed points (the paper used five).
+    initial_cf_points: int = 5
+    #: OBC/CF: interpolation grid resolution (candidate lengths per round).
+    cf_candidates: int = 256
+    #: OBC/CF: Nmax -- rounds without improvement before giving up.
+    cf_max_rounds: int = 10
+    #: OBC/CF: hard cap on the exactly-analysed point set.  Newton
+    #: interpolation over more than ~2 dozen nodes is numerically useless
+    #: and each round costs one full analysis, so the refinement stops
+    #: here even while the cost still creeps down.
+    cf_max_points: int = 24
+    #: OBC: extra static slots explored beyond the per-sender minimum.
+    max_extra_static_slots: int = 3
+    #: OBC: slot-size increments of 2 MT explored beyond the minimum.
+    max_slot_size_steps: int = 6
+    #: Stop as soon as a schedulable configuration is found (Fig. 6 line 7).
+    stop_when_schedulable: bool = True
+
+
+class Evaluator:
+    """Counts exact analyses and accumulates the search trace."""
+
+    def __init__(self, system: System, options: BusOptimisationOptions):
+        self.system = system
+        self.options = options
+        self.evaluations = 0
+        self.trace: List[SearchPoint] = []
+        self._cache: Dict[tuple, AnalysisResult] = {}
+
+    def analyse(self, config: FlexRayConfig) -> AnalysisResult:
+        """Full scheduling + holistic analysis of one configuration."""
+        key = config.cache_key()
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = analyse_system(self.system, config, self.options.analysis)
+        self.evaluations += 1
+        self._cache[key] = result
+        self.trace.append(
+            SearchPoint(
+                n_static_slots=config.n_static_slots,
+                gd_static_slot=config.gd_static_slot,
+                n_minislots=config.n_minislots,
+                cost=result.cost_value,
+                schedulable=result.schedulable,
+                exact=True,
+            )
+        )
+        return result
+
+    def note_estimate(self, config: FlexRayConfig, cost: float) -> None:
+        """Record an interpolated (non-exact) point in the trace."""
+        self.trace.append(
+            SearchPoint(
+                n_static_slots=config.n_static_slots,
+                gd_static_slot=config.gd_static_slot,
+                n_minislots=config.n_minislots,
+                cost=cost,
+                schedulable=cost <= 0,
+                exact=False,
+            )
+        )
+
+
+def better(a: Optional[AnalysisResult], b: Optional[AnalysisResult]) -> bool:
+    """True when *a* is a strictly better outcome than *b*."""
+    if a is None:
+        return False
+    if b is None:
+        return True
+    return a.cost_value < b.cost_value
+
+
+def message_ct(size: int, options: BusOptimisationOptions) -> int:
+    """Transmission time of a payload under the optimiser's bus settings."""
+    return ceil_div((size + options.frame_overhead_bytes) * 8, options.bits_per_mt)
+
+
+def min_static_slot(system: System, options: BusOptimisationOptions) -> int:
+    """Smallest legal static slot: fits the largest ST frame (Fig. 5 line 3)."""
+    largest = max(
+        (message_ct(m.size, options) for m in system.application.st_messages()),
+        default=1,
+    )
+    return min(largest, params.MAX_STATIC_SLOT_MT)
+
+
+def dyn_segment_bounds(
+    system: System, st_bus: int, options: BusOptimisationOptions
+) -> Tuple[int, int]:
+    """[DYNbus_min, DYNbus_max] in minislots (Fig. 5 line 5).
+
+    The segment must fit the largest DYN frame, must offer one slot per
+    DYN message (unique FrameIDs), and the whole cycle must respect the
+    protocol's 16 ms limit.  Returns (0, 0) when the application has no
+    DYN messages and (1, 0) -- an empty range -- when no legal length
+    exists.
+    """
+    dyn_messages = list(system.application.dyn_messages())
+    if not dyn_messages:
+        return (0, 0)
+    largest = max(
+        ceil_div(message_ct(m.size, options), options.gd_minislot)
+        for m in dyn_messages
+    )
+    # With unique FrameIDs the highest slot is len(dyn_messages); for the
+    # largest frame to be transmittable even from that slot, the segment
+    # needs the slot-counter offset *plus* the frame length (pLatestTx).
+    lo = largest + len(dyn_messages) - 1
+    hi = min(
+        params.MAX_MINISLOTS,
+        (params.MAX_CYCLE_MT - st_bus) // options.gd_minislot,
+    )
+    return (lo, hi)
+
+
+def sweep_lengths(lo: int, hi: int, max_points: int) -> List[int]:
+    """At most *max_points* DYN lengths covering [lo, hi], ends included."""
+    if hi < lo:
+        return []
+    if max_points < 1:
+        raise OptimisationError("max_points must be >= 1")
+    span = hi - lo
+    if span + 1 <= max_points:
+        return list(range(lo, hi + 1))
+    if max_points == 1:
+        return [lo]
+    out = sorted({lo + round(i * span / (max_points - 1)) for i in range(max_points)})
+    return out
+
+
+def quota_slot_assignment(
+    system: System, n_slots: int, options: BusOptimisationOptions = None
+) -> Tuple[str, ...]:
+    """Static slot owners for *n_slots* slots, round-robin with quotas.
+
+    Every ST-sending node gets at least one slot; surplus slots are
+    distributed proportionally to the number of ST messages each node
+    transmits (Section 6.2: "a node that sends more ST messages will be
+    allocated more ST slots"), then interleaved round-robin.
+    """
+    nodes = system.st_sender_nodes()
+    if not nodes:
+        return ()
+    if n_slots < len(nodes):
+        raise OptimisationError(
+            f"{n_slots} static slots cannot cover {len(nodes)} ST-sending nodes"
+        )
+    counts = {
+        node: sum(1 for m in system.messages_sent_by(node) if m.is_static)
+        for node in nodes
+    }
+    total = sum(counts.values())
+    quotas = {node: 1 for node in nodes}
+    surplus = n_slots - len(nodes)
+    if surplus and total:
+        shares = [
+            (counts[node] * surplus / total, node) for node in nodes
+        ]
+        given = 0
+        for share, node in shares:
+            extra = int(share)
+            quotas[node] += extra
+            given += extra
+        # distribute the rounding remainder by largest fractional share
+        remainder = sorted(
+            ((share - int(share), node) for share, node in shares), reverse=True
+        )
+        for _, node in remainder[: surplus - given]:
+            quotas[node] += 1
+    order: List[str] = []
+    remaining = dict(quotas)
+    while len(order) < n_slots:
+        for node in nodes:
+            if remaining[node] > 0:
+                order.append(node)
+                remaining[node] -= 1
+    return tuple(order)

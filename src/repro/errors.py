@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library problems without
+accidentally swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """An application model is malformed (bad reference, cycle, duplicate name...)."""
+
+
+class ValidationError(ModelError):
+    """A model or configuration failed semantic validation."""
+
+
+class ConfigurationError(ReproError):
+    """A FlexRay bus configuration violates the protocol specification."""
+
+
+class AnalysisError(ReproError):
+    """The timing analysis could not be carried out on the given input."""
+
+
+class SchedulingError(AnalysisError):
+    """The static scheduler could not place a task or message."""
+
+
+class OptimisationError(ReproError):
+    """A bus-access optimisation algorithm received invalid input."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected an inconsistent state."""
+
+
+class SerializationError(ReproError):
+    """A system or result could not be encoded/decoded."""

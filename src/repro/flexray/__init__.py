@@ -1,0 +1,27 @@
+"""FlexRay protocol substrate: constants, cycle geometry, simulator."""
+
+from repro.flexray import params
+from repro.flexray.timeline import (
+    cycle_of,
+    cycle_start,
+    dyn_segment_end,
+    dyn_segment_start,
+    earliest_dyn_slot_start,
+    next_cycle_start,
+    st_slot_end,
+    st_slot_instances,
+    st_slot_start,
+)
+
+__all__ = [
+    "cycle_of",
+    "cycle_start",
+    "dyn_segment_end",
+    "dyn_segment_start",
+    "earliest_dyn_slot_start",
+    "next_cycle_start",
+    "params",
+    "st_slot_end",
+    "st_slot_instances",
+    "st_slot_start",
+]

@@ -1,0 +1,82 @@
+"""Communication-controller send buffers (the CHI of Section 2).
+
+Each node's controller-host interface holds, per dynamic slot the node
+owns, a priority-ordered queue of frames the CPU has produced.  At the
+start of a dynamic slot the controller transmits the highest-priority
+frame queued *before* the slot began -- provided the minislot counter
+has not passed the node's ``pLatestTx``.
+
+The simulator delegates all CHI behaviour to this class; it is also
+usable standalone for protocol-level unit tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import FlexRayConfig
+from repro.model.message import Message
+from repro.model.system import System
+
+
+class ChiQueues:
+    """Dynamic-segment send buffers of every node on the bus."""
+
+    def __init__(self, config: FlexRayConfig, system: System):
+        self.config = config
+        self.system = system
+        self._queues: Dict[Tuple[str, int], List[tuple]] = {}
+        self._p_latest: Dict[str, Optional[int]] = {
+            n: config.p_latest_tx(n, system) for n in system.nodes
+        }
+        self._pending = 0
+        self._max_fid = max(config.frame_ids.values(), default=0)
+
+    @property
+    def pending(self) -> int:
+        """Frames currently queued across all nodes."""
+        return self._pending
+
+    @property
+    def max_frame_id(self) -> int:
+        """Largest FrameID any message uses (0 when there are none)."""
+        return self._max_fid
+
+    def p_latest_tx(self, node: str) -> Optional[int]:
+        """``pLatestTx`` of *node* (None when it sends no DYN frames)."""
+        return self._p_latest[node]
+
+    def queue(self, message: Message, instance: int, time: int) -> str:
+        """CPU writes a frame into the CHI; returns the sending node."""
+        node = self.system.sender_node(message)
+        fid = self.config.frame_id_of(message.name)
+        entry = (message.priority, time, message.name, instance, message)
+        heapq.heappush(self._queues.setdefault((node, fid), []), entry)
+        self._pending += 1
+        return node
+
+    def pop_for_slot(
+        self, fid: int, slot_start: int, minislot: int
+    ) -> Optional[Tuple[Message, int]]:
+        """Frame transmitted in dynamic slot *fid*, or None (empty slot).
+
+        ``slot_start`` filters out frames queued after the controller
+        read its buffers; ``minislot`` is the current minislot counter,
+        checked against the owning node's pLatestTx.
+        """
+        for (node, queue_fid), queue in self._queues.items():
+            if queue_fid != fid or not queue:
+                continue
+            latest = self._p_latest[node]
+            if latest is None or minislot > latest:
+                return None  # the node may not start a transmission now
+            candidates = [q for q in queue if q[1] <= slot_start]
+            if not candidates:
+                return None
+            best = min(candidates)
+            queue.remove(best)
+            heapq.heapify(queue)
+            self._pending -= 1
+            return (best[4], best[3])
+        return None

@@ -1,0 +1,48 @@
+"""Simulation trace records.
+
+The simulator emits one :class:`TraceEvent` per observable protocol /
+kernel action; tests and examples reconstruct Gantt charts (like the
+paper's Figs. 1, 3, 4) from these records.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class EventKind(enum.Enum):
+    """Type of an observable simulation event."""
+
+    RELEASE = "release"  # a graph instance is activated
+    TASK_START = "task_start"
+    TASK_PREEMPT = "task_preempt"
+    TASK_RESUME = "task_resume"
+    TASK_FINISH = "task_finish"
+    ST_FRAME = "st_frame"  # a static frame transmission begins
+    MSG_QUEUED = "msg_queued"  # a DYN message enters the CHI
+    DYN_TX_START = "dyn_tx_start"
+    MSG_ARRIVAL = "msg_arrival"  # message fully received
+    CYCLE_START = "cycle_start"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped simulation event."""
+
+    time: int
+    kind: EventKind
+    activity: str  # task/message name, or "" for cycle events
+    instance: int = 0
+    node: Optional[str] = None
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f" @{self.node}" if self.node else ""
+        inst = f"#{self.instance}" if self.activity else ""
+        extra = f" ({self.detail})" if self.detail else ""
+        return f"[{self.time:>8}] {self.kind.value:<12} {self.activity}{inst}{where}{extra}"

@@ -1,0 +1,47 @@
+"""FlexRay protocol constants and specification limits.
+
+Values follow the FlexRay 2.x specification as cited by the paper
+(Section 6): at most 1023 static slots per cycle, a static slot of at
+most 661 macroticks, at most 7994 minislots in the dynamic segment, and
+a communication cycle of at most 16 ms.
+"""
+
+from __future__ import annotations
+
+#: Maximum number of static slots in a communication cycle
+#: (``gdNumberOfStaticSlots`` <= 1023).
+MAX_STATIC_SLOTS = 1023
+
+#: Maximum length of one static slot in macroticks (``gdStaticSlot`` <= 661).
+MAX_STATIC_SLOT_MT = 661
+
+#: Maximum number of minislots in the dynamic segment
+#: (``gNumberOfMinislots`` <= 7994).
+MAX_MINISLOTS = 7994
+
+#: Maximum communication cycle length in macroticks (16 ms at 1 MT = 1 us).
+MAX_CYCLE_MT = 16000
+
+#: FlexRay payload granularity: payload grows in 2-byte words, which at
+#: 10 Mbit/s equals 20 * gdBit = 2 macroticks.  The OBC heuristic steps
+#: the static slot length by this amount (paper Fig. 6, line 4).
+STATIC_SLOT_STEP_MT = 2
+
+#: Number of payload bits transferred per macrotick in the *default* unit
+#: system of this library (1 byte per macrotick).  At the physical
+#: 10 Mbit/s rate with 1 MT = 1 us this would be 10; using 8 makes the
+#: paper's schematic examples (message sizes 4, 3, 2, ...) map one-to-one
+#: to transmission times, which eases cross-checking against the figures.
+DEFAULT_BITS_PER_MT = 8
+
+#: Default frame overhead (header + CRC trailer) in bytes.  The paper's
+#: examples fold overhead into the message sizes, hence 0 by default; the
+#: synthetic workload generator may use the realistic value 8 (5-byte
+#: header + 3-byte trailer).
+DEFAULT_FRAME_OVERHEAD_BYTES = 0
+
+#: Realistic FlexRay frame overhead in bytes, for users who want it.
+PHYSICAL_FRAME_OVERHEAD_BYTES = 8
+
+#: Default length of one minislot, in macroticks.
+DEFAULT_GD_MINISLOT = 1

@@ -1,0 +1,451 @@
+"""Discrete-event simulator for FlexRay-based distributed systems.
+
+Simulates the full system of Section 2 under a concrete bus
+configuration: per-node kernels running SCS tasks from the schedule
+table and preemptive fixed-priority FPS tasks in the slack, and the bus
+executing static slots (from the table) and the FTDMA dynamic segment
+(slot/minislot counters, per-node pLatestTx, FrameID arbitration with
+local priority queues -- Section 3).
+
+One *application cycle* (the hyper-period) of releases is simulated;
+the bus keeps cycling afterwards until all released work drains (or the
+safety horizon is hit), so late dynamic traffic is observed rather than
+cut off.  The observed response times are exact for the simulated
+release alignment and therefore lower bounds of the analytic worst
+case -- the property tests assert exactly that relation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.analysis.availability import NodeAvailability, wrap_busy_intervals
+from repro.analysis.schedule_table import ScheduleTable
+from repro.analysis.scheduler import ScheduleOptions, build_schedule
+from repro.core.config import FlexRayConfig
+from repro.errors import ModelError, SimulationError
+from repro.flexray.controller import ChiQueues
+from repro.flexray.events import EventKind, TraceEvent
+from repro.model.jobs import expand_jobs
+from repro.model.message import Message
+from repro.model.system import System
+from repro.model.task import Task
+from repro.model.times import ceil_div
+
+
+@dataclass(frozen=True)
+class SimulationOptions:
+    """Simulator tunables."""
+
+    #: Release offset added to every instance of a graph (by graph name);
+    #: lets tests explore alignments between task releases and bus cycles.
+    graph_offsets: Mapping[str, int] = field(default_factory=dict)
+    #: Extra bus cycles simulated beyond the hyper-period to drain traffic.
+    drain_factor: int = 64
+    #: Collect the full event trace (disable for speed in big sweeps).
+    record_trace: bool = True
+    schedule: ScheduleOptions = field(default_factory=ScheduleOptions)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Observed behaviour of one simulation run."""
+
+    observed_wcrt: Dict[str, int]
+    response_times: Dict[Tuple[str, int], int]  # (activity, instance) -> R
+    unfinished: Tuple[str, ...]
+    deadline_misses: Tuple[str, ...]
+    trace: Tuple[TraceEvent, ...]
+    horizon: int
+
+    @property
+    def all_finished(self) -> bool:
+        """True when every released job completed within the simulation."""
+        return not self.unfinished
+
+
+class _FpsJob:
+    """Run-time state of one released FPS task instance."""
+
+    __slots__ = ("task", "instance", "release", "remaining", "started")
+
+    def __init__(self, task: Task, instance: int, release: int):
+        self.task = task
+        self.instance = instance
+        self.release = release
+        self.remaining = task.wcet
+        self.started = False
+
+    @property
+    def key(self) -> Tuple[int, str, int]:
+        return (self.task.priority, self.task.name, self.instance)
+
+
+class _Node:
+    """Per-node kernel state: FPS ready queue over the SCS availability."""
+
+    def __init__(self, name: str, availability: NodeAvailability):
+        self.name = name
+        self.availability = availability
+        self.ready: List[Tuple[Tuple[int, str, int], _FpsJob]] = []
+        self.last_update = 0
+        self.version = 0
+
+    def push(self, job: _FpsJob) -> None:
+        heapq.heappush(self.ready, (job.key, job))
+        self.version += 1
+
+    def running(self) -> Optional[_FpsJob]:
+        return self.ready[0][1] if self.ready else None
+
+    def advance_to(self, now: int) -> None:
+        """Account execution of the running FPS job up to *now*."""
+        if now <= self.last_update:
+            return
+        job = self.running()
+        if job is not None:
+            done = self.availability.available_in(self.last_update, now)
+            job.remaining -= min(done, job.remaining)
+        self.last_update = now
+
+    def completion_time(self, now: int) -> Optional[int]:
+        """Predicted finish of the running job if nothing else happens."""
+        job = self.running()
+        if job is None:
+            return None
+        return self.availability.advance(now, job.remaining)
+
+
+# Event kinds, processed in this order at equal times: releases first so
+# arriving work is visible, then bus actions, then CPU bookkeeping.
+_EV_RELEASE = 0
+_EV_SCS_FINISH = 1
+_EV_ST_SLOT = 2
+_EV_DYN_SLOT = 3
+_EV_ARRIVAL = 4
+_EV_FPS_CHECK = 5
+_EV_FPS_READY = 6
+
+
+def simulate(
+    system: System,
+    config: FlexRayConfig,
+    options: SimulationOptions = None,
+    table: Optional[ScheduleTable] = None,
+) -> SimulationResult:
+    """Simulate one application cycle of *system* under *config*.
+
+    ``table`` may supply a pre-built static schedule (e.g. the one an
+    :func:`~repro.analysis.holistic.analyse_system` result carries);
+    otherwise the scheduler is invoked.
+    """
+    options = options or SimulationOptions()
+    config.validate_for(system)
+    for graph_name, offset in options.graph_offsets.items():
+        graph = system.application.graph(graph_name)
+        if offset and any(t.is_scs for t in graph.tasks):
+            raise SimulationError(
+                f"graph {graph_name!r} contains SCS tasks; offsetting it would "
+                "desynchronise the releases from the static schedule table"
+            )
+    if table is None:
+        table = build_schedule(system, config, options.schedule)
+    engine = _Engine(system, config, options, table)
+    return engine.run()
+
+
+class _Engine:
+    def __init__(self, system, config, options, table):
+        self.system = system
+        self.config = config
+        self.options = options
+        self.table = table
+        self.app = system.application
+        self.horizon = self.app.hyperperiod
+        self.max_time = self.horizon + options.drain_factor * config.gd_cycle
+        self.trace: List[TraceEvent] = []
+        self.events: List[tuple] = []
+        self._seq = 0
+
+        self.nodes: Dict[str, _Node] = {
+            name: _Node(
+                name,
+                NodeAvailability(
+                    wrap_busy_intervals(table.busy_intervals(name), self.horizon),
+                    self.horizon,
+                ),
+            )
+            for name in system.nodes
+        }
+        #
+
+        # Precedence bookkeeping: remaining predecessor count per job.
+        self.pending: Dict[Tuple[str, int], int] = {}
+        self.finish_times: Dict[Tuple[str, int], int] = {}
+        self.release_base: Dict[Tuple[str, int], int] = {}
+        self.chi = ChiQueues(config, system)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        self._seed_events()
+        while self.events:
+            time, order, _seq, kind, payload = heapq.heappop(self.events)
+            if time > self.max_time:
+                break
+            handler = {
+                _EV_RELEASE: self._on_release,
+                _EV_SCS_FINISH: self._on_scs_finish,
+                _EV_ST_SLOT: self._on_st_slot,
+                _EV_DYN_SLOT: self._on_dyn_slot,
+                _EV_ARRIVAL: self._on_arrival,
+                _EV_FPS_CHECK: self._on_fps_check,
+                _EV_FPS_READY: self._on_fps_ready,
+            }[kind]
+            handler(time, payload)
+        return self._collect()
+
+    def _push(self, time: int, kind: int, payload) -> None:
+        self._seq += 1
+        heapq.heappush(self.events, (time, kind, self._seq, kind, payload))
+
+    def _record(self, time, kind, activity="", instance=0, node=None, detail=""):
+        if self.options.record_trace:
+            self.trace.append(
+                TraceEvent(
+                    time=time,
+                    kind=kind,
+                    activity=activity,
+                    instance=instance,
+                    node=node,
+                    detail=detail,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # seeding
+    # ------------------------------------------------------------------
+    def _seed_events(self) -> None:
+        # Graph instance releases over one hyper-period.
+        for g in self.app.graphs:
+            offset = self.options.graph_offsets.get(g.name, 0)
+            for k in range(self.horizon // g.period):
+                self._push(k * g.period + offset, _EV_RELEASE, (g, k))
+        # SCS task completions straight from the schedule table.
+        for entry in self.table.tasks.values():
+            name, instance = entry.job_key.rsplit("#", 1)
+            self._push(entry.finish, _EV_SCS_FINISH, (entry, int(instance)))
+            self._record(
+                entry.start,
+                EventKind.TASK_START,
+                name,
+                int(instance),
+                entry.task.node,
+                "SCS",
+            )
+        # Static frames from the schedule table.
+        by_slot: Dict[Tuple[int, int], list] = {}
+        for entry in self.table.messages.values():
+            by_slot.setdefault((entry.cycle, entry.slot), []).append(entry)
+        for (cycle, slot), entries in by_slot.items():
+            self._push(entries[0].slot_start, _EV_ST_SLOT, tuple(entries))
+        # Dynamic segment walk of every cycle until the drain horizon.
+        cycle = 0
+        while cycle * self.config.gd_cycle <= self.max_time:
+            start = cycle * self.config.gd_cycle + self.config.st_bus
+            if self.config.n_minislots > 0:
+                self._push(start, _EV_DYN_SLOT, (cycle, 1, 1))
+            cycle += 1
+
+    # ------------------------------------------------------------------
+    # graph / CPU events
+    # ------------------------------------------------------------------
+    def _on_release(self, time: int, payload) -> None:
+        graph, instance = payload
+        self._record(time, EventKind.RELEASE, graph.name, instance)
+        for name in graph.topological_order():
+            job = (name, instance)
+            self.release_base[job] = time
+            self.pending[job] = len(graph.predecessors(name))
+        for task in graph.tasks:
+            if task.is_fps and self.pending[(task.name, instance)] == 0:
+                if task.release > 0:
+                    self._push(
+                        time + task.release, _EV_FPS_READY, (task, instance)
+                    )
+                else:
+                    self._ready_fps(task, instance, time)
+
+    def _ready_fps(self, task: Task, instance: int, time: int) -> None:
+        node = self.nodes[task.node]
+        node.advance_to(time)
+        node.push(_FpsJob(task, instance, time))
+        self._schedule_fps_check(node, time)
+
+    def _schedule_fps_check(self, node: _Node, now: int) -> None:
+        completion = node.completion_time(now)
+        if completion is not None:
+            self._push(completion, _EV_FPS_CHECK, (node.name, node.version))
+
+    def _on_fps_ready(self, time: int, payload) -> None:
+        task, instance = payload
+        self._ready_fps(task, instance, time)
+
+    def _on_fps_check(self, time: int, payload) -> None:
+        name, version = payload
+        node = self.nodes[name]
+        if version != node.version:
+            return  # stale prediction; a newer check is queued
+        node.advance_to(time)
+        job = node.running()
+        if job is None:
+            return
+        if job.remaining > 0:
+            self._schedule_fps_check(node, time)
+            return
+        heapq.heappop(node.ready)
+        node.version += 1
+        self._record(
+            time, EventKind.TASK_FINISH, job.task.name, job.instance, name, "FPS"
+        )
+        self._activity_finished(job.task.name, job.instance, time)
+        self._schedule_fps_check(node, time)
+
+    def _on_scs_finish(self, time: int, payload) -> None:
+        entry, instance = payload
+        self._record(
+            time,
+            EventKind.TASK_FINISH,
+            entry.task.name,
+            instance,
+            entry.task.node,
+            "SCS",
+        )
+        self._activity_finished(entry.task.name, instance, time)
+
+    def _activity_finished(self, name: str, instance: int, time: int) -> None:
+        job = (name, instance)
+        if job in self.finish_times:
+            raise SimulationError(f"activity {name}#{instance} finished twice")
+        self.finish_times[job] = time
+        graph = self.app.graph_of(name)
+        for succ in graph.successors(name):
+            sjob = (succ, instance)
+            self.pending[sjob] -= 1
+            if self.pending[sjob] > 0:
+                continue
+            self._dispatch_ready(graph, succ, instance, time)
+
+    def _dispatch_ready(self, graph, name: str, instance: int, time: int) -> None:
+        """All predecessors of (name, instance) completed at *time*."""
+        try:
+            task = graph.task(name)
+        except ModelError:
+            task = None
+        if task is not None:
+            if task.is_fps:
+                self._ready_fps(task, instance, time)
+            # SCS successor: runs per schedule table; verify consistency.
+            elif self.table.tasks.get(f"{name}#{instance}") is not None:
+                entry = self.table.tasks[f"{name}#{instance}"]
+                if entry.start < time:
+                    raise SimulationError(
+                        f"SCS task {name}#{instance} scheduled at {entry.start} "
+                        f"but its inputs arrive at {time}"
+                    )
+            return
+        message = graph.message(name)
+        if message.is_dynamic:
+            self._queue_dyn(message, instance, time)
+        # ST messages follow the schedule table; consistency is checked
+        # when their slot transmits.
+
+    # ------------------------------------------------------------------
+    # bus events
+    # ------------------------------------------------------------------
+    def _on_st_slot(self, time: int, entries) -> None:
+        for entry in entries:
+            name, instance = entry.job_key.rsplit("#", 1)
+            instance = int(instance)
+            sender = self.app.graph_of(name).task(entry.message.sender)
+            sender_finish = self.finish_times.get((sender.name, instance))
+            if sender_finish is None or sender_finish > time:
+                raise SimulationError(
+                    f"ST message {name}#{instance} is not ready at its slot "
+                    f"(cycle {entry.cycle}, slot {entry.slot}, t={time})"
+                )
+            self._record(
+                time, EventKind.ST_FRAME, name, instance, None,
+                f"cycle {entry.cycle} slot {entry.slot}",
+            )
+            self._push(entry.finish, _EV_ARRIVAL, (name, instance))
+
+    def _queue_dyn(self, message: Message, instance: int, time: int) -> None:
+        node = self.chi.queue(message, instance, time)
+        self._record(time, EventKind.MSG_QUEUED, message.name, instance, node)
+
+    def _on_dyn_slot(self, time: int, payload) -> None:
+        cycle, fid, minislot = payload
+        segment_end = cycle * self.config.gd_cycle + self.config.gd_cycle
+        if time >= segment_end or minislot > self.config.n_minislots:
+            return
+        if self.chi.pending == 0 or fid > self.chi.max_frame_id:
+            return  # nothing queued anywhere: the rest of the segment idles
+        frame = self.chi.pop_for_slot(fid, time, minislot)
+        if frame is None:
+            # Empty dynamic slot: one minislot elapses.
+            self._push(
+                time + self.config.gd_minislot,
+                _EV_DYN_SLOT,
+                (cycle, fid + 1, minislot + 1),
+            )
+            return
+        message, instance = frame
+        ct = self.config.message_ct(message)
+        slots_used = ceil_div(ct, self.config.gd_minislot)
+        self._record(
+            time,
+            EventKind.DYN_TX_START,
+            message.name,
+            instance,
+            self.system.sender_node(message),
+            f"cycle {cycle} DYN slot {fid}",
+        )
+        self._push(time + ct, _EV_ARRIVAL, (message.name, instance))
+        self._push(
+            time + slots_used * self.config.gd_minislot,
+            _EV_DYN_SLOT,
+            (cycle, fid + 1, minislot + slots_used),
+        )
+
+    def _on_arrival(self, time: int, payload) -> None:
+        name, instance = payload
+        self._record(time, EventKind.MSG_ARRIVAL, name, instance)
+        self._activity_finished(name, instance, time)
+
+    # ------------------------------------------------------------------
+    def _collect(self) -> SimulationResult:
+        response: Dict[Tuple[str, int], int] = {}
+        observed: Dict[str, int] = {}
+        misses: List[str] = []
+        unfinished: List[str] = []
+        for job, base in self.release_base.items():
+            name, instance = job
+            finish = self.finish_times.get(job)
+            if finish is None:
+                unfinished.append(f"{name}#{instance}")
+                continue
+            r = finish - base
+            response[job] = r
+            observed[name] = max(observed.get(name, 0), r)
+            if r > self.app.deadline_of(name):
+                misses.append(f"{name}#{instance}")
+        return SimulationResult(
+            observed_wcrt=observed,
+            response_times=response,
+            unfinished=tuple(sorted(unfinished)),
+            deadline_misses=tuple(sorted(misses)),
+            trace=tuple(self.trace),
+            horizon=self.horizon,
+        )

@@ -1,0 +1,23 @@
+"""JSON persistence for systems and bus configurations."""
+
+from repro.io.serialization import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    load_system,
+    save_config,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+)
+
+__all__ = [
+    "config_from_dict",
+    "config_to_dict",
+    "load_config",
+    "load_system",
+    "save_config",
+    "save_system",
+    "system_from_dict",
+    "system_to_dict",
+]

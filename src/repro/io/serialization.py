@@ -1,0 +1,195 @@
+"""JSON serialization of systems, configurations and analysis results.
+
+Round-trips the full application model so benchmark inputs and optimiser
+outputs can be stored, diffed and re-loaded.  The format is a plain
+nested-dict schema with a version tag; unknown versions are rejected
+rather than mis-parsed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.core.config import FlexRayConfig
+from repro.errors import SerializationError
+from repro.model.application import Application
+from repro.model.graph import TaskGraph
+from repro.model.message import Message, MessageKind
+from repro.model.system import System
+from repro.model.task import SchedulingPolicy, Task
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def system_to_dict(system: System) -> Dict[str, Any]:
+    """Encode a system as a JSON-compatible dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "nodes": list(system.nodes),
+        "application": _application_to_dict(system.application),
+    }
+
+
+def _application_to_dict(app: Application) -> Dict[str, Any]:
+    return {
+        "name": app.name,
+        "graphs": [_graph_to_dict(g) for g in app.graphs],
+    }
+
+
+def _graph_to_dict(graph: TaskGraph) -> Dict[str, Any]:
+    return {
+        "name": graph.name,
+        "period": graph.period,
+        "deadline": graph.deadline,
+        "tasks": [_task_to_dict(t) for t in graph.tasks],
+        "messages": [_message_to_dict(m) for m in graph.messages],
+        "precedences": [list(p) for p in graph.precedences],
+    }
+
+
+def _task_to_dict(task: Task) -> Dict[str, Any]:
+    return {
+        "name": task.name,
+        "wcet": task.wcet,
+        "node": task.node,
+        "policy": task.policy.value,
+        "priority": task.priority,
+        "release": task.release,
+        "deadline": task.deadline,
+    }
+
+
+def _message_to_dict(message: Message) -> Dict[str, Any]:
+    return {
+        "name": message.name,
+        "size": message.size,
+        "sender": message.sender,
+        "receivers": list(message.receivers),
+        "kind": message.kind.value,
+        "priority": message.priority,
+        "deadline": message.deadline,
+    }
+
+
+def config_to_dict(config: FlexRayConfig) -> Dict[str, Any]:
+    """Encode a bus configuration as a JSON-compatible dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "static_slots": list(config.static_slots),
+        "gd_static_slot": config.gd_static_slot,
+        "n_minislots": config.n_minislots,
+        "frame_ids": dict(config.frame_ids),
+        "gd_minislot": config.gd_minislot,
+        "bits_per_mt": config.bits_per_mt,
+        "frame_overhead_bytes": config.frame_overhead_bytes,
+    }
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+def system_from_dict(data: Dict[str, Any]) -> System:
+    """Decode a system from :func:`system_to_dict` output."""
+    _check_version(data)
+    try:
+        app_data = data["application"]
+        graphs = tuple(_graph_from_dict(g) for g in app_data["graphs"])
+        app = Application(app_data["name"], graphs)
+        return System(tuple(data["nodes"]), app)
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed system document: {exc}") from exc
+
+
+def _graph_from_dict(data: Dict[str, Any]) -> TaskGraph:
+    return TaskGraph(
+        name=data["name"],
+        period=data["period"],
+        deadline=data["deadline"],
+        tasks=tuple(_task_from_dict(t) for t in data["tasks"]),
+        messages=tuple(_message_from_dict(m) for m in data.get("messages", [])),
+        precedences=tuple(
+            (a, b) for a, b in data.get("precedences", [])
+        ),
+    )
+
+
+def _task_from_dict(data: Dict[str, Any]) -> Task:
+    return Task(
+        name=data["name"],
+        wcet=data["wcet"],
+        node=data["node"],
+        policy=SchedulingPolicy(data.get("policy", "SCS")),
+        priority=data.get("priority", 0),
+        release=data.get("release", 0),
+        deadline=data.get("deadline"),
+    )
+
+
+def _message_from_dict(data: Dict[str, Any]) -> Message:
+    return Message(
+        name=data["name"],
+        size=data["size"],
+        sender=data["sender"],
+        receivers=tuple(data["receivers"]),
+        kind=MessageKind(data.get("kind", "DYN")),
+        priority=data.get("priority", 0),
+        deadline=data.get("deadline"),
+    )
+
+
+def config_from_dict(data: Dict[str, Any]) -> FlexRayConfig:
+    """Decode a bus configuration from :func:`config_to_dict` output."""
+    _check_version(data)
+    try:
+        return FlexRayConfig(
+            static_slots=tuple(data["static_slots"]),
+            gd_static_slot=data["gd_static_slot"],
+            n_minislots=data["n_minislots"],
+            frame_ids=dict(data.get("frame_ids", {})),
+            gd_minislot=data.get("gd_minislot", 1),
+            bits_per_mt=data.get("bits_per_mt", 8),
+            frame_overhead_bytes=data.get("frame_overhead_bytes", 0),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed config document: {exc}") from exc
+
+
+def _check_version(data: Dict[str, Any]) -> None:
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported document version {version!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+
+
+# ----------------------------------------------------------------------
+# file helpers
+# ----------------------------------------------------------------------
+def save_system(system: System, path: str) -> None:
+    """Write a system to a JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(system_to_dict(system), fh, indent=2, sort_keys=True)
+
+
+def load_system(path: str) -> System:
+    """Read a system from a JSON file."""
+    with open(path, encoding="utf-8") as fh:
+        return system_from_dict(json.load(fh))
+
+
+def save_config(config: FlexRayConfig, path: str) -> None:
+    """Write a bus configuration to a JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(config_to_dict(config), fh, indent=2, sort_keys=True)
+
+
+def load_config(path: str) -> FlexRayConfig:
+    """Read a bus configuration from a JSON file."""
+    with open(path, encoding="utf-8") as fh:
+        return config_from_dict(json.load(fh))

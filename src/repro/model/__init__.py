@@ -1,0 +1,30 @@
+"""Application model: tasks, messages, task graphs, systems, jobs."""
+
+from repro.model.application import Application
+from repro.model.graph import TaskGraph
+from repro.model.jobs import Job, expand_jobs, iter_fps_tasks, job_count
+from repro.model.message import Message, MessageKind
+from repro.model.system import System
+from repro.model.task import SchedulingPolicy, Task
+from repro.model.times import TimeMT, bytes_to_mt, ceil_div, check_time, lcm
+from repro.model.validation import validate_system
+
+__all__ = [
+    "Application",
+    "Job",
+    "Message",
+    "MessageKind",
+    "SchedulingPolicy",
+    "System",
+    "Task",
+    "TaskGraph",
+    "TimeMT",
+    "bytes_to_mt",
+    "ceil_div",
+    "check_time",
+    "expand_jobs",
+    "iter_fps_tasks",
+    "job_count",
+    "lcm",
+    "validate_system",
+]

@@ -1,0 +1,159 @@
+"""Application = set of task graphs (Section 4 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Tuple
+
+from repro.errors import ModelError, ValidationError
+from repro.model.graph import TaskGraph
+from repro.model.message import Message
+from repro.model.task import Task
+from repro.model.times import lcm
+
+
+@dataclass(frozen=True)
+class Application:
+    """A set of task graphs with globally unique activity names.
+
+    The application's **hyper-period** is the LCM of all graph periods;
+    graphs of different periods are implicitly unrolled over it by the
+    scheduler (the paper merges communicating graphs over the LCM --
+    we keep graphs separate and unroll instances instead, which is
+    equivalent for analysis purposes).
+    """
+
+    name: str
+    graphs: Tuple[TaskGraph, ...]
+
+    _task_index: Mapping[str, Tuple[TaskGraph, Task]] = field(
+        default=None, repr=False, compare=False
+    )
+    _msg_index: Mapping[str, Tuple[TaskGraph, Message]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("application name must be non-empty")
+        object.__setattr__(self, "graphs", tuple(self.graphs))
+        if not self.graphs:
+            raise ValidationError(f"application {self.name!r} needs >= 1 task graph")
+        graph_names = set()
+        task_index: Dict[str, Tuple[TaskGraph, Task]] = {}
+        msg_index: Dict[str, Tuple[TaskGraph, Message]] = {}
+        for g in self.graphs:
+            if g.name in graph_names:
+                raise ValidationError(
+                    f"application {self.name!r}: duplicate graph name {g.name!r}"
+                )
+            graph_names.add(g.name)
+            for t in g.tasks:
+                if t.name in task_index or t.name in msg_index:
+                    raise ValidationError(
+                        f"application {self.name!r}: duplicate activity name "
+                        f"{t.name!r} (activity names must be globally unique)"
+                    )
+                task_index[t.name] = (g, t)
+            for m in g.messages:
+                if m.name in task_index or m.name in msg_index:
+                    raise ValidationError(
+                        f"application {self.name!r}: duplicate activity name "
+                        f"{m.name!r} (activity names must be globally unique)"
+                    )
+                msg_index[m.name] = (g, m)
+        object.__setattr__(self, "_task_index", task_index)
+        object.__setattr__(self, "_msg_index", msg_index)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    @property
+    def hyperperiod(self) -> int:
+        """LCM of all graph periods."""
+        return lcm(g.period for g in self.graphs)
+
+    def graph(self, name: str) -> TaskGraph:
+        """Graph called *name*."""
+        for g in self.graphs:
+            if g.name == name:
+                return g
+        raise ModelError(f"application {self.name!r} has no graph {name!r}")
+
+    def task(self, name: str) -> Task:
+        """Task called *name* (searching all graphs)."""
+        try:
+            return self._task_index[name][1]
+        except KeyError:
+            raise ModelError(
+                f"application {self.name!r} has no task {name!r}"
+            ) from None
+
+    def message(self, name: str) -> Message:
+        """Message called *name* (searching all graphs)."""
+        try:
+            return self._msg_index[name][1]
+        except KeyError:
+            raise ModelError(
+                f"application {self.name!r} has no message {name!r}"
+            ) from None
+
+    def graph_of(self, activity_name: str) -> TaskGraph:
+        """The graph that contains the task or message *activity_name*."""
+        if activity_name in self._task_index:
+            return self._task_index[activity_name][0]
+        if activity_name in self._msg_index:
+            return self._msg_index[activity_name][0]
+        raise ModelError(
+            f"application {self.name!r} has no activity {activity_name!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # iteration helpers
+    # ------------------------------------------------------------------
+    def tasks(self) -> Iterator[Task]:
+        """All tasks of all graphs."""
+        for g in self.graphs:
+            yield from g.tasks
+
+    def messages(self) -> Iterator[Message]:
+        """All messages of all graphs."""
+        for g in self.graphs:
+            yield from g.messages
+
+    def st_messages(self) -> Iterator[Message]:
+        """All static-segment messages."""
+        return (m for m in self.messages() if m.is_static)
+
+    def dyn_messages(self) -> Iterator[Message]:
+        """All dynamic-segment messages."""
+        return (m for m in self.messages() if m.is_dynamic)
+
+    def period_of(self, activity_name: str) -> int:
+        """Period of the graph containing *activity_name*."""
+        return self.graph_of(activity_name).period
+
+    def deadline_of(self, activity_name: str) -> int:
+        """Effective relative deadline of an activity.
+
+        The individual deadline when present, otherwise the graph deadline.
+        """
+        g = self.graph_of(activity_name)
+        if activity_name in self._task_index:
+            t = self._task_index[activity_name][1]
+            return t.deadline if t.deadline is not None else g.deadline
+        m = self._msg_index[activity_name][1]
+        return m.deadline if m.deadline is not None else g.deadline
+
+    def sender_node(self, message_name: str) -> str:
+        """Node that transmits *message_name* (the sender task's node)."""
+        g, m = self._msg_index_entry(message_name)
+        return g.task(m.sender).node
+
+    def _msg_index_entry(self, message_name: str):
+        try:
+            return self._msg_index[message_name]
+        except KeyError:
+            raise ModelError(
+                f"application {self.name!r} has no message {message_name!r}"
+            ) from None

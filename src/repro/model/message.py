@@ -1,0 +1,103 @@
+"""Message model.
+
+Messages are exchanged between tasks mapped on different nodes and travel
+over the FlexRay bus.  Each message is either **static (ST)** -- sent in a
+statically scheduled slot of the static segment -- or **dynamic (DYN)** --
+sent in the dynamic segment, arbitrated by FrameID and, among local
+messages sharing a FrameID, by priority.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.model.task import Priority
+from repro.model.times import check_time
+
+
+class MessageKind(enum.Enum):
+    """Transmission segment a message is assigned to."""
+
+    ST = "ST"
+    DYN = "DYN"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Message:
+    """A communication activity between tasks on different nodes.
+
+    Parameters
+    ----------
+    name:
+        Globally unique identifier within the application.
+    size:
+        Payload size in bytes (> 0); converted to a transmission time C_m
+        by the bus configuration (Eq. (1) of the paper).
+    sender:
+        Name of the producing task.
+    receivers:
+        Names of the consuming tasks (at least one).
+    kind:
+        :class:`MessageKind` -- ST (static segment) or DYN (dynamic
+        segment).
+    priority:
+        Relative priority among DYN messages of the same node sharing a
+        FrameID; smaller value = higher priority.  Ignored for ST messages.
+    deadline:
+        Optional individual relative deadline; the graph deadline applies
+        when ``None``.
+    """
+
+    name: str
+    size: int
+    sender: str
+    receivers: Tuple[str, ...]
+    kind: MessageKind = MessageKind.DYN
+    priority: Priority = 0
+    deadline: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("message name must be a non-empty string")
+        check_time(self.size, f"message {self.name!r} size", allow_zero=False)
+        if not self.sender:
+            raise ValidationError(f"message {self.name!r}: sender must be non-empty")
+        if isinstance(self.receivers, str):
+            raise ValidationError(
+                f"message {self.name!r}: receivers must be a tuple of task names, "
+                "not a single string"
+            )
+        object.__setattr__(self, "receivers", tuple(self.receivers))
+        if not self.receivers:
+            raise ValidationError(f"message {self.name!r}: needs >= 1 receiver")
+        for r in self.receivers:
+            if not r:
+                raise ValidationError(
+                    f"message {self.name!r}: receiver names must be non-empty"
+                )
+        if self.sender in self.receivers:
+            raise ValidationError(
+                f"message {self.name!r}: sender {self.sender!r} cannot also receive it"
+            )
+        if not isinstance(self.kind, MessageKind):
+            raise ValidationError(f"message {self.name!r}: kind must be a MessageKind")
+        if self.deadline is not None:
+            check_time(
+                self.deadline, f"message {self.name!r} deadline", allow_zero=False
+            )
+
+    @property
+    def is_static(self) -> bool:
+        """True for messages sent in the static (TDMA) segment."""
+        return self.kind is MessageKind.ST
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True for messages sent in the dynamic (FTDMA) segment."""
+        return self.kind is MessageKind.DYN

@@ -1,0 +1,100 @@
+"""Task model.
+
+A task is a node of an application task graph (Section 4 of the paper).
+It is mapped to a processing node, has a known worst-case execution time,
+and is handled by one of the two kernel schedulers:
+
+* ``SCS`` -- static cyclic scheduling: non-preemptable, start times fixed
+  off-line in the schedule table;
+* ``FPS`` -- fixed-priority scheduling: preemptive, runs in the slack of
+  the static schedule.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ValidationError
+from repro.model.times import check_time
+
+
+class SchedulingPolicy(enum.Enum):
+    """Kernel scheduler responsible for a task."""
+
+    SCS = "SCS"
+    FPS = "FPS"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Priorities are integers where a **smaller value means higher priority**,
+#: mirroring FlexRay FrameIDs (FrameID 1 is served first in the DYN segment).
+Priority = int
+
+
+@dataclass(frozen=True)
+class Task:
+    """A computational activity mapped onto one processing node.
+
+    Parameters
+    ----------
+    name:
+        Globally unique identifier within the application.
+    wcet:
+        Worst-case execution time in macroticks (> 0).
+    node:
+        Name of the processing node the task is mapped to.
+    policy:
+        :class:`SchedulingPolicy` -- SCS (time-triggered) or FPS
+        (event-triggered).
+    priority:
+        Fixed priority for FPS tasks; smaller value = higher priority.
+        Ignored for SCS tasks.
+    release:
+        Earliest activation offset relative to the start of the task-graph
+        period (>= 0).
+    deadline:
+        Optional individual relative deadline.  When ``None`` the enclosing
+        task graph's deadline applies.
+    """
+
+    name: str
+    wcet: int
+    node: str
+    policy: SchedulingPolicy = SchedulingPolicy.SCS
+    priority: Priority = 0
+    release: int = 0
+    deadline: Optional[int] = None
+    bcet: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("task name must be a non-empty string")
+        if not self.node:
+            raise ValidationError(f"task {self.name!r}: node must be non-empty")
+        check_time(self.wcet, f"task {self.name!r} wcet", allow_zero=False)
+        check_time(self.release, f"task {self.name!r} release")
+        check_time(self.bcet, f"task {self.name!r} bcet")
+        if self.bcet > self.wcet:
+            raise ValidationError(
+                f"task {self.name!r}: bcet {self.bcet} exceeds wcet {self.wcet}"
+            )
+        if self.deadline is not None:
+            check_time(self.deadline, f"task {self.name!r} deadline", allow_zero=False)
+        if not isinstance(self.policy, SchedulingPolicy):
+            raise ValidationError(
+                f"task {self.name!r}: policy must be a SchedulingPolicy"
+            )
+
+    @property
+    def is_scs(self) -> bool:
+        """True when the task is statically (time-triggered) scheduled."""
+        return self.policy is SchedulingPolicy.SCS
+
+    @property
+    def is_fps(self) -> bool:
+        """True when the task is fixed-priority (event-triggered) scheduled."""
+        return self.policy is SchedulingPolicy.FPS

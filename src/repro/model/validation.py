@@ -1,0 +1,83 @@
+"""Cross-cutting semantic checks on a complete system.
+
+The dataclass constructors already enforce *structural* validity (names
+resolve, graphs are acyclic, ...).  :func:`validate_system` performs the
+*semantic* checks that involve several objects at once and returns
+human-readable diagnostics instead of raising, so design-space explorers
+can log them and move on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.model.system import System
+from repro.model.task import SchedulingPolicy
+
+
+def validate_system(system: System, strict: bool = False) -> List[str]:
+    """Return a list of diagnostic strings; empty means no findings.
+
+    Checks performed:
+
+    * per-node CPU utilisation must be < 1 (``error``),
+    * FPS tasks on the same node should have distinct priorities
+      (``warning`` -- ties are resolved deterministically by name, but the
+      analysis is then pessimistic for both),
+    * DYN messages from the same node sharing a priority (``warning``),
+    * graphs whose deadline exceeds their period (``info`` -- supported,
+      but the analysis assumes at most one pending instance per activity
+      and becomes pessimistic when R > T),
+    * nodes with no tasks (``info``).
+
+    With ``strict=True`` any ``error`` diagnostic raises
+    :class:`~repro.errors.ValidationError`.
+    """
+    from repro.errors import ValidationError
+
+    findings: List[str] = []
+    app = system.application
+
+    for node in system.nodes:
+        util = system.node_utilisation(node)
+        if util >= 1.0:
+            findings.append(
+                f"error: node {node!r} is over-utilised ({util:.2f} >= 1.0)"
+            )
+        if not system.tasks_on(node):
+            findings.append(f"info: node {node!r} has no tasks mapped to it")
+
+    for node in system.nodes:
+        fps = [t for t in system.tasks_on(node) if t.policy is SchedulingPolicy.FPS]
+        seen = {}
+        for t in sorted(fps, key=lambda t: t.name):
+            if t.priority in seen:
+                findings.append(
+                    f"warning: FPS tasks {seen[t.priority]!r} and {t.name!r} on node "
+                    f"{node!r} share priority {t.priority}"
+                )
+            else:
+                seen[t.priority] = t.name
+
+    for node in system.nodes:
+        dyn = [m for m in app.dyn_messages() if system.sender_node(m) == node]
+        seen = {}
+        for m in sorted(dyn, key=lambda m: m.name):
+            if m.priority in seen:
+                findings.append(
+                    f"warning: DYN messages {seen[m.priority]!r} and {m.name!r} from "
+                    f"node {node!r} share priority {m.priority}"
+                )
+            else:
+                seen[m.priority] = m.name
+
+    for g in app.graphs:
+        if g.deadline > g.period:
+            findings.append(
+                f"info: graph {g.name!r} deadline {g.deadline} exceeds its period "
+                f"{g.period}; the analysis assumes one pending instance at a time"
+            )
+
+    if strict and any(f.startswith("error") for f in findings):
+        raise ValidationError("; ".join(f for f in findings if f.startswith("error")))
+    return findings

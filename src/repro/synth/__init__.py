@@ -1,0 +1,11 @@
+"""Synthetic workload generation (Section 7 experiment recipe)."""
+
+from repro.synth.suite import full_paper_benchmark, paper_suite
+from repro.synth.taskgraph_gen import GeneratorConfig, generate_system
+
+__all__ = [
+    "GeneratorConfig",
+    "full_paper_benchmark",
+    "generate_system",
+    "paper_suite",
+]

@@ -1,0 +1,5 @@
+"""Text visualisation of schedules, bus cycles and simulation traces."""
+
+from repro.viz.gantt import render_bus_trace, render_cycle, render_schedule
+
+__all__ = ["render_bus_trace", "render_cycle", "render_schedule"]

@@ -1,0 +1,137 @@
+"""ASCII Gantt rendering of schedules, bus cycles and simulation traces.
+
+Text-only (terminal/CI friendly) visualisation of the artefacts the
+paper draws in Figs. 1, 3 and 4: per-node static schedules, the bus
+cycle structure, and message transmissions observed by the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.schedule_table import ScheduleTable
+from repro.core.config import FlexRayConfig
+from repro.errors import ValidationError
+from repro.flexray.events import EventKind, TraceEvent
+
+
+def _scale(t: int, t0: int, t1: int, width: int) -> int:
+    return round((t - t0) / max(1, (t1 - t0)) * width)
+
+
+def _lane(
+    label: str,
+    spans: Iterable[Tuple[int, int, str]],
+    t0: int,
+    t1: int,
+    width: int,
+) -> str:
+    """One Gantt row: '<label> |##aa..bb##|' between t0 and t1."""
+    cells = [" "] * width
+    for start, end, tag in spans:
+        lo = max(_scale(start, t0, t1, width), 0)
+        hi = min(_scale(end, t0, t1, width), width)
+        if hi <= lo and lo < width:
+            hi = lo + 1
+        mark = (tag or "#")[0]
+        for i in range(lo, hi):
+            cells[i] = mark
+    return f"{label:>12} |{''.join(cells)}|"
+
+
+def render_schedule(
+    table: ScheduleTable,
+    nodes: Iterable[str],
+    until: Optional[int] = None,
+    width: int = 72,
+) -> str:
+    """Gantt chart of the static schedule table, one lane per node.
+
+    Each SCS task instance is drawn with the first letter of its name;
+    a legend mapping letters back to task names follows the lanes.
+    """
+    if width < 8:
+        raise ValidationError("gantt width must be >= 8 characters")
+    until = until or table.horizon
+    lines = [f"static schedule, t in [0, {until}) MT"]
+    legend: Dict[str, List[str]] = {}
+    for node in nodes:
+        spans = []
+        for entry in table.task_entries_on(node):
+            if entry.start >= until:
+                continue
+            tag = entry.task.name[0]
+            legend.setdefault(tag, [])
+            if entry.task.name not in legend[tag]:
+                legend[tag].append(entry.task.name)
+            spans.append((entry.start, min(entry.finish, until), tag))
+        lines.append(_lane(node, spans, 0, until, width))
+    for tag in sorted(legend):
+        lines.append(f"{'':>12}  {tag} = {', '.join(sorted(legend[tag]))}")
+    return "\n".join(lines)
+
+
+def render_cycle(config: FlexRayConfig, width: int = 72) -> str:
+    """One bus cycle: static slots with owners, then the DYN segment."""
+    if width < 8:
+        raise ValidationError("gantt width must be >= 8 characters")
+    total = config.gd_cycle
+    lines = [
+        f"bus cycle: {config.n_static_slots} ST slots x "
+        f"{config.gd_static_slot} MT + {config.n_minislots} minislots x "
+        f"{config.gd_minislot} MT = {total} MT"
+    ]
+    spans = []
+    for i, owner in enumerate(config.static_slots):
+        start = i * config.gd_static_slot
+        spans.append((start, start + config.gd_static_slot, owner[-1]))
+    spans.append((config.st_bus, total, "."))
+    lines.append(_lane("cycle", spans, 0, total, width))
+    for i, owner in enumerate(config.static_slots, start=1):
+        lines.append(f"{'':>12}  ST slot {i}: {owner}")
+    if config.n_minislots:
+        lines.append(f"{'':>12}  . = dynamic segment ({config.dyn_bus} MT)")
+    return "\n".join(lines)
+
+
+def render_bus_trace(
+    trace: Iterable[TraceEvent],
+    config: FlexRayConfig,
+    until: Optional[int] = None,
+    width: int = 72,
+) -> str:
+    """Bus occupancy lane reconstructed from a simulation trace.
+
+    Static frames and dynamic transmissions appear with the first letter
+    of the message name; the second lane marks cycle boundaries.
+    """
+    if width < 8:
+        raise ValidationError("gantt width must be >= 8 characters")
+    events = [
+        e
+        for e in trace
+        if e.kind in (EventKind.ST_FRAME, EventKind.DYN_TX_START,
+                      EventKind.MSG_ARRIVAL)
+    ]
+    if not events:
+        return "bus trace: (no transmissions)"
+    horizon = until or (max(e.time for e in events) + config.gd_cycle)
+    spans = []
+    starts: Dict[Tuple[str, int], int] = {}
+    for e in events:
+        if e.kind in (EventKind.ST_FRAME, EventKind.DYN_TX_START):
+            starts[(e.activity, e.instance)] = e.time
+        elif (e.activity, e.instance) in starts:
+            begin = starts.pop((e.activity, e.instance))
+            if begin < horizon:
+                spans.append((begin, min(e.time, horizon), e.activity[0]))
+    lines = [f"bus trace, t in [0, {horizon}) MT"]
+    lines.append(_lane("bus", spans, 0, horizon, width))
+    ticks = []
+    cycle = 0
+    while cycle * config.gd_cycle < horizon:
+        t = cycle * config.gd_cycle
+        ticks.append((t, t + 1, "|"))
+        cycle += 1
+    lines.append(_lane("cycles", ticks, 0, horizon, width))
+    return "\n".join(lines)

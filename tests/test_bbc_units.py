@@ -1,0 +1,67 @@
+"""Additional BBC unit coverage."""
+
+import pytest
+
+from repro.core import BusOptimisationOptions, basic_configuration, optimise_bbc
+
+from tests.util import (
+    dyn_msg,
+    fig3_system,
+    fig4_system,
+    fps_task,
+    scs_task,
+    single_graph_system,
+)
+
+
+class TestBasicConfigurationEdges:
+    def test_message_free_system(self):
+        sys_ = single_graph_system(
+            [scs_task("a", node="N1"), scs_task("b", node="N2")],
+            nodes=("N1", "N2"),
+        )
+        # No ST senders and no DYN messages: one minislot keeps the
+        # cycle non-empty.
+        cfg = basic_configuration(sys_, n_minislots=0)
+        assert cfg.gd_cycle >= 1
+
+    def test_custom_bus_speed_propagates(self):
+        options = BusOptimisationOptions(bits_per_mt=10, frame_overhead_bytes=8)
+        cfg = basic_configuration(fig3_system(), 0, options)
+        assert cfg.bits_per_mt == 10
+        assert cfg.frame_overhead_bytes == 8
+        # largest ST frame: (4 + 8) bytes = 96 bits -> 10 MT slot
+        assert cfg.gd_static_slot == 10
+
+    def test_frame_ids_follow_criticality(self):
+        cfg = basic_configuration(fig4_system(), n_minislots=30)
+        # all fig4 messages share the graph deadline; LP decides:
+        # longer path to the message = smaller CP = smaller FrameID.
+        assert set(cfg.frame_ids.values()) == {1, 2, 3}
+
+
+class TestOptimiseBBCEdges:
+    def test_message_free_system_schedulable(self):
+        sys_ = single_graph_system(
+            [scs_task("a", node="N1"), scs_task("b", node="N2")],
+            nodes=("N1", "N2"),
+        )
+        result = optimise_bbc(sys_)
+        assert result.schedulable
+        assert result.evaluations == 1
+
+    def test_pure_et_system(self):
+        tasks = [
+            fps_task("x", wcet=2, node="N1", priority=1),
+            fps_task("y", wcet=2, node="N2", priority=1),
+        ]
+        msgs = [dyn_msg("m", 3, "x", "y")]
+        sys_ = single_graph_system(tasks, msgs, period=200, deadline=200)
+        result = optimise_bbc(sys_)
+        assert result.schedulable
+        assert result.config.st_bus == 0  # no static segment needed
+
+    def test_trace_costs_match_best(self):
+        result = optimise_bbc(fig4_system())
+        assert result.best is not None
+        assert result.cost == min(p.cost for p in result.trace)

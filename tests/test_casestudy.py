@@ -1,0 +1,51 @@
+"""Tests for the cruise-controller case study."""
+
+from repro.casestudy import cruise_controller, shape_summary
+from repro.model import validate_system
+
+
+class TestShape:
+    def test_paper_published_shape(self):
+        summary = shape_summary(cruise_controller())
+        assert summary == {
+            "nodes": 5,
+            "graphs": 4,
+            "tasks": 54,
+            "messages": 26,
+            "tt_graphs": 2,
+            "et_graphs": 2,
+        }
+
+    def test_structurally_valid(self):
+        findings = validate_system(cruise_controller())
+        assert [f for f in findings if f.startswith("error")] == []
+
+    def test_no_priority_ties(self):
+        findings = validate_system(cruise_controller())
+        assert not any("share priority" in f for f in findings)
+
+    def test_every_node_hosts_tasks(self):
+        system = cruise_controller()
+        for node in system.nodes:
+            assert system.tasks_on(node)
+
+    def test_utilisations_realistic(self):
+        system = cruise_controller()
+        for node in system.nodes:
+            assert 0.0 < system.node_utilisation(node) < 0.8
+
+    def test_deterministic_construction(self):
+        a = cruise_controller()
+        b = cruise_controller()
+        assert a.describe() == b.describe()
+        assert [t.priority for t in a.application.tasks()] == [
+            t.priority for t in b.application.tasks()
+        ]
+
+    def test_tt_graphs_use_static_messages_only(self):
+        system = cruise_controller()
+        for g in system.application.graphs:
+            if all(t.is_scs for t in g.tasks):
+                assert all(m.is_static for m in g.messages)
+            else:
+                assert all(m.is_dynamic for m in g.messages)

@@ -1,0 +1,74 @@
+"""Unit tests for the CHI send buffers (communication controller)."""
+
+from repro.flexray.controller import ChiQueues
+
+from tests.util import basic_config, fig4_system
+
+
+def make_chi(frame_ids=None, n_minislots=13):
+    system = fig4_system()
+    config = basic_config(
+        frame_ids=frame_ids or {"m1": 1, "m2": 2, "m3": 3},
+        n_minislots=n_minislots,
+    )
+    return system, config, ChiQueues(config, system)
+
+
+class TestChiQueues:
+    def test_queue_returns_sender_node(self):
+        system, _, chi = make_chi()
+        m1 = system.application.message("m1")
+        assert chi.queue(m1, 0, 5) == "N1"
+        assert chi.pending == 1
+
+    def test_pop_respects_queue_time(self):
+        system, _, chi = make_chi()
+        m1 = system.application.message("m1")
+        chi.queue(m1, 0, 10)
+        # Slot starts before the frame was queued: nothing to send.
+        assert chi.pop_for_slot(1, slot_start=9, minislot=1) is None
+        assert chi.pop_for_slot(1, slot_start=10, minislot=1) == (m1, 0)
+        assert chi.pending == 0
+
+    def test_pop_respects_p_latest_tx(self):
+        system, config, chi = make_chi()
+        m1 = system.application.message("m1")
+        chi.queue(m1, 0, 0)
+        latest = chi.p_latest_tx("N1")  # 13 - 9 + 1 = 5
+        assert latest == 5
+        assert chi.pop_for_slot(1, slot_start=50, minislot=latest + 1) is None
+        assert chi.pop_for_slot(1, slot_start=50, minislot=latest) == (m1, 0)
+
+    def test_priority_order_within_shared_frame_id(self):
+        system, _, chi = make_chi({"m1": 1, "m2": 2, "m3": 1})
+        m1 = system.application.message("m1")  # priority 0
+        m3 = system.application.message("m3")  # priority 1
+        chi.queue(m3, 0, 0)
+        chi.queue(m1, 0, 0)
+        assert chi.pop_for_slot(1, 10, 1) == (m1, 0)
+        assert chi.pop_for_slot(1, 10, 1) == (m3, 0)
+
+    def test_fifo_among_instances_of_same_message(self):
+        system, _, chi = make_chi()
+        m1 = system.application.message("m1")
+        chi.queue(m1, 1, 20)
+        chi.queue(m1, 0, 10)
+        assert chi.pop_for_slot(1, 30, 1) == (m1, 0)
+        assert chi.pop_for_slot(1, 30, 1) == (m1, 1)
+
+    def test_empty_slot_returns_none(self):
+        _, __, chi = make_chi()
+        assert chi.pop_for_slot(2, 10, 2) is None
+
+    def test_max_frame_id(self):
+        _, __, chi = make_chi({"m1": 1, "m2": 5, "m3": 3})
+        assert chi.max_frame_id == 5
+
+    def test_p_latest_none_for_silent_node(self):
+        system, config, _ = make_chi()
+        from tests.util import fig3_system
+
+        st_system = fig3_system()
+        st_config = basic_config(n_minislots=13)
+        chi = ChiQueues(st_config, st_system)
+        assert chi.p_latest_tx("N1") is None

@@ -1,0 +1,71 @@
+"""Unit tests for the schedulability-degree cost function (Eq. (5))."""
+
+import pytest
+
+from repro.core.cost import cost_function
+from repro.errors import AnalysisError
+
+from tests.util import fig3_system
+
+
+def wcrt_for(system, default):
+    names = [t.name for t in system.application.tasks()]
+    names += [m.name for m in system.application.messages()]
+    return {n: default for n in names}
+
+
+class TestCostFunction:
+    def test_schedulable_cost_is_negative(self):
+        sys_ = fig3_system(deadline=40)
+        wcrt = wcrt_for(sys_, 10)
+        cost = cost_function(sys_.application, wcrt)
+        assert cost.schedulable
+        assert cost.value == (10 - 40) * 8  # 8 activities
+        assert cost.misses == 0
+        assert cost.total_slack == 240
+
+    def test_single_miss_dominates(self):
+        sys_ = fig3_system(deadline=40)
+        wcrt = wcrt_for(sys_, 10)
+        wcrt["m3"] = 55
+        cost = cost_function(sys_.application, wcrt)
+        assert not cost.schedulable
+        assert cost.value == 15  # only the violation counts
+        assert cost.misses == 1
+        assert cost.worst_violation == 15
+
+    def test_multiple_misses_sum(self):
+        sys_ = fig3_system(deadline=40)
+        wcrt = wcrt_for(sys_, 10)
+        wcrt["m3"] = 55
+        wcrt["m2"] = 45
+        cost = cost_function(sys_.application, wcrt)
+        assert cost.value == 20
+        assert cost.misses == 2
+        assert cost.worst_violation == 15
+
+    def test_exact_deadline_is_schedulable(self):
+        sys_ = fig3_system(deadline=40)
+        wcrt = wcrt_for(sys_, 40)
+        cost = cost_function(sys_.application, wcrt)
+        assert cost.schedulable and cost.value == 0
+
+    def test_individual_deadline_respected(self):
+        sys_ = fig3_system(deadline=40)
+        # message deadline via application.deadline_of falls back to graph;
+        # give one activity a response beyond an individual deadline.
+        wcrt = wcrt_for(sys_, 10)
+        cost_default = cost_function(sys_.application, wcrt)
+        assert cost_default.schedulable
+
+    def test_missing_activity_raises(self):
+        sys_ = fig3_system()
+        wcrt = wcrt_for(sys_, 10)
+        del wcrt["m3"]
+        with pytest.raises(AnalysisError, match="m3"):
+            cost_function(sys_.application, wcrt)
+
+    def test_float_conversion(self):
+        sys_ = fig3_system(deadline=40)
+        cost = cost_function(sys_.application, wcrt_for(sys_, 10))
+        assert float(cost) == cost.value

@@ -1,0 +1,87 @@
+"""Small-surface tests: trace events, error hierarchy, result records."""
+
+import pytest
+
+from repro.core import OptimisationResult, SearchPoint
+from repro.errors import (
+    AnalysisError,
+    ConfigurationError,
+    ModelError,
+    OptimisationError,
+    ReproError,
+    SchedulingError,
+    SerializationError,
+    SimulationError,
+    ValidationError,
+)
+from repro.flexray.events import EventKind, TraceEvent
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            AnalysisError,
+            ConfigurationError,
+            ModelError,
+            OptimisationError,
+            SchedulingError,
+            SerializationError,
+            SimulationError,
+            ValidationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_validation_is_model_error(self):
+        assert issubclass(ValidationError, ModelError)
+
+    def test_scheduling_is_analysis_error(self):
+        assert issubclass(SchedulingError, AnalysisError)
+
+
+class TestTraceEvent:
+    def test_str_contains_fields(self):
+        e = TraceEvent(
+            time=42,
+            kind=EventKind.DYN_TX_START,
+            activity="m1",
+            instance=2,
+            node="N1",
+            detail="cycle 3",
+        )
+        text = str(e)
+        assert "42" in text and "m1#2" in text and "@N1" in text
+        assert "cycle 3" in text
+
+    def test_str_without_activity(self):
+        e = TraceEvent(time=0, kind=EventKind.CYCLE_START, activity="")
+        assert "cycle_start" in str(e)
+
+    def test_frozen(self):
+        e = TraceEvent(time=0, kind=EventKind.RELEASE, activity="g")
+        with pytest.raises(AttributeError):
+            e.time = 1
+
+
+class TestOptimisationResultRecord:
+    def test_empty_result_cost_infinite(self):
+        r = OptimisationResult(
+            algorithm="X", best=None, evaluations=0, elapsed_seconds=0.0
+        )
+        assert not r.schedulable
+        assert r.cost == float("inf")
+        assert r.config is None
+        assert "none" in r.describe()
+
+    def test_search_point_record(self):
+        p = SearchPoint(
+            n_static_slots=2,
+            gd_static_slot=8,
+            n_minislots=13,
+            cost=-5.0,
+            schedulable=True,
+        )
+        assert p.exact
+        assert p.schedulable

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script must run to completion."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    path = os.path.join(EXAMPLES_DIR, name)
+    proc = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Worst-case response times" in out
+        assert "observed" in out
+
+    def test_bus_trace(self):
+        out = run_example("bus_trace.py")
+        assert "dyn_tx_start" in out
+        assert "R(m2)" in out
+
+    @pytest.mark.slow
+    def test_dyn_segment_sweep(self):
+        out = run_example("dyn_segment_sweep.py")
+        assert "best cost" in out
+
+    @pytest.mark.slow
+    def test_design_space_exploration(self):
+        out = run_example("design_space_exploration.py")
+        assert "trace:" in out
+
+    @pytest.mark.slow
+    def test_slack_analysis(self):
+        out = run_example("slack_analysis.py")
+        assert "bus load" in out or "nothing to analyse" in out

@@ -1,0 +1,75 @@
+"""Tests for filled-cycle counting (bin covering)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.fill import fill_bound, max_filled_cycles
+from repro.errors import AnalysisError
+
+
+class TestFillBound:
+    def test_simple(self):
+        assert fill_bound([8, 4], 3) == 2  # item count binds
+        assert fill_bound([1, 1, 1], 3) == 1  # sum binds
+        assert fill_bound([], 3) == 0
+
+    def test_zero_items_excluded(self):
+        assert fill_bound([0, 0, 5], 3) == 1
+
+    def test_rejects_bad_theta(self):
+        with pytest.raises(AnalysisError):
+            fill_bound([1], 0)
+
+
+class TestExactFill:
+    def test_exact_matches_bound_when_items_large(self):
+        # each item alone covers a bin
+        assert max_filled_cycles([8, 4], 3, "exact") == 2
+
+    def test_exact_tighter_than_bound(self):
+        # bound: min(2, 9//3) = 2; exact: {8} covers, {1} cannot -> 1
+        assert fill_bound([8, 1], 3) == 2
+        assert max_filled_cycles([8, 1], 3, "exact") == 1
+
+    def test_exact_combines_small_items(self):
+        # {2,1} covers one bin of 3; {2,2} another
+        assert max_filled_cycles([2, 2, 2, 1], 3, "exact") == 2
+
+    def test_exact_equal_split(self):
+        assert max_filled_cycles([3, 3, 3], 3, "exact") == 3
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown"):
+            max_filled_cycles([1], 1, "magic")
+
+    def test_large_multiset_falls_back_to_bound(self):
+        items = [5] * 30
+        assert max_filled_cycles(items, 3, "exact", exact_limit=14) == fill_bound(
+            items, 3
+        )
+
+    @given(
+        st.lists(st.integers(0, 12), max_size=9),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=200)
+    def test_exact_never_exceeds_bound(self, items, theta):
+        exact = max_filled_cycles(items, theta, "exact")
+        assert exact <= fill_bound(items, theta)
+
+    @given(
+        st.lists(st.integers(0, 12), max_size=8),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=200)
+    def test_exact_at_least_greedy(self, items, theta):
+        # The exact optimum is at least the first-fit-decreasing cover.
+        desc = sorted((a for a in items if a > 0), reverse=True)
+        bins, acc = 0, 0
+        for a in desc:
+            acc += a
+            if acc >= theta:
+                bins += 1
+                acc = 0
+        assert max_filled_cycles(items, theta, "exact") >= bins

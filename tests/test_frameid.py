@@ -1,0 +1,62 @@
+"""Unit tests for criticality-driven FrameID assignment (Eq. (4))."""
+
+from repro.core.frameid import assign_frame_ids, message_criticalities
+
+from tests.util import dyn_msg, fps_task, single_graph_system
+
+
+def chain_system():
+    """Three DYN messages with different deadlines/path depths."""
+    tasks = [
+        fps_task("a", wcet=2, node="N1", priority=1),
+        fps_task("b", wcet=2, node="N2", priority=1),
+        fps_task("c", wcet=2, node="N1", priority=2),
+        fps_task("d", wcet=2, node="N2", priority=2),
+    ]
+    msgs = [
+        dyn_msg("urgent", 4, "a", "b", deadline=20),
+        dyn_msg("relaxed", 4, "c", "d", deadline=90),
+    ]
+    return single_graph_system(tasks, msgs, period=100, deadline=100)
+
+
+class TestCriticalities:
+    def test_cp_is_deadline_minus_longest_path(self):
+        sys_ = chain_system()
+        crit = message_criticalities(sys_)
+        # urgent: LP = wcet(a) + C(urgent) = 2 + 4 = 6 -> CP = 14
+        assert crit["urgent"] == 20 - 6
+        assert crit["relaxed"] == 90 - 6
+
+    def test_only_dyn_messages_considered(self):
+        sys_ = chain_system()
+        assert set(message_criticalities(sys_)) == {"urgent", "relaxed"}
+
+
+class TestAssignment:
+    def test_most_critical_gets_smallest_frame_id(self):
+        fids = assign_frame_ids(chain_system())
+        assert fids["urgent"] == 1
+        assert fids["relaxed"] == 2
+
+    def test_unique_and_contiguous(self):
+        fids = assign_frame_ids(chain_system())
+        assert sorted(fids.values()) == [1, 2]
+
+    def test_deterministic_tie_break_by_name(self):
+        tasks = [
+            fps_task("a", wcet=2, node="N1", priority=1),
+            fps_task("b", wcet=2, node="N2", priority=1),
+        ]
+        msgs = [
+            dyn_msg("mx", 4, "a", "b"),
+            dyn_msg("my", 4, "a", "b"),
+        ]
+        sys_ = single_graph_system(tasks, msgs, period=100, deadline=100)
+        fids = assign_frame_ids(sys_)
+        assert fids["mx"] == 1 and fids["my"] == 2
+
+    def test_empty_when_no_dyn_messages(self):
+        from tests.util import fig3_system
+
+        assert assign_frame_ids(fig3_system()) == {}

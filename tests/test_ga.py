@@ -1,0 +1,40 @@
+"""Tests for the GA baseline optimiser (related work [5])."""
+
+from repro.core import GAOptions, optimise_ga
+
+from tests.util import fig3_system, fig4_system
+
+
+class TestGA:
+    def test_finds_schedulable_config_on_fig4(self):
+        result = optimise_ga(
+            fig4_system(), ga_options=GAOptions(population=14, generations=14, seed=3)
+        )
+        assert result.algorithm == "GA"
+        assert result.best is not None
+        assert result.schedulable
+
+    def test_deterministic_for_seed(self):
+        opts = GAOptions(population=8, generations=5, seed=11)
+        a = optimise_ga(fig4_system(), ga_options=opts)
+        b = optimise_ga(fig4_system(), ga_options=opts)
+        assert a.cost == b.cost
+        assert a.evaluations == b.evaluations
+
+    def test_static_only_system(self):
+        result = optimise_ga(
+            fig3_system(), ga_options=GAOptions(population=6, generations=4)
+        )
+        assert result.schedulable
+
+    def test_evaluations_bounded_by_budget(self):
+        opts = GAOptions(population=6, generations=4, seed=2)
+        result = optimise_ga(fig4_system(), ga_options=opts)
+        # At most population * (generations + 1) distinct analyses (the
+        # evaluator caches repeats).
+        assert result.evaluations <= 6 * 5
+
+    def test_respects_time_budget(self):
+        opts = GAOptions(population=20, generations=500, seed=2, max_seconds=0.3)
+        result = optimise_ga(fig4_system(), ga_options=opts)
+        assert result.elapsed_seconds < 3.0

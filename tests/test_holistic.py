@@ -1,0 +1,172 @@
+"""Integration tests for the holistic analysis (Section 5)."""
+
+import pytest
+
+from repro.analysis.holistic import AnalysisOptions, analyse_system, analysis_cap
+from repro.core.config import FlexRayConfig
+from repro.model import Application, System, TaskGraph
+
+from tests.util import (
+    dyn_msg,
+    fig3_system,
+    fig4_system,
+    fps_task,
+    scs_task,
+    single_graph_system,
+    st_msg,
+)
+
+
+def fig4_config(frame_ids=None, n_minislots=13):
+    return FlexRayConfig(
+        static_slots=("N1", "N2"),
+        gd_static_slot=8,
+        n_minislots=n_minislots,
+        frame_ids=frame_ids or {"m1": 1, "m2": 2, "m3": 3},
+    )
+
+
+class TestStaticOnlySystems:
+    def test_fig3_all_activities_have_wcrt(self):
+        sys_ = fig3_system()
+        cfg = FlexRayConfig(
+            static_slots=("N1", "N2"), gd_static_slot=8, n_minislots=0
+        )
+        res = analyse_system(sys_, cfg)
+        assert res.feasible and res.schedulable
+        names = {t.name for t in sys_.application.tasks()}
+        names |= {m.name for m in sys_.application.messages()}
+        assert set(res.wcrt) == names
+
+    def test_receiver_after_message(self):
+        sys_ = fig3_system()
+        cfg = FlexRayConfig(
+            static_slots=("N1", "N2"), gd_static_slot=8, n_minislots=0
+        )
+        res = analyse_system(sys_, cfg)
+        assert res.wcrt["r2"] > res.wcrt["m2"]
+
+    def test_infeasible_config_reported(self):
+        sys_ = fig3_system()
+        cfg = FlexRayConfig(
+            static_slots=("N1",), gd_static_slot=8, n_minislots=0
+        )
+        res = analyse_system(sys_, cfg)
+        assert not res.feasible
+        assert not res.schedulable
+        assert res.cost_value == float("inf")
+        assert "owns no" in res.failure or "scheduling failed" in res.failure
+
+    def test_tight_deadline_unschedulable(self):
+        sys_ = fig3_system(deadline=5)
+        cfg = FlexRayConfig(
+            static_slots=("N1", "N2"), gd_static_slot=8, n_minislots=0
+        )
+        res = analyse_system(sys_, cfg)
+        assert res.feasible and not res.schedulable
+        assert res.cost.value > 0
+
+
+class TestDynSystems:
+    def test_fig4_analysis_runs(self):
+        sys_ = fig4_system()
+        res = analyse_system(sys_, fig4_config())
+        assert res.feasible
+        assert set(res.wcrt) >= {"m1", "m2", "m3"}
+
+    def test_dyn_message_inherits_scs_sender_offset(self):
+        sys_ = fig4_system()
+        res = analyse_system(sys_, fig4_config())
+        # sender s1 has wcet 1 -> R(s1) = 1 -> J(m1) = 1 -> R(m1) = 1 + w + C
+        assert res.wcrt["m1"] == res.wcrt["s1"] + 29 + 9
+
+    def test_larger_dyn_segment_helps_lf_victim(self):
+        sys_ = fig4_system()
+        short = analyse_system(sys_, fig4_config(n_minislots=13))
+        long_ = analyse_system(sys_, fig4_config(n_minislots=30))
+        assert long_.wcrt["m3"] < short.wcrt["m3"]
+
+
+class TestFpsChains:
+    def fps_chain_system(self, period=200, deadline=200):
+        tasks = [
+            fps_task("src", wcet=5, node="N1", priority=1),
+            fps_task("dst", wcet=7, node="N2", priority=1),
+        ]
+        msgs = [dyn_msg("dm", 4, "src", "dst")]
+        return single_graph_system(
+            tasks, msgs, period=period, deadline=deadline
+        )
+
+    def make_cfg(self):
+        return FlexRayConfig(
+            static_slots=("N1", "N2"),
+            gd_static_slot=2,
+            n_minislots=12,
+            frame_ids={"dm": 1},
+        )
+
+    def test_jitter_propagates_along_chain(self):
+        res = analyse_system(self.fps_chain_system(), self.make_cfg())
+        assert res.feasible and res.converged
+        # R(src) = 5 (empty node); J(dm) = 5; R(dm) = 5 + w + 4;
+        # R(dst) = R(dm) + 7.
+        assert res.wcrt["src"] == 5
+        assert res.wcrt["dm"] > 5 + 4
+        assert res.wcrt["dst"] == res.wcrt["dm"] + 7
+
+    def test_scs_interference_slows_fps(self):
+        tasks = [
+            fps_task("e", wcet=5, node="N1", priority=1),
+            scs_task("s", wcet=50, node="N1"),
+        ]
+        sys_ = single_graph_system(tasks, nodes=("N1",), period=100, deadline=100)
+        cfg = FlexRayConfig(static_slots=("N1",), gd_static_slot=2, n_minislots=0)
+        res = analyse_system(sys_, cfg)
+        # worst case: e released right as s starts -> 50 + 5
+        assert res.wcrt["e"] == 55
+
+    def test_overloaded_fps_unschedulable(self):
+        # Utilisation 1.1: the busy-window recurrence still reaches a
+        # fix point (w = 160 > D = 100), reported as a deadline miss.
+        tasks = [
+            fps_task("e", wcet=60, node="N1", priority=2),
+            fps_task("hi", wcet=50, node="N1", priority=1),
+        ]
+        g = TaskGraph(
+            name="g", period=100, deadline=100, tasks=tuple(tasks)
+        )
+        sys_ = System(("N1",), Application("app", (g,)))
+        cfg = FlexRayConfig(static_slots=("N1",), gd_static_slot=2, n_minislots=0)
+        res = analyse_system(sys_, cfg)
+        assert res.feasible
+        assert not res.schedulable
+        assert res.wcrt["e"] == 160
+        assert res.cost.value > 0
+
+    def test_starved_fps_hits_cap_not_converged(self):
+        tasks = [
+            fps_task("e", wcet=5, node="N1", priority=1),
+            scs_task("s", wcet=100, node="N1"),
+        ]
+        sys_ = single_graph_system(tasks, nodes=("N1",), period=100, deadline=100)
+        cfg = FlexRayConfig(static_slots=("N1",), gd_static_slot=2, n_minislots=0)
+        res = analyse_system(sys_, cfg)
+        assert res.feasible
+        assert not res.converged
+        assert not res.schedulable
+
+
+class TestAnalysisCap:
+    def test_cap_exceeds_deadlines_and_hyperperiod(self):
+        sys_ = fig4_system()
+        cfg = fig4_config()
+        cap = analysis_cap(sys_, cfg, cap_factor=8)
+        assert cap >= 8 * sys_.application.hyperperiod
+        assert cap > max(g.deadline for g in sys_.application.graphs)
+
+    def test_options_cap_factor(self):
+        sys_ = fig4_system()
+        assert analysis_cap(sys_, fig4_config(), 2) < analysis_cap(
+            sys_, fig4_config(), 20
+        )

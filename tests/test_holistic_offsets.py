@@ -1,0 +1,98 @@
+"""Tests for the offset-based jitter reduction in the holistic analysis.
+
+Same-graph *ancestors* of an activity must not contribute release-jitter
+inflated interference (their instance-k execution always precedes the
+activity's busy window); unrelated activities and siblings keep their
+jitter.  See ref. [10] of the paper (Palencia / Gonzalez Harbour).
+"""
+
+from repro.analysis import analyse_system
+from repro.core.config import FlexRayConfig
+from repro.model import Application, System, TaskGraph
+
+from tests.util import dyn_msg, fps_task, single_graph_system
+
+
+def chain_on_one_node(depth=3, wcet=10, period=400, deadline=400):
+    """FPS chain t0 -> t1 -> ... all on N1, decreasing priority."""
+    tasks = [
+        fps_task(f"t{i}", wcet=wcet, node="N1", priority=i) for i in range(depth)
+    ]
+    precedences = tuple((f"t{i}", f"t{i + 1}") for i in range(depth - 1))
+    return single_graph_system(
+        tasks,
+        nodes=("N1",),
+        period=period,
+        deadline=deadline,
+        precedences=precedences,
+    )
+
+
+CFG = FlexRayConfig(static_slots=("N1",), gd_static_slot=2, n_minislots=0)
+
+
+class TestAncestorJitterReduction:
+    def test_chain_tail_not_jitter_inflated(self):
+        # With the offset reduction the tail of a 3-deep chain sees each
+        # ancestor exactly once per period: R(t2) = 10+10+10 = 30.
+        res = analyse_system(chain_on_one_node(), CFG)
+        assert res.wcrt["t0"] == 10
+        assert res.wcrt["t1"] == 20
+        assert res.wcrt["t2"] == 30
+
+    def test_deep_chain_linear_growth(self):
+        res = analyse_system(chain_on_one_node(depth=5), CFG)
+        # Linear accumulation, not exponential jitter blow-up.
+        assert res.wcrt["t4"] == 50
+
+    def test_unrelated_interferer_keeps_jitter(self):
+        # Graph A: chain a0 -> a1 on N2 then message to N1's a2.
+        # Graph B: b (lowest priority on N1).  a2's jitter (inherited
+        # from the message) must still inflate b's interference.
+        ga = TaskGraph(
+            name="ga",
+            period=400,
+            deadline=400,
+            tasks=(
+                fps_task("a0", wcet=40, node="N2", priority=1),
+                fps_task("a2", wcet=10, node="N1", priority=1),
+            ),
+            messages=(dyn_msg("ma", 4, "a0", "a2"),),
+        )
+        gb = TaskGraph(
+            name="gb",
+            period=400,
+            deadline=400,
+            tasks=(fps_task("b", wcet=10, node="N1", priority=2),),
+        )
+        sys_ = System(("N1", "N2"), Application("app", (ga, gb)))
+        cfg = FlexRayConfig(
+            static_slots=("N1",),
+            gd_static_slot=2,
+            n_minislots=8,
+            frame_ids={"ma": 1},
+        )
+        res = analyse_system(sys_, cfg)
+        # b suffers from a2 (higher priority) whose jitter is R(ma) > 0.
+        assert res.wcrt["b"] >= 10 + 10
+        assert res.wcrt["a2"] > res.wcrt["ma"]
+
+    def test_sibling_jitter_preserved(self):
+        # Diamond: src -> (left, right) -> sink; left and right on the
+        # same node.  right (lower priority) is delayed by left once,
+        # and left's jitter (as a *sibling*, not ancestor) is kept.
+        tasks = [
+            fps_task("src", wcet=10, node="N1", priority=0),
+            fps_task("left", wcet=10, node="N1", priority=1),
+            fps_task("right", wcet=10, node="N1", priority=2),
+        ]
+        sys_ = single_graph_system(
+            tasks,
+            nodes=("N1",),
+            period=400,
+            deadline=400,
+            precedences=(("src", "left"), ("src", "right")),
+        )
+        res = analyse_system(sys_, CFG)
+        # right: jitter 10 (src) + own busy window (10 + left 10) = 30
+        assert res.wcrt["right"] == 30

@@ -1,0 +1,58 @@
+"""Unit tests for the interference-count primitive shared by the FPS and
+DYN analyses (offset-aware ancestor reduction)."""
+
+import pytest
+
+from repro.analysis.fps import interference_count
+
+
+class TestOrdinaryInterferers:
+    def test_classic_jitter_free(self):
+        # ceil(w / T)
+        assert interference_count(10, 100, 0, False, 0) == 1
+        assert interference_count(100, 100, 0, False, 0) == 1
+        assert interference_count(101, 100, 0, False, 0) == 2
+
+    def test_jitter_adds_activations(self):
+        assert interference_count(10, 100, 95, False, 0) == 2
+        assert interference_count(10, 100, 190, False, 0) == 2
+        assert interference_count(10, 100, 191, False, 0) == 3
+
+    def test_own_jitter_irrelevant_for_non_ancestors(self):
+        a = interference_count(50, 100, 20, False, 0)
+        b = interference_count(50, 100, 20, False, 999)
+        assert a == b
+
+
+class TestAncestorInterferers:
+    def test_short_window_sees_no_ancestor(self):
+        # The ancestor's next instance arrives a full period after the
+        # graph release; a short window cannot reach it.
+        assert interference_count(10, 100, 50, True, 0) == 0
+        assert interference_count(10, 100, 50, True, 80) == 0
+
+    def test_window_crossing_period_sees_one(self):
+        assert interference_count(10, 100, 0, True, 95) == 1
+        assert interference_count(101, 100, 0, True, 0) == 1
+
+    def test_interferer_jitter_ignored_for_ancestors(self):
+        a = interference_count(10, 100, 0, True, 10)
+        b = interference_count(10, 100, 500, True, 10)
+        assert a == b == 0
+
+    def test_long_windows_accumulate(self):
+        # w + J_own - T = 250 -> ceil(250/100) = 3
+        assert interference_count(300, 100, 0, True, 50) == 3
+
+    def test_boundary_exact_period(self):
+        # w + J_own == T: the next instance arrives exactly at the end of
+        # the (half-open) window -> no interference.
+        assert interference_count(60, 100, 0, True, 40) == 0
+        assert interference_count(61, 100, 0, True, 40) == 1
+
+    def test_ancestor_count_never_exceeds_ordinary(self):
+        for w in (1, 50, 150, 1000):
+            for j_own in (0, 30, 120):
+                anc = interference_count(w, 100, j_own, True, j_own)
+                ordinary = interference_count(w, 100, j_own, False, j_own)
+                assert anc <= ordinary

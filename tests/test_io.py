@@ -1,0 +1,85 @@
+"""Round-trip tests for JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.io import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    load_system,
+    save_config,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.synth import GeneratorConfig, generate_system
+
+from tests.util import basic_config, fig3_system, fig4_system
+
+
+class TestSystemRoundTrip:
+    def test_fig3_round_trip(self):
+        sys_ = fig3_system()
+        clone = system_from_dict(system_to_dict(sys_))
+        assert clone.describe() == sys_.describe()
+        assert [t.wcet for t in clone.application.tasks()] == [
+            t.wcet for t in sys_.application.tasks()
+        ]
+
+    def test_generated_system_round_trip(self):
+        sys_ = generate_system(GeneratorConfig(n_nodes=3, seed=77))
+        clone = system_from_dict(system_to_dict(sys_))
+        assert clone.describe() == sys_.describe()
+        for g1, g2 in zip(sys_.application.graphs, clone.application.graphs):
+            assert g1.precedences == g2.precedences
+            assert [m.size for m in g1.messages] == [m.size for m in g2.messages]
+            assert [t.priority for t in g1.tasks] == [t.priority for t in g2.tasks]
+
+    def test_policies_and_kinds_preserved(self):
+        sys_ = fig4_system()
+        clone = system_from_dict(system_to_dict(sys_))
+        assert clone.application.task("d1").is_fps
+        assert clone.application.message("m1").is_dynamic
+
+    def test_document_is_json_compatible(self):
+        text = json.dumps(system_to_dict(fig3_system()))
+        assert "m1" in text
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "system.json")
+        save_system(fig3_system(), path)
+        assert load_system(path).describe() == fig3_system().describe()
+
+
+class TestConfigRoundTrip:
+    def test_round_trip(self):
+        cfg = basic_config(frame_ids={"m1": 1, "m2": 2, "m3": 1})
+        clone = config_from_dict(config_to_dict(cfg))
+        assert clone == cfg
+
+    def test_file_round_trip(self, tmp_path):
+        cfg = basic_config(frame_ids={"x": 3})
+        path = str(tmp_path / "config.json")
+        save_config(cfg, path)
+        assert load_config(path) == cfg
+
+
+class TestVersioning:
+    def test_unknown_version_rejected(self):
+        doc = system_to_dict(fig3_system())
+        doc["version"] = 99
+        with pytest.raises(SerializationError, match="version"):
+            system_from_dict(doc)
+
+    def test_missing_version_rejected(self):
+        doc = config_to_dict(basic_config())
+        del doc["version"]
+        with pytest.raises(SerializationError):
+            config_from_dict(doc)
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(SerializationError):
+            system_from_dict({"version": 1, "nodes": ["N1"]})

@@ -1,0 +1,70 @@
+"""Additional OBC unit coverage: static-structure exploration order."""
+
+import pytest
+
+from repro.core import BusOptimisationOptions, optimise_obc
+from repro.core.obc import _template
+from repro.flexray import params
+
+from tests.util import fig3_system, fig4_system
+
+
+class TestTemplateConstruction:
+    def test_valid_template(self):
+        options = BusOptimisationOptions()
+        cfg = _template(("N1", "N2"), 8, 10, {}, options)
+        assert cfg is not None
+        assert cfg.gd_cycle == 26
+
+    def test_oversized_static_returns_none(self):
+        options = BusOptimisationOptions()
+        # 30 slots x 600 MT = 18 ms > the 16 ms protocol cap.
+        cfg = _template(("N1",) * 30, 600, 10, {}, options)
+        assert cfg is None
+
+
+class TestExplorationBehaviour:
+    def test_stop_when_schedulable_limits_work(self):
+        fast = optimise_obc(
+            fig4_system(),
+            BusOptimisationOptions(stop_when_schedulable=True),
+            method="curvefit",
+        )
+        thorough = optimise_obc(
+            fig4_system(),
+            BusOptimisationOptions(stop_when_schedulable=False),
+            method="curvefit",
+        )
+        assert fast.schedulable and thorough.schedulable
+        assert fast.evaluations <= thorough.evaluations
+        # More exploration can only improve (or match) the cost.
+        assert thorough.cost <= fast.cost
+
+    def test_static_structure_bounds_respected(self):
+        options = BusOptimisationOptions(
+            max_extra_static_slots=0, max_slot_size_steps=0
+        )
+        result = optimise_obc(fig3_system(), options, method="exhaustive")
+        assert result.best is not None
+        cfg = result.config
+        assert cfg.n_static_slots == 2  # exactly the per-sender minimum
+        assert cfg.gd_static_slot == 4  # exactly the largest-frame minimum
+
+    def test_larger_exploration_never_worse(self):
+        narrow = optimise_obc(
+            fig3_system(),
+            BusOptimisationOptions(
+                max_extra_static_slots=0,
+                max_slot_size_steps=0,
+                stop_when_schedulable=False,
+            ),
+        )
+        wide = optimise_obc(
+            fig3_system(),
+            BusOptimisationOptions(
+                max_extra_static_slots=2,
+                max_slot_size_steps=2,
+                stop_when_schedulable=False,
+            ),
+        )
+        assert wide.cost <= narrow.cost

@@ -1,0 +1,62 @@
+"""Unit tests for the modified critical-path list-scheduling priority."""
+
+from repro.analysis.priorities import critical_path_priorities, message_costs
+from repro.core.config import FlexRayConfig
+from repro.model import Application, System, TaskGraph
+
+from tests.util import fig3_system, scs_task, st_msg
+
+
+def make_config():
+    return FlexRayConfig(static_slots=("N1", "N2"), gd_static_slot=8, n_minislots=0)
+
+
+class TestMessageCosts:
+    def test_uses_bus_transmission_time(self):
+        sys_ = fig3_system()
+        costs = message_costs(sys_.application, make_config())
+        assert costs == {"m1": 4, "m2": 3, "m3": 2}
+
+    def test_overhead_affects_costs(self):
+        sys_ = fig3_system()
+        cfg = FlexRayConfig(
+            static_slots=("N1", "N2"),
+            gd_static_slot=20,
+            n_minislots=0,
+            frame_overhead_bytes=8,
+        )
+        costs = message_costs(sys_.application, cfg)
+        assert costs["m3"] == 10
+
+
+class TestCriticalPathPriorities:
+    def test_upstream_activity_has_higher_priority(self):
+        sys_ = fig3_system()
+        prio = critical_path_priorities(sys_.application, make_config())
+        # t2 precedes m2 which precedes r2: priorities must decrease.
+        assert prio["t2"] > prio["m2"] > prio["r2"]
+
+    def test_tight_graph_outranks_slack_graph(self):
+        tight = TaskGraph(
+            name="tight",
+            period=100,
+            deadline=12,
+            tasks=(scs_task("a", wcet=10, node="N1"),),
+        )
+        slack = TaskGraph(
+            name="slack",
+            period=100,
+            deadline=90,
+            tasks=(scs_task("b", wcet=10, node="N1"),),
+        )
+        app = Application("app", (tight, slack))
+        System(("N1",), app)  # mapping validity
+        prio = critical_path_priorities(app, make_config())
+        assert prio["a"] > prio["b"]
+
+    def test_priority_covers_every_activity(self):
+        sys_ = fig3_system()
+        prio = critical_path_priorities(sys_.application, make_config())
+        names = {t.name for t in sys_.application.tasks()}
+        names |= {m.name for m in sys_.application.messages()}
+        assert set(prio) == names

@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis import analyse_system
+from repro.analysis.availability import (
+    NodeAvailability,
+    merge_intervals,
+    wrap_busy_intervals,
+)
+from repro.core.bbc import basic_configuration
+from repro.core.curvefit import NewtonInterpolator, spread_points
+from repro.core.search import (
+    BusOptimisationOptions,
+    dyn_segment_bounds,
+    sweep_lengths,
+)
+from repro.flexray.simulator import simulate
+from repro.io import system_from_dict, system_to_dict
+from repro.model import (
+    Application,
+    Message,
+    MessageKind,
+    SchedulingPolicy,
+    System,
+    Task,
+    TaskGraph,
+)
+
+# ----------------------------------------------------------------------
+# availability
+# ----------------------------------------------------------------------
+intervals_strategy = st.lists(
+    st.tuples(st.integers(0, 90), st.integers(1, 20)).map(
+        lambda se: (se[0], min(100, se[0] + se[1]))
+    ),
+    max_size=6,
+)
+
+
+class TestAvailabilityProperties:
+    @given(intervals_strategy, st.integers(0, 120), st.integers(0, 60))
+    @settings(max_examples=150)
+    def test_advance_is_exact_inverse_of_available_in(self, busy, t0, demand):
+        av = NodeAvailability(busy, period=100)
+        if av.slack_per_period == 0:
+            assert demand == 0 or av.advance(t0, demand) is None
+            return
+        t = av.advance(t0, demand)
+        assert av.available_in(t0, t) == demand
+        if demand > 0:
+            assert av.available_in(t0, t - 1) < demand
+
+    @given(intervals_strategy)
+    @settings(max_examples=100)
+    def test_merge_intervals_disjoint_and_ordered(self, busy):
+        merged = merge_intervals(busy)
+        for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+            assert e1 < s2
+        assert sum(e - s for s, e in merged) <= 100
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 300), st.integers(1, 80)).map(
+                lambda se: (se[0], se[0] + se[1])
+            ),
+            max_size=5,
+        )
+    )
+    @settings(max_examples=100)
+    def test_wrap_preserves_total_busy_time_modulo_saturation(self, busy):
+        wrapped = wrap_busy_intervals(busy, 100)
+        assert all(0 <= s < e <= 100 for s, e in wrapped)
+        raw_total = sum(e - s for s, e in busy)
+        wrapped_total = sum(e - s for s, e in wrapped)
+        assert wrapped_total <= min(raw_total, 100)
+
+
+# ----------------------------------------------------------------------
+# curve fitting
+# ----------------------------------------------------------------------
+class TestCurveFitProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-50, 50), st.integers(-1000, 1000)
+            ),
+            min_size=1,
+            max_size=7,
+            unique_by=lambda p: p[0],
+        )
+    )
+    @settings(max_examples=150)
+    def test_interpolation_reproduces_every_node(self, points):
+        ip = NewtonInterpolator([p[0] for p in points], [p[1] for p in points])
+        for x, y in points:
+            assert abs(ip(x) - y) < 1e-6 * max(1, abs(y))
+
+    @given(st.integers(0, 500), st.integers(0, 500), st.integers(1, 12))
+    @settings(max_examples=150)
+    def test_spread_points_within_range_and_sorted(self, a, span, count):
+        lo, hi = a, a + span
+        pts = spread_points(lo, hi, count)
+        assert pts == sorted(set(pts))
+        assert pts[0] == lo and pts[-1] == hi if len(pts) > 1 else pts == [lo]
+        assert all(lo <= p <= hi for p in pts)
+
+    @given(st.integers(0, 500), st.integers(0, 500), st.integers(1, 40))
+    @settings(max_examples=150)
+    def test_sweep_lengths_bounds(self, a, span, cap):
+        lo, hi = a, a + span
+        pts = sweep_lengths(lo, hi, cap)
+        assert len(pts) <= cap
+        assert all(lo <= p <= hi for p in pts)
+        assert pts == sorted(set(pts))
+
+
+# ----------------------------------------------------------------------
+# random small systems: simulation never exceeds the analysis
+# ----------------------------------------------------------------------
+@st.composite
+def small_system(draw):
+    """A 2-node system with one TT chain and one ET chain."""
+    tt_len = draw(st.integers(2, 3))
+    et_len = draw(st.integers(2, 3))
+    period = draw(st.sampled_from([200, 400]))
+
+    def chain(prefix, length, policy, kind, wcets, sizes):
+        tasks = []
+        messages = []
+        for i in range(length):
+            node = "N1" if (i + (prefix == "e")) % 2 == 0 else "N2"
+            tasks.append(
+                Task(
+                    f"{prefix}{i}",
+                    wcet=wcets[i],
+                    node=node,
+                    policy=policy,
+                    priority=i,
+                )
+            )
+        for i in range(length - 1):
+            messages.append(
+                Message(
+                    f"{prefix}m{i}",
+                    size=sizes[i],
+                    sender=f"{prefix}{i}",
+                    receivers=(f"{prefix}{i + 1}",),
+                    kind=kind,
+                    priority=i,
+                )
+            )
+        return tasks, messages
+
+    tt_wcets = draw(
+        st.lists(st.integers(1, 15), min_size=tt_len, max_size=tt_len)
+    )
+    et_wcets = draw(
+        st.lists(st.integers(1, 15), min_size=et_len, max_size=et_len)
+    )
+    tt_sizes = draw(
+        st.lists(st.integers(1, 8), min_size=tt_len - 1, max_size=tt_len - 1)
+    )
+    et_sizes = draw(
+        st.lists(st.integers(1, 8), min_size=et_len - 1, max_size=et_len - 1)
+    )
+    tt_tasks, tt_msgs = chain(
+        "t", tt_len, SchedulingPolicy.SCS, MessageKind.ST, tt_wcets, tt_sizes
+    )
+    et_tasks, et_msgs = chain(
+        "e", et_len, SchedulingPolicy.FPS, MessageKind.DYN, et_wcets, et_sizes
+    )
+    graphs = (
+        TaskGraph(
+            name="tt",
+            period=period,
+            deadline=period,
+            tasks=tuple(tt_tasks),
+            messages=tuple(tt_msgs),
+        ),
+        TaskGraph(
+            name="et",
+            period=period,
+            deadline=period,
+            tasks=tuple(et_tasks),
+            messages=tuple(et_msgs),
+        ),
+    )
+    return System(("N1", "N2"), Application("prop", graphs))
+
+
+class TestSimulationBoundedByAnalysis:
+    @given(small_system(), st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_simulated_wcrt_below_analysed_wcrt(self, system, dyn_extra):
+        options = BusOptimisationOptions()
+        lo, hi = dyn_segment_bounds(system, 0, options)
+        n_minislots = min(hi, lo + dyn_extra * 5) if hi >= lo else 0
+        config = basic_configuration(system, n_minislots, options)
+        analysed = analyse_system(system, config)
+        if not analysed.feasible:
+            return
+        simulated = simulate(system, config, table=analysed.table)
+        for name, r_sim in simulated.observed_wcrt.items():
+            assert r_sim <= analysed.wcrt[name], (
+                name,
+                r_sim,
+                analysed.wcrt[name],
+            )
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+class TestSerializationProperties:
+    @given(small_system())
+    @settings(max_examples=40, deadline=None)
+    def test_system_round_trip(self, system):
+        clone = system_from_dict(system_to_dict(system))
+        assert clone.describe() == system.describe()
+        assert [t.wcet for t in clone.application.tasks()] == [
+            t.wcet for t in system.application.tasks()
+        ]

@@ -1,0 +1,149 @@
+"""Unit tests for the SA neighbourhood moves."""
+
+import random
+
+import pytest
+
+from repro.core.sa import (
+    _move_add_slot,
+    _move_dyn_length,
+    _move_dyn_scale,
+    _move_relocate_frame_id,
+    _move_remove_slot,
+    _move_reassign_slot,
+    _move_slot_size,
+    _move_swap_frame_ids,
+    _neighbour,
+)
+from repro.core.search import BusOptimisationOptions, dyn_segment_bounds
+from repro.core.config import FlexRayConfig
+
+from tests.util import fig3_system, fig4_system
+
+
+OPTIONS = BusOptimisationOptions()
+
+
+def fig3_config(slots=("N1", "N2"), size=4):
+    return FlexRayConfig(static_slots=slots, gd_static_slot=size, n_minislots=0)
+
+
+def fig4_config(n_minislots=20):
+    return FlexRayConfig(
+        static_slots=(),
+        gd_static_slot=0,
+        n_minislots=n_minislots,
+        frame_ids={"m1": 1, "m2": 2, "m3": 3},
+    )
+
+
+class TestDynMoves:
+    def test_dyn_length_stays_in_bounds(self):
+        system = fig4_system()
+        cfg = fig4_config()
+        lo, hi = dyn_segment_bounds(system, cfg.st_bus, OPTIONS)
+        rng = random.Random(1)
+        for _ in range(50):
+            out = _move_dyn_length(system, cfg, OPTIONS, rng)
+            assert out is not None
+            assert lo <= out.n_minislots <= hi
+
+    def test_dyn_scale_traverses_quickly(self):
+        system = fig4_system()
+        cfg = fig4_config(n_minislots=4000)
+        rng = random.Random(2)
+        seen = {cfg.n_minislots}
+        for _ in range(20):
+            cfg2 = _move_dyn_scale(system, cfg, OPTIONS, rng)
+            seen.add(cfg2.n_minislots)
+        assert min(seen) <= 2000 or max(seen) >= 7900
+
+    def test_no_dyn_moves_without_st_change(self):
+        system = fig4_system()
+        cfg = fig4_config()
+        rng = random.Random(3)
+        out = _move_dyn_length(system, cfg, OPTIONS, rng)
+        assert out.frame_ids == cfg.frame_ids
+
+
+class TestStaticMoves:
+    def test_slot_size_respects_floor(self):
+        system = fig3_system()
+        cfg = fig3_config(size=4)  # the minimum (largest ST frame)
+        rng = random.Random(4)
+        for _ in range(30):
+            out = _move_slot_size(system, cfg, OPTIONS, rng)
+            assert out.gd_static_slot >= 4
+
+    def test_slot_size_noop_without_static(self):
+        system = fig4_system()
+        assert _move_slot_size(system, fig4_config(), OPTIONS, random.Random(5)) is None
+
+    def test_add_slot_grows(self):
+        system = fig3_system()
+        out = _move_add_slot(system, fig3_config(), OPTIONS, random.Random(6))
+        assert out.n_static_slots == 3
+
+    def test_remove_slot_keeps_senders_covered(self):
+        system = fig3_system()
+        cfg = fig3_config(slots=("N1", "N2", "N2"))
+        out = _move_remove_slot(system, cfg, OPTIONS, random.Random(7))
+        assert out is not None
+        assert set(out.static_slots) == {"N1", "N2"}
+
+    def test_remove_slot_refuses_minimum(self):
+        system = fig3_system()
+        assert (
+            _move_remove_slot(system, fig3_config(), OPTIONS, random.Random(8))
+            is None
+        )
+
+    def test_reassign_only_duplicated_slots(self):
+        system = fig3_system()
+        # Only single slots per node: nothing reassignable.
+        assert (
+            _move_reassign_slot(system, fig3_config(), OPTIONS, random.Random(9))
+            is None
+        )
+        cfg = fig3_config(slots=("N1", "N2", "N2"))
+        out = _move_reassign_slot(system, cfg, OPTIONS, random.Random(9))
+        assert out is not None
+        assert set(out.static_slots) >= {"N1", "N2"}
+
+
+class TestFrameIdMoves:
+    def test_swap_preserves_id_multiset(self):
+        system = fig4_system()
+        cfg = fig4_config()
+        out = _move_swap_frame_ids(system, cfg, OPTIONS, random.Random(10))
+        assert sorted(out.frame_ids.values()) == [1, 2, 3]
+        assert out.frame_ids != cfg.frame_ids
+
+    def test_relocate_moves_to_unused_id(self):
+        system = fig4_system()
+        cfg = fig4_config()
+        out = _move_relocate_frame_id(system, cfg, OPTIONS, random.Random(11))
+        assert out is not None
+        assert len(set(out.frame_ids.values())) == 3
+
+    def test_swap_noop_with_single_message(self):
+        system = fig4_system()
+        cfg = FlexRayConfig(
+            static_slots=(), gd_static_slot=0, n_minislots=20,
+            frame_ids={"m1": 1},
+        )
+        assert _move_swap_frame_ids(system, cfg, OPTIONS, random.Random(12)) is None
+
+
+class TestNeighbourDispatcher:
+    def test_neighbour_returns_valid_or_none(self):
+        system = fig4_system()
+        cfg = fig4_config()
+        rng = random.Random(13)
+        produced = 0
+        for _ in range(60):
+            out = _neighbour(system, cfg, OPTIONS, rng)
+            if out is not None:
+                produced += 1
+                assert out.gd_cycle > 0
+        assert produced > 20

@@ -1,0 +1,87 @@
+"""Property tests: schedule construction invariants on random systems."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis.scheduler import build_schedule
+from repro.core.config import FlexRayConfig
+from repro.errors import SchedulingError
+from repro.model import Application, System, TaskGraph
+
+from tests.util import scs_task, st_msg
+
+
+@st.composite
+def tt_system_and_config(draw):
+    """Random 2-node TT workload plus a random legal ST configuration."""
+    n_chains = draw(st.integers(1, 3))
+    period = draw(st.sampled_from([60, 120]))
+    graphs = []
+    for c in range(n_chains):
+        wcets = draw(st.lists(st.integers(1, 6), min_size=2, max_size=3))
+        tasks = []
+        messages = []
+        for i, w in enumerate(wcets):
+            node = "N1" if (i + c) % 2 == 0 else "N2"
+            tasks.append(scs_task(f"c{c}t{i}", wcet=w, node=node))
+        for i in range(len(wcets) - 1):
+            size = draw(st.integers(1, 4))
+            messages.append(st_msg(f"c{c}m{i}", size, f"c{c}t{i}", f"c{c}t{i+1}"))
+        graphs.append(
+            TaskGraph(
+                name=f"c{c}",
+                period=period,
+                deadline=period,
+                tasks=tuple(tasks),
+                messages=tuple(messages),
+            )
+        )
+    system = System(("N1", "N2"), Application("prop", tuple(graphs)))
+    slot = draw(st.integers(4, 10))
+    extra = draw(st.integers(0, 2))
+    slots = ("N1", "N2") + tuple(
+        draw(st.sampled_from(["N1", "N2"])) for _ in range(extra)
+    )
+    config = FlexRayConfig(
+        static_slots=slots, gd_static_slot=slot, n_minislots=0
+    )
+    return system, config
+
+
+class TestScheduleInvariants:
+    @given(tt_system_and_config())
+    @settings(max_examples=60, deadline=None)
+    def test_no_node_overlap_and_causality(self, system_and_config):
+        system, config = system_and_config
+        try:
+            table = build_schedule(system, config)
+        except SchedulingError:
+            return  # an unschedulable combination is a legal outcome
+        # (1) per-node SCS tasks never overlap
+        for node in system.nodes:
+            busy = table.busy_intervals(node)
+            for (s1, e1), (s2, e2) in zip(busy, busy[1:]):
+                assert e1 <= s2
+        # (2) messages start at or after their sender's finish
+        app = system.application
+        for key, entry in table.messages.items():
+            name, instance = key.rsplit("#", 1)
+            sender = app.graph_of(name).task(entry.message.sender)
+            sender_finish = table.finish_of(f"{sender.name}#{instance}")
+            assert entry.slot_start >= sender_finish
+        # (3) frames never exceed the slot payload
+        per_frame = {}
+        for entry in table.messages.values():
+            k = (entry.cycle, entry.slot)
+            per_frame[k] = per_frame.get(k, 0) + entry.ct
+        assert all(v <= config.gd_static_slot for v in per_frame.values())
+        # (4) slots only carry messages of their owner
+        for entry in table.messages.values():
+            owner = config.static_slots[entry.slot - 1]
+            assert system.sender_node(entry.message) == owner
+        # (5) receivers start after the message arrival
+        for key, entry in table.messages.items():
+            name, instance = key.rsplit("#", 1)
+            for receiver in entry.message.receivers:
+                r_start = table.tasks[f"{receiver}#{instance}"].start
+                assert r_start >= entry.finish

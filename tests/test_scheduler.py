@@ -1,0 +1,169 @@
+"""Unit and integration tests for the global static scheduler (Fig. 2)."""
+
+import pytest
+
+from repro.analysis.scheduler import ScheduleOptions, build_schedule
+from repro.core.config import FlexRayConfig
+from repro.errors import SchedulingError
+from repro.model import Application, System, TaskGraph
+
+from tests.util import (
+    dyn_msg,
+    fig3_system,
+    fps_task,
+    scs_task,
+    single_graph_system,
+    st_msg,
+)
+
+
+def fig3_config(slots=("N1", "N2"), size=8, minis=0):
+    if minis == 0:
+        return FlexRayConfig(static_slots=slots, gd_static_slot=size, n_minislots=0)
+    return FlexRayConfig(static_slots=slots, gd_static_slot=size, n_minislots=minis)
+
+
+class TestTaskPlacement:
+    def test_chain_respects_precedence_across_nodes(self):
+        sys_ = fig3_system()
+        table = build_schedule(sys_, fig3_config())
+        t2 = table.tasks["t2#0"]
+        m2 = table.messages["m2#0"]
+        r2 = table.tasks["r2#0"]
+        assert m2.slot_start >= t2.finish
+        assert r2.start >= m2.finish
+
+    def test_same_node_tasks_do_not_overlap(self):
+        tasks = [scs_task(f"t{i}", wcet=4, node="N1") for i in range(5)]
+        sys_ = single_graph_system(tasks, nodes=("N1",), period=100, deadline=100)
+        cfg = FlexRayConfig(static_slots=("N1",), gd_static_slot=2, n_minislots=0)
+        table = build_schedule(sys_, cfg)
+        busy = table.busy_intervals("N1")
+        assert len(busy) >= 1
+        assert sum(e - s for s, e in busy) == 20
+        for (s1, e1), (s2, e2) in zip(busy, busy[1:]):
+            assert e1 <= s2
+
+    def test_release_offset_respected(self):
+        tasks = [scs_task("t", wcet=2, node="N1", release=30)]
+        sys_ = single_graph_system(tasks, nodes=("N1",))
+        cfg = FlexRayConfig(static_slots=("N1",), gd_static_slot=2, n_minislots=0)
+        table = build_schedule(sys_, cfg)
+        assert table.tasks["t#0"].start >= 30
+
+    def test_periodic_instances_each_scheduled(self):
+        g1 = TaskGraph(
+            name="g1", period=20, deadline=20, tasks=(scs_task("a", node="N1"),)
+        )
+        g2 = TaskGraph(
+            name="g2", period=40, deadline=40, tasks=(scs_task("b", node="N1"),)
+        )
+        sys_ = System(("N1",), Application("app", (g1, g2)))
+        cfg = FlexRayConfig(static_slots=("N1",), gd_static_slot=2, n_minislots=0)
+        table = build_schedule(sys_, cfg)
+        assert set(table.tasks) == {"a#0", "a#1", "b#0"}
+        assert table.tasks["a#1"].start >= 20
+
+    def test_critical_path_priority_orders_ready_tasks(self):
+        # Two independent chains on one node; the long chain's head must
+        # be scheduled first even though both are ready at time 0.
+        tasks = [
+            scs_task("short", wcet=2, node="N1"),
+            scs_task("long_head", wcet=2, node="N1"),
+            scs_task("long_tail", wcet=50, node="N1"),
+        ]
+        sys_ = single_graph_system(
+            tasks,
+            nodes=("N1",),
+            precedences=(("long_head", "long_tail"),),
+        )
+        cfg = FlexRayConfig(static_slots=("N1",), gd_static_slot=2, n_minislots=0)
+        table = build_schedule(sys_, cfg)
+        assert table.tasks["long_head#0"].start < table.tasks["short#0"].start
+
+
+class TestMessagePlacement:
+    def test_message_waits_for_sender(self):
+        sys_ = fig3_system()
+        table = build_schedule(sys_, fig3_config())
+        for key, entry in table.messages.items():
+            sender = sys_.application.message(entry.message.name).sender
+            instance = key.rsplit("#", 1)[1]
+            assert entry.slot_start >= table.tasks[f"{sender}#{instance}"].finish
+
+    def test_message_in_sender_slot_only(self):
+        sys_ = fig3_system()
+        table = build_schedule(sys_, fig3_config())
+        assert table.messages["m1#0"].slot == 1  # N1's slot
+        assert table.messages["m2#0"].slot == 2  # N2's slot
+
+    def test_frame_packing_when_slot_large_enough(self):
+        sys_ = fig3_system()
+        table = build_schedule(sys_, fig3_config(size=8))
+        m2, m3 = table.messages["m2#0"], table.messages["m3#0"]
+        assert (m2.cycle, m2.slot) == (m3.cycle, m3.slot)
+        assert m3.offset == m2.ct
+
+    def test_no_packing_when_slot_too_small(self):
+        sys_ = fig3_system()
+        table = build_schedule(sys_, fig3_config(size=4))
+        m2, m3 = table.messages["m2#0"], table.messages["m3#0"]
+        assert (m2.cycle, m2.slot) != (m3.cycle, m3.slot)
+
+    def test_second_slot_speeds_up_second_message(self):
+        sys_ = fig3_system()
+        narrow = build_schedule(sys_, fig3_config(slots=("N1", "N2"), size=4))
+        wide = build_schedule(sys_, fig3_config(slots=("N1", "N2", "N2"), size=4))
+        assert wide.messages["m3#0"].finish < narrow.messages["m3#0"].finish
+
+    def test_unschedulable_when_no_slot(self):
+        sys_ = fig3_system()
+        cfg = FlexRayConfig(static_slots=("N1",), gd_static_slot=8, n_minislots=0)
+        with pytest.raises(SchedulingError, match="no static slot"):
+            build_schedule(sys_, cfg)
+
+    def test_messages_of_fps_graph_ignored(self):
+        tasks = [
+            fps_task("e1", node="N1", priority=1),
+            fps_task("e2", node="N2", priority=1),
+        ]
+        msgs = [dyn_msg("dm", 3, "e1", "e2")]
+        sys_ = single_graph_system(tasks, msgs)
+        cfg = FlexRayConfig(
+            static_slots=("N1",), gd_static_slot=4, n_minislots=10,
+            frame_ids={"dm": 1},
+        )
+        table = build_schedule(sys_, cfg)
+        assert table.tasks == {} and table.messages == {}
+
+
+class TestMixedDependencies:
+    def test_scs_after_fps_requires_estimates(self):
+        tasks = [
+            fps_task("e", node="N1", priority=1),
+            scs_task("s", node="N1"),
+        ]
+        sys_ = single_graph_system(
+            tasks, nodes=("N1",), precedences=(("e", "s"),)
+        )
+        cfg = FlexRayConfig(static_slots=("N1",), gd_static_slot=2, n_minislots=0)
+        with pytest.raises(SchedulingError, match="wcrt_estimates"):
+            build_schedule(sys_, cfg)
+        table = build_schedule(sys_, cfg, wcrt_estimates={"e": 42})
+        assert table.tasks["s#0"].start >= 42
+
+
+class TestFpsAwarePlacement:
+    def test_fps_aware_produces_valid_schedule(self):
+        tasks = [
+            scs_task("s1", wcet=10, node="N1"),
+            scs_task("s2", wcet=10, node="N1"),
+            fps_task("e1", wcet=5, node="N1", priority=1),
+        ]
+        sys_ = single_graph_system(tasks, nodes=("N1",), period=60, deadline=60)
+        cfg = FlexRayConfig(static_slots=("N1",), gd_static_slot=2, n_minislots=0)
+        table = build_schedule(
+            sys_, cfg, ScheduleOptions(fps_aware=True, fps_candidates=3)
+        )
+        busy = table.busy_intervals("N1")
+        assert sum(e - s for s, e in busy) == 20

@@ -1,0 +1,67 @@
+"""Unit tests for SCS placement candidates (FPS-aware spreading)."""
+
+from repro.analysis.schedule_table import ScheduleTable
+from repro.analysis.scheduler import ScheduleOptions, _placement_candidates
+from repro.core.config import FlexRayConfig
+from repro.model.jobs import Job
+from repro.model import Application, System, TaskGraph
+
+from tests.util import scs_task
+
+
+def make_job(wcet=10, period=100, deadline=100, release=0):
+    task = scs_task("t", wcet=wcet, node="N1")
+    graph = TaskGraph(
+        name="g", period=period, deadline=deadline, tasks=(task,)
+    )
+    Application("app", (graph,))
+    return Job(
+        activity=task,
+        graph=graph,
+        instance=0,
+        release=release,
+        abs_deadline=deadline,
+    )
+
+
+def make_table(horizon=100):
+    cfg = FlexRayConfig(static_slots=("N1",), gd_static_slot=4, n_minislots=0)
+    return ScheduleTable(cfg, horizon=horizon)
+
+
+class TestPlacementCandidates:
+    def test_single_candidate_without_fps_awareness_budget(self):
+        job = make_job()
+        table = make_table()
+        out = _placement_candidates(table, job, 0, ScheduleOptions(fps_candidates=1))
+        assert out == [0]
+
+    def test_candidates_spread_over_slack_window(self):
+        job = make_job(wcet=10, deadline=100)
+        table = make_table()
+        out = _placement_candidates(table, job, 0, ScheduleOptions(fps_candidates=4))
+        assert out[0] == 0
+        assert out[-1] == 90  # latest start meeting the deadline
+        assert len(out) == 4
+
+    def test_candidates_respect_busy_intervals(self):
+        job = make_job(wcet=10, deadline=100)
+        table = make_table()
+        table.add_task("x#0", scs_task("x", wcet=20, node="N1"), 0)
+        out = _placement_candidates(table, job, 0, ScheduleOptions(fps_candidates=3))
+        assert all(start >= 20 for start in out)
+
+    def test_no_negative_window(self):
+        # Deadline already passed relative to asap: single candidate at asap.
+        job = make_job(wcet=10, deadline=100)
+        table = make_table(horizon=400)
+        out = _placement_candidates(
+            table, job, 250, ScheduleOptions(fps_candidates=4)
+        )
+        assert out == [250]
+
+    def test_deduplicated_and_sorted(self):
+        job = make_job(wcet=50, deadline=60)  # tiny slack window
+        table = make_table()
+        out = _placement_candidates(table, job, 0, ScheduleOptions(fps_candidates=4))
+        assert out == sorted(set(out))

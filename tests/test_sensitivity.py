@@ -1,0 +1,79 @@
+"""Tests for slack reporting and bus-load metrics."""
+
+import pytest
+
+from repro.analysis import analyse_system
+from repro.analysis.sensitivity import bottlenecks, bus_load, slack_report
+from repro.core.config import FlexRayConfig
+from repro.errors import AnalysisError
+
+from tests.util import basic_config, fig3_system, fig4_system
+
+
+@pytest.fixture
+def analysed_fig3():
+    sys_ = fig3_system()
+    cfg = FlexRayConfig(static_slots=("N1", "N2"), gd_static_slot=8, n_minislots=0)
+    return sys_, cfg, analyse_system(sys_, cfg)
+
+
+class TestSlackReport:
+    def test_sorted_tightest_first(self, analysed_fig3):
+        sys_, _, res = analysed_fig3
+        report = slack_report(sys_, res)
+        slacks = [e.slack for e in report]
+        assert slacks == sorted(slacks)
+
+    def test_covers_all_activities(self, analysed_fig3):
+        sys_, _, res = analysed_fig3
+        assert len(slack_report(sys_, res)) == 8
+
+    def test_slack_and_usage(self, analysed_fig3):
+        sys_, _, res = analysed_fig3
+        entry = next(e for e in slack_report(sys_, res) if e.name == "m1")
+        assert entry.slack == 40 - res.wcrt["m1"]
+        assert entry.usage == pytest.approx(res.wcrt["m1"] / 40)
+
+    def test_bottlenecks_prefix(self, analysed_fig3):
+        sys_, _, res = analysed_fig3
+        assert bottlenecks(sys_, res, 3) == slack_report(sys_, res)[:3]
+
+    def test_infeasible_rejected(self):
+        sys_ = fig3_system()
+        cfg = FlexRayConfig(static_slots=("N1",), gd_static_slot=8, n_minislots=0)
+        res = analyse_system(sys_, cfg)
+        with pytest.raises(AnalysisError):
+            slack_report(sys_, res)
+
+
+class TestBusLoad:
+    def test_st_only_system(self, analysed_fig3):
+        sys_, cfg, _ = analysed_fig3
+        load = bus_load(sys_, cfg)
+        # 9 MT of ST payload per 40 MT period; capacity 16 MT per 16 MT cycle.
+        assert load.dyn_demand == 0.0
+        assert 0 < load.st_demand < 1
+        assert load.cycle_share_st == 1.0
+
+    def test_dyn_system(self):
+        sys_ = fig4_system()
+        cfg = basic_config(frame_ids={"m1": 1, "m2": 2, "m3": 3})
+        load = bus_load(sys_, cfg)
+        assert load.st_demand == 0.0
+        assert 0 < load.dyn_demand < 1
+        assert 0 < load.cycle_share_st < 1
+
+    def test_overload_detectable(self):
+        sys_ = fig4_system()
+        # A single minislot-wide DYN segment cannot carry 17 MT per period.
+        cfg = FlexRayConfig(
+            static_slots=("N1", "N2"),
+            gd_static_slot=8,
+            n_minislots=13,
+            frame_ids={"m1": 1, "m2": 2, "m3": 3},
+        )
+        # shrink period pressure by checking the number is finite and
+        # grows when the segment shrinks
+        small = bus_load(sys_, cfg.with_dyn_length(13))
+        large = bus_load(sys_, cfg.with_dyn_length(100))
+        assert small.dyn_demand > large.dyn_demand

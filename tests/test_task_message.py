@@ -1,0 +1,91 @@
+"""Unit tests for the Task and Message model objects."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model import Message, MessageKind, SchedulingPolicy, Task
+
+
+class TestTask:
+    def test_defaults(self):
+        t = Task("t", wcet=5, node="N1")
+        assert t.policy is SchedulingPolicy.SCS
+        assert t.is_scs and not t.is_fps
+        assert t.release == 0
+        assert t.deadline is None
+
+    def test_fps_flag(self):
+        t = Task("t", wcet=5, node="N1", policy=SchedulingPolicy.FPS)
+        assert t.is_fps and not t.is_scs
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            Task("", wcet=1, node="N1")
+
+    def test_rejects_empty_node(self):
+        with pytest.raises(ValidationError):
+            Task("t", wcet=1, node="")
+
+    def test_rejects_zero_wcet(self):
+        with pytest.raises(ValidationError):
+            Task("t", wcet=0, node="N1")
+
+    def test_rejects_negative_release(self):
+        with pytest.raises(ValidationError):
+            Task("t", wcet=1, node="N1", release=-1)
+
+    def test_rejects_zero_deadline(self):
+        with pytest.raises(ValidationError):
+            Task("t", wcet=1, node="N1", deadline=0)
+
+    def test_rejects_bcet_above_wcet(self):
+        with pytest.raises(ValidationError):
+            Task("t", wcet=2, node="N1", bcet=3)
+
+    def test_rejects_non_policy(self):
+        with pytest.raises(ValidationError):
+            Task("t", wcet=1, node="N1", policy="SCS")
+
+    def test_frozen(self):
+        t = Task("t", wcet=1, node="N1")
+        with pytest.raises(AttributeError):
+            t.wcet = 2
+
+
+class TestMessage:
+    def test_defaults_dyn(self):
+        m = Message("m", size=8, sender="a", receivers=("b",))
+        assert m.kind is MessageKind.DYN
+        assert m.is_dynamic and not m.is_static
+
+    def test_st_kind(self):
+        m = Message("m", size=8, sender="a", receivers=("b",), kind=MessageKind.ST)
+        assert m.is_static
+
+    def test_receivers_tuple_coercion(self):
+        m = Message("m", size=8, sender="a", receivers=["b", "c"])
+        assert m.receivers == ("b", "c")
+
+    def test_rejects_string_receivers(self):
+        with pytest.raises(ValidationError, match="tuple"):
+            Message("m", size=8, sender="a", receivers="b")
+
+    def test_rejects_no_receivers(self):
+        with pytest.raises(ValidationError):
+            Message("m", size=8, sender="a", receivers=())
+
+    def test_rejects_sender_as_receiver(self):
+        with pytest.raises(ValidationError):
+            Message("m", size=8, sender="a", receivers=("a",))
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValidationError):
+            Message("m", size=0, sender="a", receivers=("b",))
+
+    def test_rejects_empty_receiver_name(self):
+        with pytest.raises(ValidationError):
+            Message("m", size=1, sender="a", receivers=("",))
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValidationError):
+            Message("m", size=1, sender="a", receivers=("b",), kind="ST")

@@ -1,0 +1,74 @@
+"""Unit tests for bus-cycle geometry helpers."""
+
+import pytest
+
+from repro.core.config import FlexRayConfig
+from repro.errors import ConfigurationError
+from repro.flexray import timeline
+
+
+@pytest.fixture
+def cfg():
+    # ST: 2 slots x 8 MT, DYN: 13 minislots x 1 MT -> gdCycle 29
+    return FlexRayConfig(static_slots=("N1", "N2"), gd_static_slot=8, n_minislots=13)
+
+
+class TestCycleGeometry:
+    def test_cycle_start(self, cfg):
+        assert timeline.cycle_start(cfg, 0) == 0
+        assert timeline.cycle_start(cfg, 3) == 87
+
+    def test_rejects_negative_cycle(self, cfg):
+        with pytest.raises(ConfigurationError):
+            timeline.cycle_start(cfg, -1)
+
+    def test_st_slot_start_and_end(self, cfg):
+        assert timeline.st_slot_start(cfg, 0, 1) == 0
+        assert timeline.st_slot_start(cfg, 0, 2) == 8
+        assert timeline.st_slot_start(cfg, 1, 1) == 29
+        assert timeline.st_slot_end(cfg, 1, 2) == 29 + 16
+
+    def test_rejects_slot_out_of_range(self, cfg):
+        with pytest.raises(ConfigurationError):
+            timeline.st_slot_start(cfg, 0, 0)
+        with pytest.raises(ConfigurationError):
+            timeline.st_slot_start(cfg, 0, 3)
+
+    def test_dyn_segment_bounds(self, cfg):
+        assert timeline.dyn_segment_start(cfg, 0) == 16
+        assert timeline.dyn_segment_end(cfg, 0) == 29
+        assert timeline.dyn_segment_start(cfg, 2) == 58 + 16
+
+    def test_cycle_of(self, cfg):
+        assert timeline.cycle_of(cfg, 0) == 0
+        assert timeline.cycle_of(cfg, 28) == 0
+        assert timeline.cycle_of(cfg, 29) == 1
+        with pytest.raises(ConfigurationError):
+            timeline.cycle_of(cfg, -1)
+
+    def test_next_cycle_start(self, cfg):
+        assert timeline.next_cycle_start(cfg, 0) == 29
+        assert timeline.next_cycle_start(cfg, 28) == 29
+        assert timeline.next_cycle_start(cfg, 29) == 58
+
+    def test_earliest_dyn_slot_start(self, cfg):
+        assert timeline.earliest_dyn_slot_start(cfg, 0, 1) == 16
+        assert timeline.earliest_dyn_slot_start(cfg, 0, 4) == 19
+        with pytest.raises(ConfigurationError):
+            timeline.earliest_dyn_slot_start(cfg, 0, 0)
+
+
+class TestSlotInstances:
+    def test_instances_ordered_and_bounded(self, cfg):
+        inst = list(timeline.st_slot_instances(cfg, "N2", horizon=60))
+        assert inst == [(0, 2, 8), (1, 2, 37)]
+
+    def test_node_without_slots(self, cfg):
+        assert list(timeline.st_slot_instances(cfg, "N9", horizon=60)) == []
+
+    def test_multi_slot_node(self):
+        cfg = FlexRayConfig(
+            static_slots=("N1", "N2", "N1"), gd_static_slot=4, n_minislots=0
+        )
+        inst = list(timeline.st_slot_instances(cfg, "N1", horizon=13))
+        assert inst == [(0, 1, 0), (0, 3, 8), (1, 1, 12)]

@@ -1,0 +1,67 @@
+"""Tests for the ASCII Gantt rendering."""
+
+import pytest
+
+from repro.analysis import analyse_system
+from repro.errors import ValidationError
+from repro.flexray.simulator import simulate
+from repro.viz import render_bus_trace, render_cycle, render_schedule
+
+from tests.util import basic_config, fig3_system, fig4_system
+
+
+@pytest.fixture
+def fig3_analysis():
+    sys_ = fig3_system()
+    cfg = basic_config(static_slots=("N1", "N2"), gd_static_slot=8, n_minislots=0)
+    return sys_, cfg, analyse_system(sys_, cfg)
+
+
+class TestRenderSchedule:
+    def test_contains_all_nodes_and_legend(self, fig3_analysis):
+        sys_, _, res = fig3_analysis
+        text = render_schedule(res.table, sys_.nodes)
+        assert "N1" in text and "N2" in text
+        assert "t1" in text  # legend entry
+
+    def test_until_truncates(self, fig3_analysis):
+        sys_, _, res = fig3_analysis
+        text = render_schedule(res.table, sys_.nodes, until=5)
+        assert "[0, 5)" in text
+
+    def test_rejects_tiny_width(self, fig3_analysis):
+        sys_, _, res = fig3_analysis
+        with pytest.raises(ValidationError):
+            render_schedule(res.table, sys_.nodes, width=3)
+
+
+class TestRenderCycle:
+    def test_shows_slot_owners(self):
+        cfg = basic_config(static_slots=("N1", "N2"), gd_static_slot=8)
+        text = render_cycle(cfg)
+        assert "ST slot 1: N1" in text
+        assert "dynamic segment" in text
+
+    def test_pure_static_cycle(self):
+        cfg = basic_config(
+            static_slots=("N1", "N2"), gd_static_slot=8, n_minislots=0
+        )
+        text = render_cycle(cfg)
+        assert "dynamic segment" not in text
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ValidationError):
+            render_cycle(basic_config(), width=2)
+
+
+class TestRenderBusTrace:
+    def test_trace_lane_contains_cycles(self):
+        sys_ = fig4_system()
+        cfg = basic_config(frame_ids={"m1": 1, "m2": 2, "m3": 3})
+        result = simulate(sys_, cfg)
+        text = render_bus_trace(result.trace, cfg)
+        assert "bus" in text and "cycles" in text
+
+    def test_empty_trace(self):
+        cfg = basic_config(frame_ids={})
+        assert "no transmissions" in render_bus_trace([], cfg)

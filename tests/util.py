@@ -1,0 +1,128 @@
+"""Shared builders for the test suite."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.config import FlexRayConfig
+from repro.model import (
+    Application,
+    Message,
+    MessageKind,
+    SchedulingPolicy,
+    System,
+    Task,
+    TaskGraph,
+)
+
+
+def scs_task(name: str, wcet: int = 1, node: str = "N1", **kw) -> Task:
+    return Task(name=name, wcet=wcet, node=node, policy=SchedulingPolicy.SCS, **kw)
+
+
+def fps_task(name: str, wcet: int = 1, node: str = "N1", priority: int = 0, **kw) -> Task:
+    return Task(
+        name=name,
+        wcet=wcet,
+        node=node,
+        policy=SchedulingPolicy.FPS,
+        priority=priority,
+        **kw,
+    )
+
+
+def st_msg(name: str, size: int, sender: str, receiver: str, **kw) -> Message:
+    return Message(
+        name=name,
+        size=size,
+        sender=sender,
+        receivers=(receiver,),
+        kind=MessageKind.ST,
+        **kw,
+    )
+
+
+def dyn_msg(
+    name: str, size: int, sender: str, receiver: str, priority: int = 0, **kw
+) -> Message:
+    return Message(
+        name=name,
+        size=size,
+        sender=sender,
+        receivers=(receiver,),
+        kind=MessageKind.DYN,
+        priority=priority,
+        **kw,
+    )
+
+
+def single_graph_system(
+    tasks: Sequence[Task],
+    messages: Sequence[Message] = (),
+    nodes: Tuple[str, ...] = ("N1", "N2"),
+    period: int = 100,
+    deadline: int = 100,
+    precedences: Tuple[Tuple[str, str], ...] = (),
+) -> System:
+    graph = TaskGraph(
+        name="g0",
+        period=period,
+        deadline=deadline,
+        tasks=tuple(tasks),
+        messages=tuple(messages),
+        precedences=precedences,
+    )
+    return System(nodes, Application("app", (graph,)))
+
+
+def fig3_system(period: int = 40, deadline: int = 40) -> System:
+    """Two nodes; N1 sends m1 (4 MT), N2 sends m2 (3 MT) and m3 (2 MT), all ST."""
+    tasks = [
+        scs_task("t1", wcet=1, node="N1"),
+        scs_task("t2", wcet=1, node="N2"),
+        scs_task("r1", wcet=1, node="N2"),
+        scs_task("r2", wcet=1, node="N1"),
+        scs_task("r3", wcet=1, node="N1"),
+    ]
+    msgs = [
+        st_msg("m1", 4, "t1", "r1"),
+        st_msg("m2", 3, "t2", "r2"),
+        st_msg("m3", 2, "t2", "r3"),
+    ]
+    return single_graph_system(tasks, msgs, period=period, deadline=deadline)
+
+
+def fig4_system(period: int = 200, deadline: int = 120) -> System:
+    """Two nodes exchanging three DYN messages (paper Fig. 4 shape).
+
+    N1 sends m1 (9 MT) and m3 (3 MT); N2 sends m2 (5 MT).
+    priority(m1) > priority(m3).
+    """
+    tasks = [
+        scs_task("s1", wcet=1, node="N1"),
+        scs_task("s2", wcet=1, node="N2"),
+        fps_task("d1", wcet=1, node="N2", priority=1),
+        fps_task("d2", wcet=1, node="N1", priority=1),
+        fps_task("d3", wcet=1, node="N2", priority=2),
+    ]
+    msgs = [
+        dyn_msg("m1", 9, "s1", "d1", priority=0),
+        dyn_msg("m2", 5, "s2", "d2", priority=0),
+        dyn_msg("m3", 3, "s1", "d3", priority=1),
+    ]
+    return single_graph_system(tasks, msgs, period=period, deadline=deadline)
+
+
+def basic_config(
+    system: System = None,
+    static_slots: Tuple[str, ...] = ("N1", "N2"),
+    gd_static_slot: int = 8,
+    n_minislots: int = 13,
+    frame_ids=None,
+) -> FlexRayConfig:
+    return FlexRayConfig(
+        static_slots=static_slots,
+        gd_static_slot=gd_static_slot,
+        n_minislots=n_minislots,
+        frame_ids=frame_ids or {},
+    )

@@ -8,6 +8,7 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Iterable
 
@@ -23,6 +24,22 @@ def report(name: str, lines: Iterable[str]) -> str:
         fh.write(text)
     print(f"\n===== {name} =====")
     print(text)
+    return path
+
+
+def report_json(name: str, payload) -> str:
+    """Persist machine-readable benchmark numbers as results/<name>.json.
+
+    Used for the ``BENCH_*.json`` perf-trajectory files: one JSON object
+    per benchmark, stable keys, so numbers can be diffed across PRs.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\n===== {name}.json =====")
+    print(json.dumps(payload, indent=2, sort_keys=True))
     return path
 
 

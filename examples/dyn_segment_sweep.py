@@ -8,7 +8,8 @@ wasted cycle expensive -- the U-shaped trade-off that motivates the
 curve-fitting heuristic of Section 6.2.1.
 """
 
-from repro import GeneratorConfig, analyse_system, generate_system
+from repro import GeneratorConfig, generate_system
+from repro.analysis import AnalysisContext
 from repro.core import basic_configuration, dyn_segment_bounds
 from repro.core.search import BusOptimisationOptions, sweep_lengths
 
@@ -27,8 +28,12 @@ def main() -> None:
 
     curves = {name: [] for name in dyn_names}
     costs = []
+    # One warm AnalysisContext serves the whole sweep: the per-system
+    # invariants and interference structure are computed once, not per
+    # point (the incremental analysis engine the optimisers use too).
+    context = AnalysisContext(system)
     for n in lengths:
-        result = analyse_system(system, template.with_dyn_length(n))
+        result = context.analyse(template.with_dyn_length(n))
         costs.append(result.cost_value)
         for name in dyn_names:
             curves[name].append(result.wcrt.get(name, 0))

@@ -5,6 +5,7 @@ from repro.analysis.availability import (
     merge_intervals,
     wrap_busy_intervals,
 )
+from repro.analysis.context import AnalysisContext, ancestor_sets
 from repro.analysis.dyn import (
     DynInterference,
     dyn_message_busy_window,
@@ -42,8 +43,10 @@ from repro.analysis.sensitivity import (
 from repro.analysis.st_msg import static_release_offsets, static_response_times
 
 __all__ = [
+    "AnalysisContext",
     "AnalysisOptions",
     "AnalysisResult",
+    "ancestor_sets",
     "BusLoad",
     "SlackEntry",
     "DynInterference",

@@ -76,6 +76,11 @@ class NodeAvailability:
         self.period = period
         self.busy = merged
         self._busy_per_period = sum(e - s for s, e in merged)
+        # Precomputed once: the response-time fix points call ``advance``
+        # millions of times per optimiser run and the gap list / critical
+        # instants never change after construction.
+        self._gap_list = self._compute_gaps()
+        self._critical_instants = [0] + [s for s, _ in merged]
 
     @property
     def slack_per_period(self) -> int:
@@ -128,38 +133,47 @@ class NodeAvailability:
             raise AnalysisError(f"demand must be >= 0, got {demand}")
         if demand == 0:
             return t0
-        if self.slack_per_period == 0:
+        if not self.busy:
+            # Fully idle node: demand is served back to back.
+            return t0 + demand
+        slack = self.slack_per_period
+        if slack == 0:
             return None
+        period = self.period
+        gaps = self._gap_list
         remaining = demand
         # Skip whole periods first for efficiency.
-        whole = (remaining - 1) // self.slack_per_period
-        t = t0 + whole * self.period
-        remaining -= whole * self.slack_per_period
+        whole = (remaining - 1) // slack
+        t = t0 + whole * period
+        remaining -= whole * slack
         # Walk gap by gap; guaranteed to terminate because each period
         # provides slack_per_period > 0.
         while remaining > 0:
-            base = (t // self.period) * self.period
+            base = (t // period) * period
             x = t - base
-            served = False
-            for s, e in self._gaps():
-                lo = max(s, x)
+            for s, e in gaps:
+                lo = s if s > x else x
                 if lo >= e:
                     continue
                 room = e - lo
                 if room >= remaining:
                     return base + lo + remaining
                 remaining -= room
-                served = True
-            t = base + self.period
-            if not served and remaining == demand and self.slack_per_period == 0:
-                return None  # pragma: no cover - guarded above
+            t = base + period
         return t
 
     def busy_starts(self) -> List[int]:
         """Pattern-relative start times of busy intervals (critical instants)."""
         return [s for s, _ in self.busy]
 
+    def critical_instants(self) -> List[int]:
+        """Candidate busy-window origins: time 0 plus every busy start."""
+        return self._critical_instants
+
     def _gaps(self) -> List[Tuple[int, int]]:
+        return self._gap_list
+
+    def _compute_gaps(self) -> List[Tuple[int, int]]:
         gaps: List[Tuple[int, int]] = []
         prev = 0
         for s, e in self.busy:

@@ -1,0 +1,558 @@
+"""Incremental analysis engine: the shared :class:`AnalysisContext`.
+
+The bus-access optimisers of Section 6 call the holistic analysis
+thousands of times per run.  The pipeline mixes quantities of three very
+different lifetimes, and recomputing all of them per candidate (as the
+naive ``analyse_system`` loop does) dominates the optimisation time:
+
+(a) **per-system invariants** -- ancestor closures, predecessor lists,
+    period tables, ST/DYN message partitions, sorted FPS task lists and
+    their higher-priority interferer rows.  Computed once per
+    :class:`AnalysisContext`.
+
+(b) **per-static-segment artifacts** -- the built
+    :class:`~repro.analysis.schedule_table.ScheduleTable`, the static
+    response times and the per-node
+    :class:`~repro.analysis.availability.NodeAvailability` patterns.
+    These depend on the static segment structure, the bus speed
+    parameters and -- *only when the application sends ST messages* --
+    on the cycle length ``gd_cycle`` (ST slot instances recur every
+    cycle, so a different DYN length shifts them).  The cache key
+    reflects exactly that dependency set, so configurations differing
+    only in their FrameID assignment always share one schedule, and
+    purely event-triggered applications additionally share it across
+    the whole DYN-length sweep.
+
+(c) **per-configuration interference structure** -- hp/lf membership,
+    interferer periods, ancestor flags, adjusted frame sizes and
+    ``sigma``/``pLatestTx`` scalars of every DYN message.  The holistic
+    fix point used to rebuild these on every iteration; they are now
+    resolved once per (FrameID assignment, bus parameters) and reduced
+    to prebound tuples the inner loops iterate directly.
+
+On top of the tiers, the fix point memoises each activity's last input
+signature (its own jitter plus the jitters of its interferers) and skips
+the busy-window recurrence when nothing changed -- the final "no change"
+sweep of the holistic iteration then costs signature comparisons instead
+of full recomputation.  All caches are LRU-bounded and every shortcut is
+a pure-function memoisation, so results are bit-identical to a cold run.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, namedtuple
+from typing import Dict, List, Tuple
+
+from repro.analysis.availability import NodeAvailability, wrap_busy_intervals
+from repro.analysis.dyn import prepped_busy_window as _dyn_busy_window
+from repro.analysis.fps import hp_tasks, prepped_busy_window as _fps_busy_window
+from repro.analysis.priorities import critical_path_priorities
+from repro.analysis.scheduler import build_schedule
+from repro.analysis.st_msg import static_response_times
+from repro.core.config import FlexRayConfig
+from repro.core.cost import cost_function
+from repro.errors import ConfigurationError, SchedulingError
+from repro.model.system import System
+from repro.model.times import ceil_div
+
+#: Per-static-segment artifacts (tier b).  ``failure`` carries the
+#: scheduling error message when the segment cannot be scheduled at all.
+_ScheduleArtifacts = namedtuple(
+    "_ScheduleArtifacts", "table failure static_wcrt availability"
+)
+
+#: Prebound FPS task row (tier a): interferers as (name, period,
+#: is_ancestor, wcet) tuples, predecessors for the jitter update, and the
+#: interferer names whose jitters form the memo signature.
+_FpsPlan = namedtuple(
+    "_FpsPlan", "name release wcet interferers predecessors input_names"
+)
+
+
+class _DynView:
+    """Per-(config, message) data of one DYN message (tier c)."""
+
+    __slots__ = (
+        "name", "sender", "input_names", "hp_info", "lf_info", "lower_slots",
+        "sendable", "lam", "theta", "sigma", "ct", "gd_cycle", "st_bus",
+        "ms_len",
+    )
+
+    def __init__(self, name, sender, input_names, hp_info, lf_info,
+                 lower_slots, sendable, lam, theta, sigma, ct, gd_cycle,
+                 st_bus, ms_len):
+        self.name = name
+        self.sender = sender
+        self.input_names = input_names
+        self.hp_info = hp_info
+        self.lf_info = lf_info
+        self.lower_slots = lower_slots
+        self.sendable = sendable
+        self.lam = lam
+        self.theta = theta
+        self.sigma = sigma
+        self.ct = ct
+        self.gd_cycle = gd_cycle
+        self.st_bus = st_bus
+        self.ms_len = ms_len
+
+
+def _lru_insert(cache: OrderedDict, key, value, bound) -> None:
+    """Insert under an LRU bound; ``None`` = unbounded, ``0`` = no retention."""
+    cache[key] = value
+    if bound is not None:
+        limit = max(bound, 0)
+        while len(cache) > limit:
+            cache.popitem(last=False)
+
+
+class AnalysisContext:
+    """Shared state of repeated holistic analyses of one system.
+
+    Construct once per (system, options) pair and call :meth:`analyse`
+    per candidate configuration; results are bit-identical to
+    ``analyse_system(system, config, options)`` with no context.  The
+    optimiser :class:`~repro.core.search.Evaluator` owns one context per
+    run, which is what makes DYN-length sweeps and SA/GA neighbourhoods
+    incremental instead of from-scratch.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        options=None,
+        max_schedule_entries: int = 64,
+        max_structure_entries: int = 64,
+    ):
+        from repro.analysis.holistic import AnalysisOptions, analysis_cap_base
+
+        self.system = system
+        self.options = options or AnalysisOptions()
+        self.max_schedule_entries = max_schedule_entries
+        self.max_structure_entries = max_structure_entries
+        app = system.application
+        self.app = app
+
+        # --- tier (a): per-system invariants --------------------------
+        self.hyperperiod = app.hyperperiod
+        self.period: Dict[str, int] = {}
+        for g in app.graphs:
+            for t in g.tasks:
+                self.period[t.name] = g.period
+            for m in g.messages:
+                self.period[m.name] = g.period
+        self.ancestors = ancestor_sets(app)
+        self.st_messages = tuple(app.st_messages())
+        self.dyn_messages = tuple(app.dyn_messages())
+        self.sender_node = {
+            m.name: system.sender_node(m) for m in app.messages()
+        }
+        self.sender_task = {
+            m.name: app.graph_of(m.name).task(m.sender).name
+            for m in self.dyn_messages
+        }
+        self.fps_by_node = {
+            node: sorted(
+                (t for t in system.tasks_on(node) if t.is_fps),
+                key=lambda t: (t.priority, t.name),
+            )
+            for node in system.nodes
+        }
+        self.fps_plans: Dict[str, Tuple[_FpsPlan, ...]] = {}
+        for node in system.nodes:
+            fps = self.fps_by_node[node]
+            plans = []
+            for task in fps:
+                anc = self.ancestors.get(task.name, frozenset())
+                info = tuple(
+                    (j.name, self.period[j.name], j.name in anc, j.wcet)
+                    for j in hp_tasks(task, fps)
+                )
+                g = app.graph_of(task.name)
+                plans.append(
+                    _FpsPlan(
+                        name=task.name,
+                        release=task.release,
+                        wcet=task.wcet,
+                        interferers=info,
+                        predecessors=tuple(g.predecessors(task.name)),
+                        input_names=tuple(r[0] for r in info),
+                    )
+                )
+            self.fps_plans[node] = tuple(plans)
+        self._cap_base = analysis_cap_base(app)
+        #: The schedule depends on gd_cycle iff ST slot instances exist.
+        self._st_dependent = bool(self.st_messages)
+        self._period_lookup = self.period.__getitem__
+
+        # --- caches for tiers (b) and (c) -----------------------------
+        self._schedule_cache: OrderedDict = OrderedDict()
+        self._structure_cache: OrderedDict = OrderedDict()
+        self._ct_cache: OrderedDict = OrderedDict()
+        self._priorities_cache: OrderedDict = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # cached derivations
+    # ------------------------------------------------------------------
+    def _ct_tables(self, config: FlexRayConfig) -> tuple:
+        """(ct per message, minislots per DYN message, largest per node)."""
+        key = (config.bits_per_mt, config.frame_overhead_bytes,
+               config.gd_minislot)
+        entry = self._ct_cache.get(key)
+        if entry is None:
+            bits = config.bits_per_mt
+            overhead = config.frame_overhead_bytes
+            ms = config.gd_minislot
+            cts = {
+                m.name: ceil_div((m.size + overhead) * 8, bits)
+                for m in self.app.messages()
+            }
+            minislots = {
+                m.name: ceil_div(cts[m.name], ms) for m in self.dyn_messages
+            }
+            largest: Dict[str, int] = {}
+            for m in self.dyn_messages:
+                node = self.sender_node[m.name]
+                if minislots[m.name] > largest.get(node, 0):
+                    largest[node] = minislots[m.name]
+            entry = (cts, minislots, largest)
+            _lru_insert(self._ct_cache, key, entry, self.max_structure_entries)
+        return entry
+
+    def _priorities(self, config: FlexRayConfig) -> Dict[str, int]:
+        """Critical-path priorities; they depend only on the bus speed."""
+        key = (config.bits_per_mt, config.frame_overhead_bytes)
+        prio = self._priorities_cache.get(key)
+        if prio is None:
+            prio = critical_path_priorities(self.app, config)
+            _lru_insert(
+                self._priorities_cache, key, prio, self.max_structure_entries
+            )
+        return prio
+
+    def _schedule_artifacts(self, config: FlexRayConfig) -> _ScheduleArtifacts:
+        """Tier (b): build-or-fetch the static schedule and its derivates."""
+        key = self.schedule_key(config)
+        entry = self._schedule_cache.get(key)
+        if entry is not None:
+            self._schedule_cache.move_to_end(key)
+            return entry
+        try:
+            table = build_schedule(
+                self.system,
+                config,
+                self.options.schedule,
+                priorities=self._priorities(config),
+            )
+        except SchedulingError as exc:
+            entry = _ScheduleArtifacts(
+                table=None,
+                failure=f"static scheduling failed: {exc}",
+                static_wcrt=None,
+                availability=None,
+            )
+        else:
+            static_wcrt = static_response_times(
+                self.app, table, self._period_lookup
+            )
+            availability = {
+                node: NodeAvailability(
+                    wrap_busy_intervals(
+                        table.busy_intervals(node), table.horizon
+                    ),
+                    table.horizon,
+                )
+                for node in self.system.nodes
+            }
+            entry = _ScheduleArtifacts(
+                table=table,
+                failure=None,
+                static_wcrt=static_wcrt,
+                availability=availability,
+            )
+        _lru_insert(self._schedule_cache, key, entry, self.max_schedule_entries)
+        return entry
+
+    def _dyn_structure(self, config: FlexRayConfig) -> Dict[str, tuple]:
+        """Tier (c): hp/lf rows per DYN message for a FrameID assignment."""
+        key = (
+            tuple(sorted(config.frame_ids.items())),
+            config.bits_per_mt,
+            config.frame_overhead_bytes,
+            config.gd_minislot,
+        )
+        structure = self._structure_cache.get(key)
+        if structure is not None:
+            self._structure_cache.move_to_end(key)
+            return structure
+        _, minislots, _ = self._ct_tables(config)
+        frame_ids = config.frame_ids
+        period = self.period
+        structure = {}
+        for m in self.dyn_messages:
+            f = frame_ids[m.name]
+            node = self.sender_node[m.name]
+            anc = self.ancestors.get(m.name, frozenset())
+            hp_rows: List[tuple] = []
+            lf_rows: List[tuple] = []
+            input_names: List[str] = []
+            for other in self.dyn_messages:
+                if other.name == m.name:
+                    continue
+                other_f = frame_ids[other.name]
+                if other_f < f:
+                    lf_rows.append(
+                        (other.name, period[other.name], other.name in anc,
+                         minislots[other.name] - 1)
+                    )
+                    input_names.append(other.name)
+                elif (
+                    other_f == f
+                    and self.sender_node[other.name] == node
+                    and (other.priority, other.name)
+                    <= (m.priority, m.name)
+                ):
+                    hp_rows.append(
+                        (other.name, period[other.name], other.name in anc)
+                    )
+                    input_names.append(other.name)
+            structure[m.name] = (
+                f, tuple(hp_rows), tuple(lf_rows), f - 1, tuple(input_names)
+            )
+        _lru_insert(
+            self._structure_cache, key, structure, self.max_structure_entries
+        )
+        return structure
+
+    def _dyn_views(self, config: FlexRayConfig) -> List[_DynView]:
+        """Per-configuration DYN message views (tier c + scalars)."""
+        structure = self._dyn_structure(config)
+        cts, _, largest = self._ct_tables(config)
+        n_minislots = config.n_minislots
+        gd_cycle = config.gd_cycle
+        st_bus = config.st_bus
+        ms_len = config.gd_minislot
+        views = []
+        for m in self.dyn_messages:
+            f, hp_info, lf_info, lower_slots, input_names = structure[m.name]
+            p_latest = n_minislots - largest[self.sender_node[m.name]] + 1
+            lam = p_latest - 1
+            views.append(
+                _DynView(
+                    name=m.name,
+                    sender=self.sender_task[m.name],
+                    input_names=input_names,
+                    hp_info=hp_info,
+                    lf_info=lf_info,
+                    lower_slots=lower_slots,
+                    sendable=f <= p_latest,
+                    lam=lam,
+                    theta=lam - f + 2,
+                    sigma=gd_cycle - st_bus - (f - 1) * ms_len,
+                    ct=cts[m.name],
+                    gd_cycle=gd_cycle,
+                    st_bus=st_bus,
+                    ms_len=ms_len,
+                )
+            )
+        return views
+
+    def schedule_key(self, config: FlexRayConfig) -> tuple:
+        """Identity of everything *config*'s schedule table depends on.
+
+        ``static_key()`` plus -- only when the application sends ST
+        messages -- the cycle length.  Configurations sharing this key
+        produce byte-identical schedules.
+        """
+        return config.static_key() + (
+            (config.gd_cycle,) if self._st_dependent else ()
+        )
+
+    def has_schedule_for(self, config: FlexRayConfig) -> bool:
+        """True when the tier-(b) cache already holds *config*'s schedule.
+
+        Lets the parallel evaluation pool decide per candidate whether
+        the worker should ship the (heavy) schedule table back or the
+        parent can cheaply re-attach it from its own cache.
+        """
+        return self.schedule_key(config) in self._schedule_cache
+
+    def schedule_table_for(self, config: FlexRayConfig):
+        """Schedule table of *config*, served from the tier-(b) cache.
+
+        Deterministic rebuild-or-fetch: the parallel evaluation pool
+        ships analysis results without their tables (the table is by far
+        the heaviest part of the pickle) and re-attaches them here;
+        ``None`` when the static segment cannot be scheduled.
+        """
+        arts = self._schedule_artifacts(config)
+        if arts.table is None:
+            return None
+        return (
+            arts.table
+            if arts.table.config is config
+            else arts.table.clone_for(config)
+        )
+
+    # ------------------------------------------------------------------
+    # the analysis itself
+    # ------------------------------------------------------------------
+    def analyse(self, config: FlexRayConfig):
+        """Full scheduling + holistic analysis of one configuration.
+
+        Bit-identical to :func:`repro.analysis.holistic.analyse_system`
+        run without a context; see the module docstring for what is
+        shared between calls.
+        """
+        from repro.analysis.holistic import AnalysisResult, _infeasible
+
+        options = self.options
+        try:
+            config.validate_for(self.system)
+        except ConfigurationError as exc:
+            return _infeasible(config, f"configuration invalid: {exc}")
+
+        arts = self._schedule_artifacts(config)
+        if arts.failure is not None:
+            return _infeasible(config, arts.failure)
+        table = (
+            arts.table
+            if arts.table.config is config
+            else arts.table.clone_for(config)
+        )
+        availability = arts.availability
+
+        cap_base = self._cap_base
+        gd_cycle = config.gd_cycle
+        cap = options.cap_factor * (cap_base if cap_base > gd_cycle else gd_cycle)
+        fill_strategy = options.dyn_fill_strategy
+        dyn_views = self._dyn_views(config)
+        fps_plans = self.fps_plans
+        nodes = self.system.nodes
+
+        # --- holistic fix point ---------------------------------------
+        wcrt: Dict[str, int] = dict(arts.static_wcrt)
+        jitters: Dict[str, int] = {}
+        wcrt_get = wcrt.get
+        jitters_get = jitters.get
+        # Memo of each activity's last (own jitter, interferer jitters)
+        # signature and the busy-window outcome it produced: the
+        # recurrences are pure, so an unchanged signature means an
+        # unchanged result and the fix point can skip the recomputation.
+        last_sig: Dict[str, tuple] = {}
+        last_out: Dict[str, Tuple[int, bool]] = {}
+        converged = True
+        for _ in range(options.max_holistic_iterations):
+            changed = False
+
+            # DYN messages: jitter inherited from the sender task.
+            for view in dyn_views:
+                name = view.name
+                j_m = wcrt_get(view.sender, 0)
+                if jitters_get(name, 0) != j_m:
+                    jitters[name] = j_m
+                    changed = True
+                sig = (j_m, tuple(
+                    [jitters_get(n, 0) for n in view.input_names]
+                ))
+                if last_sig.get(name) == sig:
+                    value, ok = last_out[name]
+                else:
+                    if view.sendable:
+                        w, ok = _dyn_busy_window(
+                            view.hp_info,
+                            view.lf_info,
+                            view.lower_slots,
+                            view.lam,
+                            view.theta,
+                            view.sigma,
+                            view.ct,
+                            view.gd_cycle,
+                            view.st_bus,
+                            view.ms_len,
+                            jitters,
+                            cap,
+                            j_m,
+                            fill_strategy,
+                        )
+                        value = j_m + w + view.ct
+                        if value > cap:
+                            value = cap
+                    else:
+                        # The frame can never be sent: certain miss.
+                        value, ok = cap, False
+                    last_sig[name] = sig
+                    last_out[name] = (value, ok)
+                converged = converged and ok
+                if wcrt_get(name) != value:
+                    wcrt[name] = value
+                    changed = True
+
+            # FPS tasks: jitter = worst finish of any predecessor.
+            for node in nodes:
+                node_availability = availability[node]
+                for plan in fps_plans[node]:
+                    name = plan.name
+                    j_i = plan.release
+                    for pred in plan.predecessors:
+                        v = wcrt_get(pred, 0)
+                        if v > j_i:
+                            j_i = v
+                    if jitters_get(name, 0) != j_i:
+                        jitters[name] = j_i
+                        changed = True
+                    sig = (j_i, tuple(
+                        [jitters_get(n, 0) for n in plan.input_names]
+                    ))
+                    if last_sig.get(name) == sig:
+                        window_value, ok = last_out[name]
+                    else:
+                        window_value, ok = _fps_busy_window(
+                            plan.wcet,
+                            plan.interferers,
+                            node_availability,
+                            jitters,
+                            cap,
+                            own_jitter=j_i,
+                        )
+                        last_sig[name] = sig
+                        last_out[name] = (window_value, ok)
+                    converged = converged and ok
+                    r_i = j_i + window_value
+                    if r_i > cap:
+                        r_i = cap
+                    if wcrt_get(name) != r_i:
+                        wcrt[name] = r_i
+                        changed = True
+
+            if not changed:
+                break
+        else:
+            converged = False
+
+        cost = cost_function(self.app, wcrt)
+        return AnalysisResult(
+            config=config,
+            feasible=True,
+            schedulable=cost.schedulable and converged,
+            converged=converged,
+            cost=cost,
+            wcrt=wcrt,
+            table=table,
+        )
+
+
+def ancestor_sets(app) -> Dict[str, frozenset]:
+    """Transitive predecessors of every activity within its graph."""
+    out: Dict[str, frozenset] = {}
+    for g in app.graphs:
+        closure: Dict[str, set] = {}
+        for name in g.topological_order():
+            anc = set()
+            for pred in g.predecessors(name):
+                anc.add(pred)
+                anc |= closure[pred]
+            closure[name] = anc
+        for name, anc in closure.items():
+            out[name] = frozenset(anc)
+    return out

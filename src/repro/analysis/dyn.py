@@ -44,11 +44,7 @@ from typing import List, Mapping, Tuple
 from repro.core.config import FlexRayConfig
 from repro.errors import AnalysisError
 from repro.analysis.fill import max_filled_cycles
-from repro.analysis.fps import (
-    MAX_FIXPOINT_ITERATIONS,
-    WcrtResult,
-    interference_count,
-)
+from repro.analysis.fps import MAX_FIXPOINT_ITERATIONS, WcrtResult
 from repro.model.message import Message
 from repro.model.system import System
 from repro.model.times import ceil_div
@@ -128,45 +124,92 @@ def dyn_message_busy_window(
         return WcrtResult(value=cap, converged=False)
 
     sets = interference_sets(message, config, system)
-    ms_len = config.gd_minislot
+    hp_info = tuple(
+        (j.name, period_of(j.name), j.name in ancestors) for j in sets.hp
+    )
+    lf_info = tuple(
+        (j.name, period_of(j.name), j.name in ancestors,
+         config.minislots_needed(j) - 1)
+        for j in sets.lf
+    )
     lam = p_latest - 1  # max minislots consumed before slot f, still sendable
     theta = lam - f + 2  # adjusted minislots needed to fill one cycle
+    value, converged = prepped_busy_window(
+        hp_info,
+        lf_info,
+        sets.lower_slots,
+        lam,
+        theta,
+        sigma(message, config),
+        config.message_ct(message),
+        config.gd_cycle,
+        config.st_bus,
+        config.gd_minislot,
+        jitters,
+        cap,
+        own_jitter,
+        fill_strategy,
+    )
+    return WcrtResult(value=value, converged=converged)
 
-    sigma_m = sigma(message, config)
-    t = config.message_ct(message)
+
+def prepped_busy_window(
+    hp_info: Tuple[Tuple[str, int, bool], ...],
+    lf_info: Tuple[Tuple[str, int, bool, int], ...],
+    lower_slots: int,
+    lam: int,
+    theta: int,
+    sigma_m: int,
+    ct: int,
+    gd_cycle: int,
+    st_bus: int,
+    ms_len: int,
+    jitters: Mapping[str, int],
+    cap: int,
+    own_jitter: int,
+    fill_strategy: str,
+) -> Tuple[int, bool]:
+    """Eq. (3) fix point over prebound interference rows.
+
+    Hot-path variant used by the incremental analysis engine: hp/lf
+    membership, periods, ancestor flags and adjusted frame sizes are
+    resolved once per configuration (see
+    :meth:`repro.analysis.context.AnalysisContext`) instead of on every
+    fix-point iteration.  Returns ``(busy window, converged)``.
+    """
+    jitters_get = jitters.get
+    t = ct
     w = 0
     for _ in range(MAX_FIXPOINT_ITERATIONS):
         hp_cycles = 0
-        for j in sets.hp:
-            hp_cycles += interference_count(
-                t,
-                period_of(j.name),
-                jitters.get(j.name, 0),
-                j.name in ancestors,
-                own_jitter,
-            )
+        for name, period, is_ancestor in hp_info:
+            if is_ancestor:
+                slack = t + own_jitter - period
+                if slack > 0:
+                    hp_cycles += -(-slack // period)
+            else:
+                hp_cycles += -(-(t + jitters_get(name, 0)) // period)
         lf_items: List[int] = []  # adjusted size per lf frame instance
-        for j in sets.lf:
-            n = interference_count(
-                t,
-                period_of(j.name),
-                jitters.get(j.name, 0),
-                j.name in ancestors,
-                own_jitter,
-            )
-            lf_items.extend([config.minislots_needed(j) - 1] * n)
+        for name, period, is_ancestor, adjusted in lf_info:
+            if is_ancestor:
+                slack = t + own_jitter - period
+                n = -(-slack // period) if slack > 0 else 0
+            else:
+                n = -(-(t + jitters_get(name, 0)) // period)
+            if n:
+                lf_items.extend([adjusted] * n)
         # theta >= 1 is guaranteed by the f <= p_latest check above.
         lf_cycles = max_filled_cycles(lf_items, theta, fill_strategy)
         leftover = max(0, sum(lf_items) - lf_cycles * theta)
-        final_consumed = min(lam, sets.lower_slots + leftover)
-        w_final = config.st_bus + final_consumed * ms_len
-        w = sigma_m + (hp_cycles + lf_cycles) * config.gd_cycle + w_final
+        final_consumed = min(lam, lower_slots + leftover)
+        w_final = st_bus + final_consumed * ms_len
+        w = sigma_m + (hp_cycles + lf_cycles) * gd_cycle + w_final
         if w >= cap:
-            return WcrtResult(value=cap, converged=False)
+            return cap, False
         if w <= t:
-            return WcrtResult(value=w, converged=True)
+            return w, True
         t = w
-    return WcrtResult(value=w, converged=False)
+    return w, False
 
 
 def dyn_message_wcrt(

@@ -84,6 +84,23 @@ def interference_count(
     return ceil_div(window + jitter, period)
 
 
+def interferer_info(
+    interferers: Sequence[Task],
+    period_of,
+    ancestors: frozenset,
+) -> Tuple[Tuple[str, int, bool, int], ...]:
+    """Prebound ``(name, period, is_ancestor, wcet)`` rows per interferer.
+
+    The busy-window fix point re-reads the period and the ancestor flag
+    of every interferer on every iteration; resolving both once per
+    (task, interferer) pair keeps the inner loop free of graph lookups.
+    """
+    return tuple(
+        (j.name, period_of(j.name), j.name in ancestors, j.wcet)
+        for j in interferers
+    )
+
+
 def fps_task_busy_window(
     task: Task,
     interferers: Sequence[Task],
@@ -114,58 +131,70 @@ def fps_task_busy_window(
     ancestors:
         Names of same-graph transitive predecessors of *task*.
     """
-    candidates = [0] + availability.busy_starts()
+    info = interferer_info(interferers, period_of, ancestors)
+    value, converged = prepped_busy_window(
+        task.wcet, info, availability, jitters, cap, own_jitter
+    )
+    return WcrtResult(value=value, converged=converged)
+
+
+def prepped_busy_window(
+    wcet: int,
+    info: Sequence[Tuple[str, int, bool, int]],
+    availability: NodeAvailability,
+    jitters: Mapping[str, int],
+    cap: int,
+    own_jitter: int = 0,
+) -> Tuple[int, bool]:
+    """Worst busy window over all critical instants, from prebound rows.
+
+    Hot-path variant of :func:`fps_task_busy_window` used by the
+    incremental analysis engine: the interferer rows come from
+    :func:`interferer_info` (cached per system) instead of being derived
+    per call.  Returns ``(value, converged)``.
+    """
     worst = 0
     converged = True
-    for t0 in candidates:
+    for t0 in availability.critical_instants():
         window, ok = _busy_window_at(
-            task,
-            interferers,
-            availability,
-            jitters,
-            period_of,
-            cap,
-            t0,
-            own_jitter,
-            ancestors,
+            wcet, info, availability, jitters, cap, t0, own_jitter
         )
         if window >= cap:
-            return WcrtResult(value=cap, converged=False)
-        worst = max(worst, window)
+            return cap, False
+        if window > worst:
+            worst = window
         converged = converged and ok
-    return WcrtResult(value=worst, converged=converged)
+    return worst, converged
 
 
 def _busy_window_at(
-    task: Task,
-    interferers: Sequence[Task],
+    wcet: int,
+    info: Sequence[Tuple[str, int, bool, int]],
     availability: NodeAvailability,
     jitters: Mapping[str, int],
-    period_of,
     cap: int,
     t0: int,
     own_jitter: int,
-    ancestors: frozenset,
 ) -> Tuple[int, bool]:
-    demand = task.wcet
+    demand = wcet
     window = 0
+    advance = availability.advance
+    jitters_get = jitters.get
     for _ in range(MAX_FIXPOINT_ITERATIONS):
-        end = availability.advance(t0, demand)
+        end = advance(t0, demand)
         if end is None:
             return cap, False
         window = end - t0
         if window >= cap:
             return cap, False
-        new_demand = task.wcet
-        for j in interferers:
-            count = interference_count(
-                window,
-                period_of(j.name),
-                jitters.get(j.name, 0),
-                j.name in ancestors,
-                own_jitter,
-            )
-            new_demand += count * j.wcet
+        new_demand = wcet
+        for name, period, is_ancestor, c_j in info:
+            if is_ancestor:
+                slack = window + own_jitter - period
+                count = -(-slack // period) if slack > 0 else 0
+            else:
+                count = -(-(window + jitters_get(name, 0)) // period)
+            new_demand += count * c_j
         if new_demand == demand:
             return window, True
         demand = new_demand

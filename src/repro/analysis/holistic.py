@@ -21,17 +21,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.analysis.availability import NodeAvailability, wrap_busy_intervals
-from repro.analysis.dyn import dyn_message_wcrt
-from repro.analysis.fps import fps_task_busy_window, hp_tasks
 from repro.analysis.schedule_table import ScheduleTable
-from repro.analysis.scheduler import ScheduleOptions, build_schedule
-from repro.analysis.st_msg import static_response_times
+from repro.analysis.scheduler import ScheduleOptions
 from repro.core.config import FlexRayConfig
-from repro.core.cost import CostBreakdown, cost_function
-from repro.errors import ConfigurationError, SchedulingError
+from repro.core.cost import CostBreakdown
 from repro.model.system import System
-from repro.model.task import Task
 
 
 @dataclass(frozen=True)
@@ -67,14 +61,15 @@ class AnalysisResult:
         return self.cost.value
 
 
-def analysis_cap(system: System, config: FlexRayConfig, cap_factor: int) -> int:
-    """Truncation bound for divergent recurrences.
+def analysis_cap_base(app) -> int:
+    """Configuration-independent part of :func:`analysis_cap`.
 
-    Larger than any deadline, so a truncated response time always counts
-    as a (finite) deadline miss in the cost function.
+    ``max(hyperperiod, any deadline)`` of the application; the
+    incremental analysis engine computes it once per system and combines
+    it with the per-configuration ``gd_cycle``.
     """
-    app = system.application
-    max_deadline = max(
+    return max(
+        app.hyperperiod,
         max(g.deadline for g in app.graphs),
         max(
             (t.deadline for t in app.tasks() if t.deadline is not None),
@@ -85,131 +80,55 @@ def analysis_cap(system: System, config: FlexRayConfig, cap_factor: int) -> int:
             default=0,
         ),
     )
-    return cap_factor * max(app.hyperperiod, config.gd_cycle, max_deadline)
+
+
+def analysis_cap(system: System, config: FlexRayConfig, cap_factor: int) -> int:
+    """Truncation bound for divergent recurrences.
+
+    Larger than any deadline, so a truncated response time always counts
+    as a (finite) deadline miss in the cost function.
+    """
+    return cap_factor * max(
+        analysis_cap_base(system.application), config.gd_cycle
+    )
 
 
 def analyse_system(
     system: System,
     config: FlexRayConfig,
     options: AnalysisOptions = None,
+    context: "AnalysisContext" = None,
 ) -> AnalysisResult:
-    """Run the full scheduling + holistic schedulability analysis."""
+    """Run the full scheduling + holistic schedulability analysis.
+
+    ``context`` optionally supplies a warm
+    :class:`~repro.analysis.context.AnalysisContext` so repeated
+    analyses of one system share the per-system invariants and the
+    per-static-segment schedule artifacts; results are bit-identical
+    with or without one.  A context built for a different system or
+    different options is ignored and a transient one is used instead.
+    """
+    from repro.analysis.context import AnalysisContext
+
     options = options or AnalysisOptions()
-    app = system.application
-
-    try:
-        config.validate_for(system)
-    except ConfigurationError as exc:
-        return _infeasible(config, f"configuration invalid: {exc}")
-
-    try:
-        table = build_schedule(system, config, options.schedule)
-    except SchedulingError as exc:
-        return _infeasible(config, f"static scheduling failed: {exc}")
-
-    cap = analysis_cap(system, config, options.cap_factor)
-    static_wcrt = static_response_times(app, table)
-
-    availability: Dict[str, NodeAvailability] = {
-        node: NodeAvailability(
-            wrap_busy_intervals(table.busy_intervals(node), table.horizon),
-            table.horizon,
-        )
-        for node in system.nodes
-    }
-    fps_by_node: Dict[str, list] = {
-        node: sorted(
-            (t for t in system.tasks_on(node) if t.is_fps),
-            key=lambda t: (t.priority, t.name),
-        )
-        for node in system.nodes
-    }
-    period_of = app.period_of
-    ancestors = _ancestor_sets(app)
-
-    # --- holistic fix point ------------------------------------------
-    wcrt: Dict[str, int] = dict(static_wcrt)
-    jitters: Dict[str, int] = {}
-    converged = True
-    for _ in range(options.max_holistic_iterations):
-        changed = False
-
-        # DYN messages: jitter inherited from the sender task.
-        for m in app.dyn_messages():
-            g = app.graph_of(m.name)
-            sender: Task = g.task(m.sender)
-            j_m = wcrt.get(sender.name, 0)
-            if jitters.get(m.name, 0) != j_m:
-                jitters[m.name] = j_m
-                changed = True
-            result = dyn_message_wcrt(
-                m, config, system, jitters, period_of, cap,
-                ancestors=ancestors.get(m.name, frozenset()),
-                fill_strategy=options.dyn_fill_strategy,
-            )
-            converged = converged and result.converged
-            if wcrt.get(m.name) != result.value:
-                wcrt[m.name] = result.value
-                changed = True
-
-        # FPS tasks: jitter = worst finish of any predecessor.
-        for node in system.nodes:
-            fps = fps_by_node[node]
-            for task in fps:
-                g = app.graph_of(task.name)
-                j_i = task.release
-                for pred in g.predecessors(task.name):
-                    j_i = max(j_i, wcrt.get(pred, 0))
-                if jitters.get(task.name, 0) != j_i:
-                    jitters[task.name] = j_i
-                    changed = True
-                window = fps_task_busy_window(
-                    task,
-                    hp_tasks(task, fps),
-                    availability[node],
-                    jitters,
-                    period_of,
-                    cap,
-                    own_jitter=j_i,
-                    ancestors=ancestors.get(task.name, frozenset()),
-                )
-                converged = converged and window.converged
-                r_i = min(cap, j_i + window.value)
-                if wcrt.get(task.name) != r_i:
-                    wcrt[task.name] = r_i
-                    changed = True
-
-        if not changed:
-            break
-    else:
-        converged = False
-
-    cost = cost_function(app, wcrt)
-    return AnalysisResult(
-        config=config,
-        feasible=True,
-        schedulable=cost.schedulable and converged,
-        converged=converged,
-        cost=cost,
-        wcrt=wcrt,
-        table=table,
-    )
+    if (
+        context is None
+        or context.system is not system
+        or context.options != options
+    ):
+        context = AnalysisContext(system, options)
+    return context.analyse(config)
 
 
 def _ancestor_sets(app) -> Dict[str, frozenset]:
-    """Transitive predecessors of every activity within its graph."""
-    out: Dict[str, frozenset] = {}
-    for g in app.graphs:
-        closure: Dict[str, set] = {}
-        for name in g.topological_order():
-            anc = set()
-            for pred in g.predecessors(name):
-                anc.add(pred)
-                anc |= closure[pred]
-            closure[name] = anc
-        for name, anc in closure.items():
-            out[name] = frozenset(anc)
-    return out
+    """Transitive predecessors of every activity within its graph.
+
+    Kept as an alias of :func:`repro.analysis.context.ancestor_sets`,
+    which the incremental analysis engine computes once per system.
+    """
+    from repro.analysis.context import ancestor_sets
+
+    return ancestor_sets(app)
 
 
 def _infeasible(config: FlexRayConfig, reason: str) -> AnalysisResult:

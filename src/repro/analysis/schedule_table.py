@@ -194,6 +194,27 @@ class ScheduleTable:
         return entry
 
     # ------------------------------------------------------------------
+    # cache support
+    # ------------------------------------------------------------------
+    def clone_for(self, config: FlexRayConfig) -> "ScheduleTable":
+        """Copy with identical placements, re-bound to *config*.
+
+        Used by the incremental analysis engine when a cached schedule is
+        reused for a configuration that shares the cache key (same static
+        segment and cycle geometry, e.g. a different FrameID assignment):
+        the placements are byte-identical, only the ``config`` attribute
+        the result carries must reflect the analysed configuration.
+        """
+        clone = ScheduleTable.__new__(ScheduleTable)
+        clone.config = config
+        clone.horizon = self.horizon
+        clone.tasks = dict(self.tasks)
+        clone.messages = dict(self.messages)
+        clone._node_busy = {n: list(v) for n, v in self._node_busy.items()}
+        clone._frame_used = dict(self._frame_used)
+        return clone
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def finish_of(self, job_key: str) -> Optional[int]:

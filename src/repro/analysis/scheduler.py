@@ -59,6 +59,7 @@ def build_schedule(
     config: FlexRayConfig,
     options: ScheduleOptions = None,
     wcrt_estimates: Optional[Mapping[str, int]] = None,
+    priorities: Optional[Mapping[str, int]] = None,
 ) -> ScheduleTable:
     """Build the static schedule table for *system* under *config*.
 
@@ -68,12 +69,18 @@ def build_schedule(
     :class:`SchedulingError` (the paper's benchmark systems keep
     time-triggered and event-triggered graphs separate, so the situation
     only arises in mixed graphs).
+
+    ``priorities`` optionally supplies precomputed critical-path
+    priorities; they only depend on the bus speed parameters, so the
+    incremental analysis engine computes them once per parameter set
+    instead of once per candidate configuration.
     """
     options = options or ScheduleOptions()
     app = system.application
     horizon = app.hyperperiod
     table = ScheduleTable(config, horizon)
-    priorities = critical_path_priorities(app, config)
+    if priorities is None:
+        priorities = critical_path_priorities(app, config)
 
     jobs = expand_jobs(app, scs_only=True, horizon=horizon)
     job_by_key: Dict[str, Job] = {j.key: j for j in jobs}

@@ -61,27 +61,35 @@ def optimise_bbc(
     start = time.perf_counter()
     evaluator = Evaluator(system, options)
 
-    st_nodes = system.st_sender_nodes()
-    slot = min_static_slot(system, options) if st_nodes else 0
-    st_bus = len(st_nodes) * slot
-    lo, hi = dyn_segment_bounds(system, st_bus, options)
-    best: Optional[AnalysisResult] = None
-    if lo == 0 and hi == 0:
-        # No DYN messages: the cycle is purely static.
-        best = evaluator.analyse(basic_configuration(system, 0, options))
-    else:
-        for n_minislots in sweep_lengths(lo, hi, options.max_dyn_points):
-            result = evaluator.analyse(
+    try:
+        st_nodes = system.st_sender_nodes()
+        slot = min_static_slot(system, options) if st_nodes else 0
+        st_bus = len(st_nodes) * slot
+        lo, hi = dyn_segment_bounds(system, st_bus, options)
+        best: Optional[AnalysisResult] = None
+        if lo == 0 and hi == 0:
+            # No DYN messages: the cycle is purely static.
+            best = evaluator.analyse(basic_configuration(system, 0, options))
+        else:
+            # The whole sweep shares one static segment, so the warm
+            # context reuses one schedule; batching also lets the
+            # parallel pool fan the candidates out when configured.
+            configs = [
                 basic_configuration(system, n_minislots, options)
-            )
-            if better(result, best):
-                best = result
-    if best is not None and not best.feasible:
-        best = None
-    return OptimisationResult(
-        algorithm="BBC",
-        best=best,
-        evaluations=evaluator.evaluations,
-        elapsed_seconds=time.perf_counter() - start,
-        trace=tuple(evaluator.trace),
-    )
+                for n_minislots in sweep_lengths(lo, hi, options.max_dyn_points)
+            ]
+            for result in evaluator.analyse_many(configs):
+                if better(result, best):
+                    best = result
+        if best is not None and not best.feasible:
+            best = None
+        return OptimisationResult(
+            algorithm="BBC",
+            best=best,
+            evaluations=evaluator.evaluations,
+            elapsed_seconds=time.perf_counter() - start,
+            trace=tuple(evaluator.trace),
+            cache_hits=evaluator.cache_hits,
+        )
+    finally:
+        evaluator.close()

@@ -274,17 +274,29 @@ class FlexRayConfig:
         """Copy with a different FrameID assignment."""
         return replace(self, frame_ids=dict(frame_ids))
 
-    def cache_key(self) -> tuple:
-        """Hashable identity of the configuration (``frame_ids`` is a dict,
-        so the dataclass itself is unhashable)."""
+    def static_key(self) -> tuple:
+        """Hashable identity of the static segment and bus parameters.
+
+        Everything the static schedule construction depends on *except*
+        the cycle length: configurations sharing this key (plus
+        ``gd_cycle`` when the application sends ST messages) produce
+        byte-identical schedule tables, which is what the incremental
+        analysis engine keys its per-static-segment cache on.
+        """
         return (
             self.static_slots,
             self.gd_static_slot,
-            self.n_minislots,
-            tuple(sorted(self.frame_ids.items())),
             self.gd_minislot,
             self.bits_per_mt,
             self.frame_overhead_bytes,
+        )
+
+    def cache_key(self) -> tuple:
+        """Hashable identity of the full configuration (``frame_ids`` is a
+        dict, so the dataclass itself is unhashable)."""
+        return self.static_key() + (
+            self.n_minislots,
+            tuple(sorted(self.frame_ids.items())),
         )
 
     def describe(self) -> str:

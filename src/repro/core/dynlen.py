@@ -40,8 +40,13 @@ def exhaustive_dyn_length(
     if max_points is None:
         max_points = evaluator.options.ee_max_dyn_points
     best: Optional[AnalysisResult] = None
-    for n in sweep_lengths(lo, hi, max_points):
-        result = evaluator.analyse(template.with_dyn_length(n))
+    # One batch: the sweep shares the evaluator's warm AnalysisContext
+    # and fans out over the parallel pool when one is configured; the
+    # first-best selection below matches the serial iteration order.
+    configs = [
+        template.with_dyn_length(n) for n in sweep_lengths(lo, hi, max_points)
+    ]
+    for result in evaluator.analyse_many(configs):
         if better(result, best):
             best = result
     return best

@@ -55,49 +55,58 @@ def optimise_ga(
     rng = random.Random(ga_options.seed)
     evaluator = Evaluator(system, options)
 
-    population = _initial_population(system, options, rng, ga_options.population)
-    scored = [(evaluator.analyse(cfg), cfg) for cfg in population]
-    best: Optional[AnalysisResult] = None
-    for result, _ in scored:
-        if result.feasible and better(result, best):
-            best = result
-
-    for _ in range(ga_options.generations):
-        if (
-            ga_options.max_seconds is not None
-            and time.perf_counter() - start > ga_options.max_seconds
-        ):
-            break
-        next_gen: List[FlexRayConfig] = [
-            cfg for _, cfg in sorted(scored, key=lambda rc: rc[0].cost_value)[
-                : ga_options.elite
-            ]
-        ]
-        while len(next_gen) < ga_options.population:
-            parent_a = _tournament(scored, rng, ga_options.tournament)
-            parent_b = _tournament(scored, rng, ga_options.tournament)
-            child = parent_a
-            if rng.random() < ga_options.crossover_rate:
-                child = _crossover(system, parent_a, parent_b, options, rng)
-            if child is None:
-                child = parent_a
-            if rng.random() < ga_options.mutation_rate:
-                mutated = _neighbour(system, child, options, rng)
-                if mutated is not None:
-                    child = mutated
-            next_gen.append(child)
-        scored = [(evaluator.analyse(cfg), cfg) for cfg in next_gen]
+    try:
+        population = _initial_population(
+            system, options, rng, ga_options.population
+        )
+        # Whole generations are evaluated as one batch: the RNG is never
+        # consumed during evaluation, so the parallel pool produces the
+        # exact population trajectory of a serial run.
+        scored = list(zip(evaluator.analyse_many(population), population))
+        best: Optional[AnalysisResult] = None
         for result, _ in scored:
             if result.feasible and better(result, best):
                 best = result
 
-    return OptimisationResult(
-        algorithm="GA",
-        best=best,
-        evaluations=evaluator.evaluations,
-        elapsed_seconds=time.perf_counter() - start,
-        trace=tuple(evaluator.trace),
-    )
+        for _ in range(ga_options.generations):
+            if (
+                ga_options.max_seconds is not None
+                and time.perf_counter() - start > ga_options.max_seconds
+            ):
+                break
+            next_gen: List[FlexRayConfig] = [
+                cfg for _, cfg in sorted(scored, key=lambda rc: rc[0].cost_value)[
+                    : ga_options.elite
+                ]
+            ]
+            while len(next_gen) < ga_options.population:
+                parent_a = _tournament(scored, rng, ga_options.tournament)
+                parent_b = _tournament(scored, rng, ga_options.tournament)
+                child = parent_a
+                if rng.random() < ga_options.crossover_rate:
+                    child = _crossover(system, parent_a, parent_b, options, rng)
+                if child is None:
+                    child = parent_a
+                if rng.random() < ga_options.mutation_rate:
+                    mutated = _neighbour(system, child, options, rng)
+                    if mutated is not None:
+                        child = mutated
+                next_gen.append(child)
+            scored = list(zip(evaluator.analyse_many(next_gen), next_gen))
+            for result, _ in scored:
+                if result.feasible and better(result, best):
+                    best = result
+
+        return OptimisationResult(
+            algorithm="GA",
+            best=best,
+            evaluations=evaluator.evaluations,
+            elapsed_seconds=time.perf_counter() - start,
+            trace=tuple(evaluator.trace),
+            cache_hits=evaluator.cache_hits,
+        )
+    finally:
+        evaluator.close()
 
 
 def _initial_population(
@@ -106,16 +115,33 @@ def _initial_population(
     rng: random.Random,
     size: int,
 ) -> List[FlexRayConfig]:
-    """BBC-shaped individuals with randomised DYN segment lengths."""
+    """BBC-shaped individuals with randomised DYN segment lengths.
+
+    Individuals are deduplicated by configuration identity: when
+    ``_neighbour`` repeatedly returns ``None`` (tiny design spaces) the
+    naive loop seeds the whole population with one config and the first
+    generation burns its evaluation budget on cache hits.  Duplicate
+    draws are retried within a bounded budget before being accepted, so
+    the population stays diverse yet the loop always terminates.
+    """
     base = _initial_config(system, options)
     population = [base]
+    seen = {base.cache_key()}
     lo, hi = dyn_segment_bounds(system, base.st_bus, options)
+    attempts_left = 16 * size
     while len(population) < size:
         cfg = base
         if hi >= lo and hi > 0:
             cfg = base.with_dyn_length(rng.randint(lo, hi))
         mutated = _neighbour(system, cfg, options, rng)
-        population.append(mutated if mutated is not None else cfg)
+        if mutated is not None:
+            cfg = mutated
+        key = cfg.cache_key()
+        attempts_left -= 1
+        if key in seen and attempts_left > 0:
+            continue
+        seen.add(key)
+        population.append(cfg)
     return population
 
 

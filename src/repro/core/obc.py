@@ -48,7 +48,19 @@ def optimise_obc(
     options = options or BusOptimisationOptions()
     start = time.perf_counter()
     evaluator = Evaluator(system, options)
+    try:
+        return _optimise_obc(system, options, method, evaluator, start)
+    finally:
+        evaluator.close()
 
+
+def _optimise_obc(
+    system: System,
+    options: BusOptimisationOptions,
+    method: str,
+    evaluator: Evaluator,
+    start: float,
+) -> OptimisationResult:
     frame_ids = assign_frame_ids(
         system, options.bits_per_mt, options.frame_overhead_bytes
     )
@@ -129,4 +141,5 @@ def _finish(best, evaluator, method, start) -> OptimisationResult:
         evaluations=evaluator.evaluations,
         elapsed_seconds=time.perf_counter() - start,
         trace=tuple(evaluator.trace),
+        cache_hits=evaluator.cache_hits,
     )

@@ -30,6 +30,9 @@ class OptimisationResult:
     the optimiser never reached a feasible configuration); ``evaluations``
     counts the full scheduling+analysis runs -- the unit the paper uses to
     explain why OBC/CF beats OBC/EE by orders of magnitude.
+    ``cache_hits`` counts candidate lookups the evaluator answered from
+    its result cache instead of re-analysing; hits are *not* part of
+    ``evaluations``, so the paper's evaluation comparisons stay exact.
     """
 
     algorithm: str
@@ -37,6 +40,7 @@ class OptimisationResult:
     evaluations: int
     elapsed_seconds: float
     trace: Tuple[SearchPoint, ...] = field(default=())
+    cache_hits: int = 0
 
     @property
     def schedulable(self) -> bool:

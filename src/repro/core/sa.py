@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.analysis.holistic import AnalysisResult
@@ -42,6 +42,12 @@ class SAOptions:
     cooling: float = 0.97
     moves_per_temperature: int = 8
     max_seconds: Optional[float] = None
+    #: Number of independent annealing chains (restart *i* uses seed
+    #: ``seed + i``); the best chain outcome wins.  Chains are
+    #: embarrassingly parallel and run on the evaluation pool when
+    #: ``BusOptimisationOptions.parallel_workers`` asks for one, with
+    #: results merged in restart order so parallel == serial.
+    restarts: int = 1
 
 
 def optimise_sa(
@@ -52,46 +58,116 @@ def optimise_sa(
     """Anneal over the full design space of Section 6."""
     options = options or BusOptimisationOptions()
     sa_options = sa_options or SAOptions()
+    if sa_options.restarts > 1:
+        return _optimise_sa_restarts(system, options, sa_options)
     start = time.perf_counter()
-    rng = random.Random(sa_options.seed)
-    evaluator = Evaluator(system, options)
+    result = _sa_chain(system, options, sa_options, sa_options.seed)
+    return replace(result, elapsed_seconds=time.perf_counter() - start)
 
-    current_cfg = _initial_config(system, options)
-    current = evaluator.analyse(current_cfg)
-    best: Optional[AnalysisResult] = current if current.feasible else None
 
-    temperature = sa_options.initial_temperature
-    if temperature is None:
-        scale = abs(current.cost_value) if current.feasible else 0.0
-        temperature = max(scale, 100.0)
+def _optimise_sa_restarts(
+    system: System,
+    options: BusOptimisationOptions,
+    sa_options: SAOptions,
+) -> OptimisationResult:
+    """Run independent chains and merge them deterministically."""
+    start = time.perf_counter()
+    seeds = [sa_options.seed + i for i in range(sa_options.restarts)]
+    chains: Optional[list] = None
+    workers = options.parallel_workers or 0
+    if workers > 1:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
 
-    moves_left = sa_options.moves_per_temperature
-    for _ in range(sa_options.iterations):
-        if (
-            sa_options.max_seconds is not None
-            and time.perf_counter() - start > sa_options.max_seconds
-        ):
-            break
-        neighbour_cfg = _neighbour(system, current_cfg, options, rng)
-        if neighbour_cfg is None:
-            continue
-        neighbour = evaluator.analyse(neighbour_cfg)
-        if _accept(current, neighbour, temperature, rng):
-            current_cfg, current = neighbour_cfg, neighbour
-        if neighbour.feasible and better(neighbour, best):
-            best = neighbour
-        moves_left -= 1
-        if moves_left <= 0:
-            temperature = max(temperature * sa_options.cooling, 1e-6)
-            moves_left = sa_options.moves_per_temperature
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                chains = list(
+                    pool.map(
+                        _sa_chain_job,
+                        [(system, options, sa_options, s) for s in seeds],
+                    )
+                )
+        except Exception:
+            chains = None  # e.g. unpicklable payload: fall back to serial
+    if chains is None:
+        chains = [_sa_chain(system, options, sa_options, s) for s in seeds]
 
+    best: Optional[AnalysisResult] = None
+    trace = []
+    evaluations = 0
+    cache_hits = 0
+    for chain in chains:
+        evaluations += chain.evaluations
+        cache_hits += chain.cache_hits
+        trace.extend(chain.trace)
+        if chain.best is not None and better(chain.best, best):
+            best = chain.best
     return OptimisationResult(
         algorithm="SA",
         best=best,
-        evaluations=evaluator.evaluations,
+        evaluations=evaluations,
         elapsed_seconds=time.perf_counter() - start,
-        trace=tuple(evaluator.trace),
+        trace=tuple(trace),
+        cache_hits=cache_hits,
     )
+
+
+def _sa_chain_job(args) -> OptimisationResult:
+    """Module-level wrapper so restart chains can cross process bounds."""
+    system, options, sa_options, seed = args
+    return _sa_chain(system, options, sa_options, seed)
+
+
+def _sa_chain(
+    system: System,
+    options: BusOptimisationOptions,
+    sa_options: SAOptions,
+    seed: int,
+) -> OptimisationResult:
+    """One annealing chain with its own evaluator and trace."""
+    start = time.perf_counter()
+    rng = random.Random(seed)
+    evaluator = Evaluator(system, options)
+
+    try:
+        current_cfg = _initial_config(system, options)
+        current = evaluator.analyse(current_cfg)
+        best: Optional[AnalysisResult] = current if current.feasible else None
+
+        temperature = sa_options.initial_temperature
+        if temperature is None:
+            scale = abs(current.cost_value) if current.feasible else 0.0
+            temperature = max(scale, 100.0)
+
+        moves_left = sa_options.moves_per_temperature
+        for _ in range(sa_options.iterations):
+            if (
+                sa_options.max_seconds is not None
+                and time.perf_counter() - start > sa_options.max_seconds
+            ):
+                break
+            neighbour_cfg = _neighbour(system, current_cfg, options, rng)
+            if neighbour_cfg is None:
+                continue
+            neighbour = evaluator.analyse(neighbour_cfg)
+            if _accept(current, neighbour, temperature, rng):
+                current_cfg, current = neighbour_cfg, neighbour
+            if neighbour.feasible and better(neighbour, best):
+                best = neighbour
+            moves_left -= 1
+            if moves_left <= 0:
+                temperature = max(temperature * sa_options.cooling, 1e-6)
+                moves_left = sa_options.moves_per_temperature
+
+        return OptimisationResult(
+            algorithm="SA",
+            best=best,
+            evaluations=evaluator.evaluations,
+            elapsed_seconds=time.perf_counter() - start,
+            trace=tuple(evaluator.trace),
+            cache_hits=evaluator.cache_hits,
+        )
+    finally:
+        evaluator.close()
 
 
 def _initial_config(

@@ -8,10 +8,13 @@ experiments of Section 7 report.
 
 from __future__ import annotations
 
+import dataclasses
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Tuple
 
-from repro.analysis.holistic import AnalysisOptions, AnalysisResult, analyse_system
+from repro.analysis.context import AnalysisContext
+from repro.analysis.holistic import AnalysisOptions, AnalysisResult
 from repro.core.config import FlexRayConfig
 from repro.core.result import SearchPoint
 from repro.errors import OptimisationError
@@ -58,27 +61,127 @@ class BusOptimisationOptions:
     max_slot_size_steps: int = 6
     #: Stop as soon as a schedulable configuration is found (Fig. 6 line 7).
     stop_when_schedulable: bool = True
+    #: Result-cache bound (LRU).  Long SA/GA runs over large design
+    #: spaces would otherwise hold every AnalysisResult ever produced;
+    #: ``None`` keeps the cache unbounded, ``0`` disables retention
+    #: entirely (every analyse call is exact).
+    max_cache_entries: Optional[int] = 4096
+    #: Opt-in parallel candidate evaluation: number of worker processes
+    #: used by :meth:`Evaluator.analyse_many` (GA generations, SA
+    #: restarts, the BBC/OBC-EE sweeps).  ``None``/``1`` evaluates
+    #: serially; results and traces are identical either way.
+    parallel_workers: Optional[int] = None
+
+
+#: Per-process warm context of the parallel evaluation pool workers.
+_POOL_CONTEXT: List[AnalysisContext] = []
+
+
+def _pool_initializer(system: System, analysis: AnalysisOptions) -> None:
+    _POOL_CONTEXT.clear()
+    _POOL_CONTEXT.append(AnalysisContext(system, analysis))
+
+
+def _pool_analyse(item: Tuple[FlexRayConfig, bool]) -> AnalysisResult:
+    config, strip_table = item
+    result = _POOL_CONTEXT[0].analyse(config)
+    if strip_table and result.table is not None:
+        # The schedule table dominates the result pickle; when the
+        # parent already holds this static segment in its schedule
+        # cache it re-attaches an identical table for free.
+        result = dataclasses.replace(result, table=None)
+    return result
 
 
 class Evaluator:
-    """Counts exact analyses and accumulates the search trace."""
+    """Counts exact analyses and accumulates the search trace.
+
+    Owns the warm :class:`~repro.analysis.context.AnalysisContext` of the
+    run (the incremental analysis engine), an LRU-bounded result cache
+    with separate hit accounting, and the opt-in parallel evaluation
+    pool.  ``evaluations`` counts exact analyses only -- cache hits are
+    reported in ``cache_hits`` -- so the paper's evaluation-count
+    comparisons stay exact whether or not candidates are batched.
+    """
 
     def __init__(self, system: System, options: BusOptimisationOptions):
         self.system = system
         self.options = options
         self.evaluations = 0
+        self.cache_hits = 0
         self.trace: List[SearchPoint] = []
-        self._cache: Dict[tuple, AnalysisResult] = {}
+        self.context = AnalysisContext(system, options.analysis)
+        self._cache: "OrderedDict[tuple, AnalysisResult]" = OrderedDict()
+        self._executor = None
+        self._parallel_broken = False
 
     def analyse(self, config: FlexRayConfig) -> AnalysisResult:
         """Full scheduling + holistic analysis of one configuration."""
         key = config.cache_key()
         cached = self._cache.get(key)
         if cached is not None:
+            self.cache_hits += 1
+            self._cache.move_to_end(key)
             return cached
-        result = analyse_system(self.system, config, self.options.analysis)
+        result = self.context.analyse(config)
+        self._record(key, config, result)
+        return result
+
+    def analyse_many(
+        self, configs: Iterable[FlexRayConfig]
+    ) -> List[AnalysisResult]:
+        """Analyse a batch of configurations, preserving order.
+
+        Semantically identical to calling :meth:`analyse` per
+        configuration in sequence -- same results, same evaluation
+        count, same trace order, same cache-hit accounting -- but
+        distinct uncached candidates are evaluated on the parallel pool
+        when ``options.parallel_workers`` asks for one.
+        """
+        configs = list(configs)
+        results: List[Optional[AnalysisResult]] = [None] * len(configs)
+        pending: "OrderedDict[tuple, List[int]]" = OrderedDict()
+        for i, config in enumerate(configs):
+            key = config.cache_key()
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                self._cache.move_to_end(key)
+                results[i] = cached
+            elif key in pending:
+                # Duplicate within the batch: the serial order would hit
+                # the cache filled by the first occurrence.
+                self.cache_hits += 1
+                pending[key].append(i)
+            else:
+                pending[key] = [i]
+        if pending:
+            items = list(pending.items())
+            unique = [configs[indices[0]] for _, indices in items]
+            computed = self._map(unique)
+            for (key, indices), result in zip(items, computed):
+                self._record(key, configs[indices[0]], result)
+                for i in indices:
+                    results[i] = result
+        return results
+
+    def close(self) -> None:
+        """Shut down the parallel evaluation pool, if one was started."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    def _record(
+        self, key: tuple, config: FlexRayConfig, result: AnalysisResult
+    ) -> None:
         self.evaluations += 1
         self._cache[key] = result
+        bound = self.options.max_cache_entries
+        if bound is not None:
+            limit = max(bound, 0)
+            while len(self._cache) > limit:
+                self._cache.popitem(last=False)
         self.trace.append(
             SearchPoint(
                 n_static_slots=config.n_static_slots,
@@ -89,7 +192,68 @@ class Evaluator:
                 exact=True,
             )
         )
-        return result
+
+    def _map(self, configs: List[FlexRayConfig]) -> List[AnalysisResult]:
+        """Evaluate distinct configurations, parallel when requested."""
+        workers = self.options.parallel_workers or 0
+        if workers > 1 and len(configs) > 1 and not self._parallel_broken:
+            pool = self._ensure_pool(workers)
+            if pool is not None:
+                # Workers strip the heavy schedule table from the
+                # result pickle only when the parent can re-attach an
+                # identical one cheaply: the key is already in the
+                # parent's tier-(b) cache, or an earlier candidate of
+                # this batch shares it (one parent-side rebuild then
+                # serves the whole group).  Candidates with a unique,
+                # uncached key -- an ST-sending sweep, where every
+                # cycle length means a distinct schedule -- ship the
+                # table back instead of being rebuilt serially here.
+                seen_keys = set()
+                items = []
+                for config in configs:
+                    key = self.context.schedule_key(config)
+                    strip = (
+                        key in seen_keys
+                        or self.context.has_schedule_for(config)
+                    )
+                    seen_keys.add(key)
+                    items.append((config, strip))
+                try:
+                    chunksize = max(1, len(configs) // (workers * 4))
+                    mapped = list(
+                        pool.map(_pool_analyse, items, chunksize=chunksize)
+                    )
+                except Exception:
+                    # Broken pool / unpicklable payload: degrade to the
+                    # serial path (identical results) for the whole run.
+                    self._parallel_broken = True
+                    self.close()
+                else:
+                    results = []
+                    for config, result in zip(configs, mapped):
+                        if result.feasible and result.table is None:
+                            result = dataclasses.replace(
+                                result,
+                                table=self.context.schedule_table_for(config),
+                            )
+                        results.append(result)
+                    return results
+        return [self.context.analyse(config) for config in configs]
+
+    def _ensure_pool(self, workers: int):
+        if self._executor is None:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._executor = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_pool_initializer,
+                    initargs=(self.system, self.options.analysis),
+                )
+            except Exception:
+                self._parallel_broken = True
+                return None
+        return self._executor
 
     def note_estimate(self, config: FlexRayConfig, cost: float) -> None:
         """Record an interpolated (non-exact) point in the trace."""

@@ -1,0 +1,223 @@
+"""Cache correctness of the incremental analysis engine.
+
+The engine (``repro.analysis.context.AnalysisContext``) must be a pure
+performance layer: a warm context, a cold context and the parallel
+evaluation pool all have to produce bit-identical results, and the
+evaluator's LRU cache must change accounting only, never outcomes.
+"""
+
+from dataclasses import replace
+
+from repro.analysis import AnalysisContext, analyse_system
+from repro.core import GAOptions, SAOptions, optimise_ga, optimise_sa
+from repro.core.bbc import basic_configuration
+from repro.core.ga import _initial_population
+from repro.core.search import (
+    BusOptimisationOptions,
+    Evaluator,
+    dyn_segment_bounds,
+    min_static_slot,
+    sweep_lengths,
+)
+from repro.synth import paper_suite
+
+from tests.util import basic_config, fig3_system, fig4_system
+
+import random
+
+
+def _result_signature(result):
+    """Everything an optimiser can observe about an analysis outcome."""
+    return (
+        result.feasible,
+        result.schedulable,
+        result.converged,
+        result.failure,
+        None if result.cost is None else (
+            result.cost.value, result.cost.schedulable
+        ),
+        tuple(sorted(result.wcrt.items())),
+    )
+
+
+def _candidate_configs(system, per_system=6):
+    """A spread of BBC-shaped configs across the legal DYN range."""
+    options = BusOptimisationOptions()
+    st_nodes = system.st_sender_nodes()
+    slot = min_static_slot(system, options) if st_nodes else 0
+    lo, hi = dyn_segment_bounds(system, len(st_nodes) * slot, options)
+    lengths = sweep_lengths(lo, hi, per_system) if hi >= lo and hi > 0 else [0]
+    configs = []
+    for n in lengths:
+        try:
+            configs.append(basic_configuration(system, n, options))
+        except Exception:
+            continue
+    return configs
+
+
+class TestWarmContextBitIdentical:
+    def test_property_randomised_systems(self):
+        """Warm-context results equal cold runs on randomised systems."""
+        rng = random.Random(20070416)
+        for n_nodes in (2, 3, 4):
+            suite = paper_suite(n_nodes, count=2, seed=rng.randrange(10_000))
+            for system in suite:
+                context = AnalysisContext(system)
+                for config in _candidate_configs(system):
+                    cold = analyse_system(system, config)
+                    warm = context.analyse(config)
+                    again = context.analyse(config)
+                    assert _result_signature(cold) == _result_signature(warm)
+                    assert _result_signature(cold) == _result_signature(again)
+
+    def test_shared_schedule_rebound_to_config(self):
+        """Cache-served tables carry the analysed configuration."""
+        system = fig4_system()  # no ST messages: schedule shared over sweep
+        context = AnalysisContext(system)
+        a = context.analyse(basic_configuration(system, 20))
+        b = context.analyse(basic_configuration(system, 40))
+        assert a.table is not None and b.table is not None
+        assert a.table.config.n_minislots == 20
+        assert b.table.config.n_minislots == 40
+        assert a.table.tasks == b.table.tasks  # placements shared
+
+    def test_context_for_wrong_system_is_ignored(self):
+        other = AnalysisContext(fig3_system())
+        system = fig4_system()
+        config = basic_configuration(system, 20)
+        direct = analyse_system(system, config)
+        via_wrong = analyse_system(system, config, context=other)
+        assert _result_signature(direct) == _result_signature(via_wrong)
+
+
+class TestEvaluatorCache:
+    def test_lru_bound_evicts_and_recounts(self):
+        system = fig3_system()
+        options = BusOptimisationOptions(max_cache_entries=2)
+        ev = Evaluator(system, options)
+        cfgs = [
+            basic_config(
+                static_slots=("N1", "N2"), gd_static_slot=8, n_minislots=n
+            )
+            for n in (0, 5, 10)
+        ]
+        for cfg in cfgs:
+            ev.analyse(cfg)
+        assert ev.evaluations == 3
+        # cfgs[0] was evicted (bound 2): re-analysing costs an evaluation.
+        ev.analyse(cfgs[0])
+        assert ev.evaluations == 4
+        assert ev.cache_hits == 0
+        # cfgs[2] is still cached: pure hit.
+        ev.analyse(cfgs[2])
+        assert ev.evaluations == 4
+        assert ev.cache_hits == 1
+
+    def test_cache_hits_not_counted_as_evaluations(self):
+        system = fig3_system()
+        ev = Evaluator(system, BusOptimisationOptions())
+        cfg = basic_config(
+            static_slots=("N1", "N2"), gd_static_slot=8, n_minislots=0
+        )
+        r1 = ev.analyse(cfg)
+        r2 = ev.analyse(cfg)
+        assert r1 is r2
+        assert ev.evaluations == 1
+        assert ev.cache_hits == 1
+        assert len(ev.trace) == 1
+
+    def test_analyse_many_matches_serial_semantics(self):
+        system = fig3_system()
+        cfgs = [
+            basic_config(
+                static_slots=("N1", "N2"), gd_static_slot=8, n_minislots=n
+            )
+            for n in (0, 5, 0, 5, 10)  # duplicates inside the batch
+        ]
+        serial = Evaluator(system, BusOptimisationOptions())
+        expected = [serial.analyse(c) for c in cfgs]
+        batched = Evaluator(system, BusOptimisationOptions())
+        got = batched.analyse_many(cfgs)
+        assert [
+            _result_signature(r) for r in got
+        ] == [_result_signature(r) for r in expected]
+        assert batched.evaluations == serial.evaluations == 3
+        assert batched.cache_hits == serial.cache_hits == 2
+        assert [p.n_minislots for p in batched.trace] == [
+            p.n_minislots for p in serial.trace
+        ]
+
+
+class TestParallelDeterminism:
+    def _outcome(self, result):
+        cfg = result.config
+        return (
+            result.cost,
+            result.schedulable,
+            result.evaluations,
+            result.cache_hits,
+            None if cfg is None else cfg.cache_key(),
+            result.trace,
+        )
+
+    def test_parallel_ga_equals_serial(self):
+        system = fig4_system()
+        serial = BusOptimisationOptions()
+        parallel = replace(serial, parallel_workers=2)
+        ga = GAOptions(population=6, generations=3, seed=11)
+        a = optimise_ga(system, serial, ga)
+        b = optimise_ga(system, parallel, ga)
+        assert self._outcome(a) == self._outcome(b)
+
+    def test_parallel_sa_restarts_equal_serial(self):
+        system = fig4_system()
+        serial = BusOptimisationOptions()
+        parallel = replace(serial, parallel_workers=2)
+        sa = SAOptions(iterations=40, seed=7, restarts=2)
+        a = optimise_sa(system, serial, sa)
+        b = optimise_sa(system, parallel, sa)
+        assert self._outcome(a) == self._outcome(b)
+
+    def test_single_restart_unchanged(self):
+        system = fig4_system()
+        sa = SAOptions(iterations=40, seed=7)
+        a = optimise_sa(system, sa_options=sa)
+        b = optimise_sa(system, sa_options=sa)
+        assert self._outcome(a) == self._outcome(b)
+
+
+class TestGAPopulationDedup:
+    def test_initial_population_distinct(self):
+        system = fig4_system()
+        options = BusOptimisationOptions()
+        rng = random.Random(3)
+        population = _initial_population(system, options, rng, 10)
+        keys = {cfg.cache_key() for cfg in population}
+        assert len(population) == 10
+        assert len(keys) == 10  # fig4 has a huge DYN range: all distinct
+
+    def test_population_terminates_on_tiny_design_space(self):
+        # fig3 has no DYN messages: many moves are no-ops, so the
+        # bounded retry budget must still fill the population.
+        system = fig3_system()
+        options = BusOptimisationOptions()
+        rng = random.Random(3)
+        population = _initial_population(system, options, rng, 8)
+        assert len(population) == 8
+
+
+class TestConfigKeys:
+    def test_static_key_is_prefix_of_cache_key(self):
+        cfg = basic_config(
+            static_slots=("N1", "N2"), gd_static_slot=8, n_minislots=7
+        )
+        assert cfg.cache_key()[: len(cfg.static_key())] == cfg.static_key()
+
+    def test_static_key_ignores_dyn_length_and_frame_ids(self):
+        a = basic_config(
+            static_slots=("N1", "N2"), gd_static_slot=8, n_minislots=7
+        )
+        b = a.with_dyn_length(30)
+        assert a.static_key() == b.static_key()
+        assert a.cache_key() != b.cache_key()

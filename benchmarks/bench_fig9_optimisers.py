@@ -11,41 +11,28 @@ computation time of each algorithm.  Expected shape:
 * OBC/CF is within <1 % of OBC/EE at a fraction (orders of magnitude
   fewer analyses) of its cost.
 
-Scaled down by default (2 systems per class, classes 2-5 nodes, budgeted
+Scaled down by default (3 systems per class, classes 2-5 nodes, budgeted
 SA); set REPRO_BENCH_FULL=1 / REPRO_FIG9_COUNT / REPRO_FIG9_MAXNODES for
 paper-scale runs (the paper used 25 systems per class on 2-7 nodes and
-several-hour SA runs).
+several-hour SA runs).  For the full 25-systems-per-class sweep prefer
+the sharded runner (``fig9_shard.py`` / ``fig9_aggregate.py``), which
+partitions the same row computation over independent worker processes.
 """
 
-import math
-import time
-
-from repro.core import SAOptions, optimise_bbc, optimise_obc, optimise_sa
-from repro.core.search import BusOptimisationOptions
 from repro.synth import paper_suite
 
-from benchmarks._report import env_int, full_scale, report
-
-ALGORITHMS = ("BBC", "OBC/CF", "OBC/EE", "SA")
+from benchmarks._report import env_int, full_scale, report, report_json
+from benchmarks.fig9_common import (
+    ALGORITHMS,
+    bench_options,
+    json_payload,
+    quality_lines,
+    run_system,
+    runtime_lines,
+    sa_options,
+)
 
 _cache = {}
-
-
-def bench_options() -> BusOptimisationOptions:
-    if full_scale():
-        return BusOptimisationOptions()
-    return BusOptimisationOptions(
-        max_dyn_points=32,
-        ee_max_dyn_points=192,
-        cf_candidates=128,
-        max_extra_static_slots=1,
-        max_slot_size_steps=2,
-    )
-
-
-def sa_options() -> SAOptions:
-    iterations = 3000 if full_scale() else 220
-    return SAOptions(iterations=iterations, seed=7)
 
 
 def run_suite():
@@ -55,66 +42,31 @@ def run_suite():
     count = env_int("REPRO_FIG9_COUNT", 25 if full_scale() else 3)
     max_nodes = env_int("REPRO_FIG9_MAXNODES", 7 if full_scale() else 5)
     seed = env_int("REPRO_FIG9_SEED", 23)
-    options = bench_options()
+    options = bench_options(full_scale())
+    sa_opts = sa_options(full_scale())
     rows = []
     for n_nodes in range(2, max_nodes + 1):
         suite = paper_suite(n_nodes, count=count, seed=seed)
         for idx, system in enumerate(suite):
             entry = {"n_nodes": n_nodes, "index": idx}
-            for name, runner in (
-                ("BBC", lambda s: optimise_bbc(s, options)),
-                ("OBC/CF", lambda s: optimise_obc(s, options, "curvefit")),
-                ("OBC/EE", lambda s: optimise_obc(s, options, "exhaustive")),
-                ("SA", lambda s: optimise_sa(s, options, sa_options())),
-            ):
-                t0 = time.perf_counter()
-                result = runner(system)
-                entry[name] = {
-                    "cost": result.cost,
-                    "schedulable": result.schedulable,
-                    "evaluations": result.evaluations,
-                    "seconds": time.perf_counter() - t0,
-                }
+            entry.update(run_system(system, options, sa_opts))
             rows.append(entry)
     _cache["rows"] = rows
     return rows
-
-
-def _deviation(entry, algorithm):
-    """% deviation of the algorithm's cost vs the SA baseline cost."""
-    sa_cost = entry["SA"]["cost"]
-    cost = entry[algorithm]["cost"]
-    if math.isinf(sa_cost) or math.isinf(cost) or sa_cost == 0:
-        return None
-    return (cost - sa_cost) / abs(sa_cost) * 100.0
-
-
-def _mean(values):
-    values = [v for v in values if v is not None]
-    return sum(values) / len(values) if values else float("nan")
 
 
 def test_fig9_quality(benchmark):
     rows = benchmark.pedantic(run_suite, rounds=1, iterations=1)
     node_counts = sorted({r["n_nodes"] for r in rows})
 
-    lines = [
-        "FIG9 (left): average % cost deviation vs SA, and schedulable fraction",
-        f"{'nodes':>5} | " + " | ".join(f"{a:>20}" for a in ALGORITHMS),
-    ]
-    for n in node_counts:
-        group = [r for r in rows if r["n_nodes"] == n]
-        cells = []
-        for a in ALGORITHMS:
-            dev = _mean([_deviation(r, a) for r in group])
-            sched = sum(r[a]["schedulable"] for r in group)
-            cells.append(f"{dev:>8.1f}%  {sched}/{len(group)} sched")
-        lines.append(f"{n:>5} | " + " | ".join(f"{c:>20}" for c in cells))
-    lines.append(
-        "paper shape: BBC degrades with size; OBC/CF within ~0.5% of OBC/EE; "
-        "both within ~5% of SA"
+    report(
+        "fig9_quality",
+        quality_lines(
+            rows,
+            "FIG9 (left): average % cost deviation vs SA, "
+            "and schedulable fraction",
+        ),
     )
-    report("fig9_quality", lines)
 
     # OBC variants must never schedule fewer systems than BBC.
     for n in node_counts:
@@ -127,23 +79,16 @@ def test_fig9_quality(benchmark):
 
 def test_fig9_runtime(benchmark):
     rows = benchmark.pedantic(run_suite, rounds=1, iterations=1)
-    node_counts = sorted({r["n_nodes"] for r in rows})
 
-    lines = [
-        "FIG9 (right): computation time [s] and exact analyses per algorithm",
-        f"{'nodes':>5} | "
-        + " | ".join(f"{a + ' s / evals':>20}" for a in ALGORITHMS),
-    ]
-    for n in node_counts:
-        group = [r for r in rows if r["n_nodes"] == n]
-        cells = []
-        for a in ALGORITHMS:
-            secs = _mean([r[a]["seconds"] for r in group])
-            evals = _mean([r[a]["evaluations"] for r in group])
-            cells.append(f"{secs:>9.2f} / {evals:>7.0f}")
-        lines.append(f"{n:>5} | " + " | ".join(f"{c:>20}" for c in cells))
-    lines.append("paper shape: BBC almost free; OBC/CF orders of magnitude below OBC/EE")
-    report("fig9_runtime", lines)
+    report(
+        "fig9_runtime",
+        runtime_lines(
+            rows,
+            "FIG9 (right): computation time [s] and exact analyses "
+            "per algorithm",
+        ),
+    )
+    report_json("BENCH_fig9_optimisers", json_payload(rows))
 
     total = {
         a: sum(r[a]["evaluations"] for r in rows) for a in ALGORITHMS

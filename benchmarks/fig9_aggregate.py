@@ -1,0 +1,120 @@
+"""Aggregator of the sharded Fig. 9 sweep.
+
+Merges the per-shard JSON files written by ``benchmarks.fig9_shard``
+into the paper-comparable Fig. 9 quality/runtime tables plus a
+machine-readable ``BENCH_fig9_sharded.json``.  Refuses to mix shards of
+different sweeps (suite parameters are embedded in every shard file)
+and, unless ``--allow-partial`` is given, demands the complete shard
+set.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python -m benchmarks.fig9_aggregate \
+        [--in-dir benchmarks/results/fig9_shards] [--allow-partial]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+
+from benchmarks._report import report, report_json
+from benchmarks.fig9_common import (
+    json_payload,
+    quality_lines,
+    runtime_lines,
+)
+from benchmarks.fig9_shard import DEFAULT_OUT_DIR
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--in-dir", default=DEFAULT_OUT_DIR)
+    parser.add_argument("--allow-partial", action="store_true",
+                        help="aggregate even when shards are missing")
+    return parser
+
+
+def load_shards(in_dir: str):
+    paths = sorted(glob.glob(os.path.join(in_dir, "shard_*.json")))
+    if not paths:
+        raise SystemExit(f"no shard_*.json files under {in_dir!r}")
+    shards = []
+    for path in paths:
+        with open(path, encoding="utf-8") as fh:
+            shards.append((path, json.load(fh)))
+    return shards
+
+
+def merge(shards, allow_partial: bool):
+    suite = shards[0][1]["suite"]
+    num_shards = shards[0][1]["num_shards"]
+    seen = {}
+    for path, payload in shards:
+        if payload["suite"] != suite or payload["num_shards"] != num_shards:
+            raise SystemExit(
+                f"{path}: shard belongs to a different sweep "
+                f"({payload['suite']} / {payload['num_shards']} shards, "
+                f"expected {suite} / {num_shards})"
+            )
+        if payload["shard"] in seen:
+            raise SystemExit(f"{path}: duplicate shard {payload['shard']}")
+        seen[payload["shard"]] = payload
+    missing = sorted(set(range(num_shards)) - set(seen))
+    if missing and not allow_partial:
+        raise SystemExit(
+            f"missing shards {missing} of {num_shards}; rerun them or pass "
+            "--allow-partial"
+        )
+    rows = [
+        row
+        for shard in sorted(seen)
+        for row in seen[shard]["rows"]
+    ]
+    rows.sort(key=lambda r: (r["n_nodes"], r["index"]))
+    meta = {
+        "suite": suite,
+        "num_shards": num_shards,
+        "shards_present": sorted(seen),
+        "shard_seconds": {
+            str(k): seen[k]["elapsed_seconds"] for k in sorted(seen)
+        },
+    }
+    return rows, meta
+
+
+def main(argv=None) -> None:
+    args = build_parser().parse_args(argv)
+    shards = load_shards(args.in_dir)
+    rows, meta = merge(shards, args.allow_partial)
+    suite = meta["suite"]
+    subtitle = (
+        f"{suite['count']} systems/class, nodes {suite['node_counts']}, "
+        f"seed {suite['seed']}, {len(meta['shards_present'])}/"
+        f"{meta['num_shards']} shards"
+    )
+    report(
+        "fig9_sharded_quality",
+        quality_lines(
+            rows,
+            "FIG9 sharded (left): average % cost deviation vs SA -- "
+            + subtitle,
+        ),
+    )
+    report(
+        "fig9_sharded_runtime",
+        runtime_lines(
+            rows,
+            "FIG9 sharded (right): computation time [s] and exact analyses -- "
+            + subtitle,
+        ),
+    )
+    payload = json_payload(rows)
+    payload["sharding"] = meta
+    report_json("BENCH_fig9_sharded", payload)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,159 @@
+"""Shared machinery of the Fig. 9 experiment (single-process and sharded).
+
+One benchmark *row* is the outcome of running all four bus-access
+optimisers (BBC, OBC/CF, OBC/EE, SA) over one generated system; the
+in-process benchmark (``bench_fig9_optimisers.py``), the shard worker
+(``fig9_shard.py``) and the aggregator (``fig9_aggregate.py``) all share
+the row schema, the option presets and the table/JSON formatting defined
+here, so a sharded paper-scale run and the quick pytest run produce
+comparable artifacts.
+
+Rows are plain JSON-serialisable dicts; unschedulable runs carry
+``cost = Infinity`` (Python's ``json`` reads/writes it natively).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Iterable, List
+
+from repro.core import SAOptions, optimise_bbc, optimise_obc, optimise_sa
+from repro.core.search import BusOptimisationOptions
+
+ALGORITHMS = ("BBC", "OBC/CF", "OBC/EE", "SA")
+
+
+def bench_options(
+    full: bool = False, parallel_workers: int = None
+) -> BusOptimisationOptions:
+    """Optimiser preset: paper-exact when *full*, laptop-sized otherwise."""
+    if full:
+        return BusOptimisationOptions(parallel_workers=parallel_workers)
+    return BusOptimisationOptions(
+        max_dyn_points=32,
+        ee_max_dyn_points=192,
+        cf_candidates=128,
+        max_extra_static_slots=1,
+        max_slot_size_steps=2,
+        parallel_workers=parallel_workers,
+    )
+
+
+def sa_options(full: bool = False) -> SAOptions:
+    """SA baseline budget: several-hour-grade when *full*."""
+    return SAOptions(iterations=3000 if full else 220, seed=7)
+
+
+def run_system(
+    system,
+    options: BusOptimisationOptions,
+    sa_opts: SAOptions,
+) -> Dict[str, dict]:
+    """One row body: all four optimisers on *system*, timed."""
+    row: Dict[str, dict] = {}
+    for name, runner in (
+        ("BBC", lambda s: optimise_bbc(s, options)),
+        ("OBC/CF", lambda s: optimise_obc(s, options, "curvefit")),
+        ("OBC/EE", lambda s: optimise_obc(s, options, "exhaustive")),
+        ("SA", lambda s: optimise_sa(s, options, sa_opts)),
+    ):
+        t0 = time.perf_counter()
+        result = runner(system)
+        row[name] = {
+            "cost": result.cost,
+            "schedulable": result.schedulable,
+            "evaluations": result.evaluations,
+            "cache_hits": result.cache_hits,
+            "seconds": time.perf_counter() - t0,
+        }
+    return row
+
+
+def deviation(entry: dict, algorithm: str):
+    """% deviation of the algorithm's cost vs the SA baseline cost."""
+    sa_cost = entry["SA"]["cost"]
+    cost = entry[algorithm]["cost"]
+    if math.isinf(sa_cost) or math.isinf(cost) or sa_cost == 0:
+        return None
+    return (cost - sa_cost) / abs(sa_cost) * 100.0
+
+
+def mean(values: Iterable):
+    values = [v for v in values if v is not None]
+    return sum(values) / len(values) if values else float("nan")
+
+
+def node_classes(rows: List[dict]) -> List[int]:
+    return sorted({r["n_nodes"] for r in rows})
+
+
+def quality_lines(rows: List[dict], title: str) -> List[str]:
+    """The Fig. 9 left panel: % cost deviation vs SA + schedulable count."""
+    lines = [
+        title,
+        f"{'nodes':>5} | " + " | ".join(f"{a:>20}" for a in ALGORITHMS),
+    ]
+    for n in node_classes(rows):
+        group = [r for r in rows if r["n_nodes"] == n]
+        cells = []
+        for a in ALGORITHMS:
+            dev = mean([deviation(r, a) for r in group])
+            sched = sum(r[a]["schedulable"] for r in group)
+            cells.append(f"{dev:>8.1f}%  {sched}/{len(group)} sched")
+        lines.append(f"{n:>5} | " + " | ".join(f"{c:>20}" for c in cells))
+    lines.append(
+        "paper shape: BBC degrades with size; OBC/CF within ~0.5% of OBC/EE; "
+        "both within ~5% of SA"
+    )
+    return lines
+
+
+def runtime_lines(rows: List[dict], title: str) -> List[str]:
+    """The Fig. 9 right panel: computation time and exact analyses."""
+    lines = [
+        title,
+        f"{'nodes':>5} | "
+        + " | ".join(f"{a + ' s / evals':>20}" for a in ALGORITHMS),
+    ]
+    for n in node_classes(rows):
+        group = [r for r in rows if r["n_nodes"] == n]
+        cells = []
+        for a in ALGORITHMS:
+            secs = mean([r[a]["seconds"] for r in group])
+            evals = mean([r[a]["evaluations"] for r in group])
+            cells.append(f"{secs:>9.2f} / {evals:>7.0f}")
+        lines.append(f"{n:>5} | " + " | ".join(f"{c:>20}" for c in cells))
+    lines.append(
+        "paper shape: BBC almost free; OBC/CF orders of magnitude below OBC/EE"
+    )
+    return lines
+
+
+def json_payload(rows: List[dict]) -> dict:
+    """Machine-readable per-class aggregates for the BENCH_*.json trail."""
+    classes = {}
+    for n in node_classes(rows):
+        group = [r for r in rows if r["n_nodes"] == n]
+        per_alg = {}
+        for a in ALGORITHMS:
+            dev = mean([deviation(r, a) for r in group])
+            per_alg[a] = {
+                "mean_deviation_pct": None if math.isnan(dev) else round(dev, 3),
+                "schedulable": sum(r[a]["schedulable"] for r in group),
+                "mean_seconds": round(mean([r[a]["seconds"] for r in group]), 4),
+                "mean_evaluations": round(
+                    mean([r[a]["evaluations"] for r in group]), 1
+                ),
+            }
+        classes[str(n)] = {"systems": len(group), "algorithms": per_alg}
+    return {
+        "rows": len(rows),
+        "classes": classes,
+        "total_seconds": round(
+            sum(r[a]["seconds"] for r in rows for a in ALGORITHMS), 2
+        ),
+        "total_evaluations": sum(
+            r[a]["evaluations"] for r in rows for a in ALGORITHMS
+        ),
+    }

@@ -1,0 +1,112 @@
+"""Shard worker of the paper-scale Fig. 9 sweep.
+
+Runs one shard of the 25-systems-per-class benchmark (see
+:mod:`repro.synth.sharding`): regenerates exactly its own slice of the
+suite, drives the four optimisers over it -- every optimiser already
+batches its candidate evaluations through ``Evaluator.analyse_many``,
+so ``--workers`` fans each system's sweeps out over a process pool --
+and writes one self-describing JSON file for the aggregator.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python -m benchmarks.fig9_shard \
+        --shard 0 --num-shards 8 [--count 25] [--min-nodes 2] \
+        [--max-nodes 7] [--seed 23] [--workers N] [--full] \
+        [--out-dir benchmarks/results/fig9_shards]
+
+Launch one process per shard (on one host or many); shards are fully
+independent.  Afterwards merge with ``benchmarks.fig9_aggregate``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.synth.sharding import shard_plan
+
+from benchmarks._report import RESULTS_DIR
+from benchmarks.fig9_common import bench_options, run_system, sa_options
+
+DEFAULT_OUT_DIR = os.path.join(RESULTS_DIR, "fig9_shards")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shard", type=int, required=True,
+                        help="shard index in [0, num-shards)")
+    parser.add_argument("--num-shards", type=int, required=True)
+    parser.add_argument("--count", type=int, default=25,
+                        help="systems per node-count class (paper: 25)")
+    parser.add_argument("--min-nodes", type=int, default=2)
+    parser.add_argument("--max-nodes", type=int, default=7,
+                        help="largest node-count class (paper: 7)")
+    parser.add_argument("--seed", type=int, default=23,
+                        help="suite seed (must match across shards)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel evaluation processes per optimiser run")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-exact optimiser budgets (hours per shard)")
+    parser.add_argument("--out-dir", default=DEFAULT_OUT_DIR)
+    return parser
+
+
+def run_shard(args) -> str:
+    if not (0 <= args.shard < args.num_shards):
+        raise SystemExit(
+            f"--shard {args.shard} outside [0, {args.num_shards})"
+        )
+    plan = shard_plan(
+        node_counts=range(args.min_nodes, args.max_nodes + 1),
+        count=args.count,
+        num_shards=args.num_shards,
+        seed=args.seed,
+    )
+    spec = plan[args.shard]
+    options = bench_options(args.full, parallel_workers=args.workers)
+    sa_opts = sa_options(args.full)
+
+    rows = []
+    t0 = time.perf_counter()
+    for entry, system in spec.systems():
+        row = {"n_nodes": entry.n_nodes, "index": entry.index}
+        row.update(run_system(system, options, sa_opts))
+        rows.append(row)
+        done = len(rows)
+        print(
+            f"[shard {spec.shard}/{spec.num_shards}] "
+            f"{done}/{len(spec.entries)} systems "
+            f"(last: {entry.n_nodes} nodes #{entry.index}, "
+            f"{time.perf_counter() - t0:.1f}s elapsed)",
+            flush=True,
+        )
+
+    payload = {
+        "suite": {
+            "node_counts": list(spec.node_counts),
+            "count": spec.count,
+            "seed": spec.seed,
+            "full": bool(args.full),
+        },
+        "shard": spec.shard,
+        "num_shards": spec.num_shards,
+        "rows": rows,
+        "elapsed_seconds": round(time.perf_counter() - t0, 2),
+    }
+    os.makedirs(args.out_dir, exist_ok=True)
+    path = os.path.join(args.out_dir, f"shard_{spec.shard}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"[shard {spec.shard}] wrote {path}")
+    return path
+
+
+def main(argv=None) -> None:
+    run_shard(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":
+    main()

@@ -32,7 +32,7 @@ from repro.analysis.schedule_table import (
     ScheduledTask,
     ScheduleTable,
 )
-from repro.analysis.scheduler import ScheduleOptions, build_schedule
+from repro.analysis.scheduler import SchedulePlan, ScheduleOptions, build_schedule
 from repro.analysis.sensitivity import (
     BusLoad,
     SlackEntry,
@@ -51,6 +51,7 @@ __all__ = [
     "SlackEntry",
     "DynInterference",
     "NodeAvailability",
+    "SchedulePlan",
     "ScheduleOptions",
     "ScheduleTable",
     "ScheduledMessage",

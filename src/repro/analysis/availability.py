@@ -9,6 +9,7 @@ primitive the FPS response-time analysis is built on.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import AnalysisError
@@ -81,6 +82,52 @@ class NodeAvailability:
         # instants never change after construction.
         self._gap_list = self._compute_gaps()
         self._critical_instants = [0] + [s for s, _ in merged]
+        # Prefix-sum view of the gaps so ``advance`` can bisect instead of
+        # walking the gap list: ``_gap_ends[k]`` is the end of gap k and
+        # ``_slack_through[k]`` the pattern slack accumulated up to (and
+        # including) gap k.
+        self._gap_starts_arr = [s for s, _ in self._gap_list]
+        self._gap_ends = [e for _, e in self._gap_list]
+        self._slack_through: List[int] = []
+        acc = 0
+        for s, e in self._gap_list:
+            acc += e - s
+            self._slack_through.append(acc)
+        #: Pattern slack before each critical instant, precomputed: the
+        #: FPS busy-window kernel only ever advances from critical
+        #: instants, so it can skip the per-call offset bisect entirely.
+        self._instant_slack_before = [
+            self._slack_before(t) for t in self._critical_instants
+        ]
+
+    def _slack_before(self, x: int) -> int:
+        """Pattern slack in ``[0, x)`` for ``0 <= x <= period``."""
+        i = bisect_right(self._gap_starts_arr, x) - 1
+        if i < 0:
+            return 0
+        end = self._gap_ends[i]
+        return self._slack_through[i] - (end - min(end, x))
+
+    def instant_advance_tables(self) -> tuple:
+        """Raw tables for the inlined busy-window kernel.
+
+        ``(instants, slack_before_instant, slack_per_period, period,
+        gap_ends, slack_through)`` -- everything needed to compute
+        ``advance(instant, demand)`` without a method call; see
+        :func:`repro.analysis.fps.seeded_busy_window`.  Empty-pattern
+        nodes (no busy intervals) return ``gap_ends = None``.
+        """
+        if not self.busy:
+            return (self._critical_instants, None, self.period,
+                    self.period, None, None)
+        return (
+            self._critical_instants,
+            self._instant_slack_before,
+            self.period - self._busy_per_period,
+            self.period,
+            self._gap_ends,
+            self._slack_through,
+        )
 
     @property
     def slack_per_period(self) -> int:
@@ -136,31 +183,29 @@ class NodeAvailability:
         if not self.busy:
             # Fully idle node: demand is served back to back.
             return t0 + demand
-        slack = self.slack_per_period
+        slack = self.period - self._busy_per_period
         if slack == 0:
             return None
         period = self.period
-        gaps = self._gap_list
-        remaining = demand
-        # Skip whole periods first for efficiency.
-        whole = (remaining - 1) // slack
-        t = t0 + whole * period
-        remaining -= whole * slack
-        # Walk gap by gap; guaranteed to terminate because each period
-        # provides slack_per_period > 0.
-        while remaining > 0:
-            base = (t // period) * period
-            x = t - base
-            for s, e in gaps:
-                lo = s if s > x else x
-                if lo >= e:
-                    continue
-                room = e - lo
-                if room >= remaining:
-                    return base + lo + remaining
-                remaining -= room
-            t = base + period
-        return t
+        full, x = divmod(t0, period)
+        # Slack already consumed by the pattern before offset x.
+        starts = self._gap_starts_arr
+        through = self._slack_through
+        i = bisect_right(starts, x) - 1
+        if i < 0:
+            before_x = 0
+        else:
+            end = self._gap_ends[i]
+            before_x = through[i] - (end - min(end, x))
+        # Serve the demand at pattern offset where the cumulative slack
+        # since offset 0 reaches ``before_x + demand`` (spilling whole
+        # periods first).
+        target = before_x + demand
+        whole, target = divmod(target - 1, slack)
+        target += 1
+        k = bisect_left(through, target)
+        pos = self._gap_ends[k] - (through[k] - target)
+        return (full + whole) * period + pos
 
     def busy_starts(self) -> List[int]:
         """Pattern-relative start times of busy intervals (critical instants)."""

@@ -44,10 +44,10 @@ from collections import OrderedDict, namedtuple
 from typing import Dict, List, Tuple
 
 from repro.analysis.availability import NodeAvailability, wrap_busy_intervals
-from repro.analysis.dyn import prepped_busy_window as _dyn_busy_window
-from repro.analysis.fps import hp_tasks, prepped_busy_window as _fps_busy_window
+from repro.analysis.dyn import seeded_busy_window as _dyn_busy_window
+from repro.analysis.fps import hp_tasks, seeded_busy_window as _fps_busy_window
 from repro.analysis.priorities import critical_path_priorities
-from repro.analysis.scheduler import build_schedule
+from repro.analysis.scheduler import SchedulePlan
 from repro.analysis.st_msg import static_response_times
 from repro.core.config import FlexRayConfig
 from repro.core.cost import cost_function
@@ -123,13 +123,31 @@ class AnalysisContext:
         options=None,
         max_schedule_entries: int = 64,
         max_structure_entries: int = 64,
+        max_validation_entries: int = 4096,
     ):
-        from repro.analysis.holistic import AnalysisOptions, analysis_cap_base
+        from repro.analysis.holistic import (
+            AnalysisOptions,
+            WARM_START_MODES,
+            analysis_cap_base,
+        )
 
         self.system = system
         self.options = options or AnalysisOptions()
+        if self.options.warm_start not in WARM_START_MODES:
+            raise ConfigurationError(
+                f"unknown warm_start mode {self.options.warm_start!r}; "
+                f"choose from {WARM_START_MODES}"
+            )
         self.max_schedule_entries = max_schedule_entries
         self.max_structure_entries = max_structure_entries
+        self.max_validation_entries = max_validation_entries
+        #: Divergences caught by the ``warm_start="verify"`` debug mode:
+        #: sweep points where the seeded outer fix point converged to a
+        #: different (larger) fixed point than the canonical cold run.
+        self.warm_start_divergences = 0
+        #: Last converged solution, seeding outer warm starts
+        #: (``warm_start != "off"``) across sweep neighbours.
+        self._warm_state = None
         app = system.application
         self.app = app
 
@@ -190,6 +208,15 @@ class AnalysisContext:
         self._structure_cache: OrderedDict = OrderedDict()
         self._ct_cache: OrderedDict = OrderedDict()
         self._priorities_cache: OrderedDict = OrderedDict()
+        #: Retimable schedule plans (job expansion + list-scheduling
+        #: order), keyed by the bus-speed parameters alone -- the whole
+        #: DYN sweep, every FrameID assignment and every static-segment
+        #: variant of one bus speed share a single plan.
+        self._plan_cache: OrderedDict = OrderedDict()
+        #: Semantic-validation memo: ``validate_for`` is a pure function
+        #: of (system, configuration), so each distinct configuration is
+        #: validated once.
+        self._valid_cache: OrderedDict = OrderedDict()
 
     # ------------------------------------------------------------------
     # cached derivations
@@ -230,20 +257,49 @@ class AnalysisContext:
             )
         return prio
 
+    def _plan(self, config: FlexRayConfig) -> SchedulePlan:
+        """Retimable schedule plan for *config*'s bus-speed parameters.
+
+        The plan (job expansion, dependency keys, list-scheduling order)
+        is invariant across the cycle geometry, so its cache key is the
+        bus speed alone: one plan serves every candidate of a DYN-length
+        sweep, and each candidate's table is a cheap placement replay.
+        """
+        key = (config.bits_per_mt, config.frame_overhead_bytes)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = SchedulePlan(
+                self.system, self.options.schedule, self._priorities(config)
+            )
+            _lru_insert(self._plan_cache, key, plan, self.max_structure_entries)
+        return plan
+
+    def _validate(self, config: FlexRayConfig):
+        """Memoised ``config.validate_for(system)``: the failure message,
+        or ``None`` when the configuration is legal."""
+        key = config.cache_key()
+        failure = self._valid_cache.get(key, False)
+        if failure is False:
+            try:
+                config.validate_for(self.system)
+            except ConfigurationError as exc:
+                failure = f"configuration invalid: {exc}"
+            else:
+                failure = None
+            _lru_insert(
+                self._valid_cache, key, failure, self.max_validation_entries
+            )
+        return failure
+
     def _schedule_artifacts(self, config: FlexRayConfig) -> _ScheduleArtifacts:
-        """Tier (b): build-or-fetch the static schedule and its derivates."""
+        """Tier (b): replay-or-fetch the static schedule and its derivates."""
         key = self.schedule_key(config)
         entry = self._schedule_cache.get(key)
         if entry is not None:
             self._schedule_cache.move_to_end(key)
             return entry
         try:
-            table = build_schedule(
-                self.system,
-                config,
-                self.options.schedule,
-                priorities=self._priorities(config),
-            )
+            table = self._plan(config).replay(config)
         except SchedulingError as exc:
             entry = _ScheduleArtifacts(
                 table=None,
@@ -324,6 +380,41 @@ class AnalysisContext:
         )
         return structure
 
+    def _dependents(self, config: FlexRayConfig) -> Dict[str, tuple]:
+        """Reverse interference map: who must be re-evaluated when an
+        activity's jitter changes.
+
+        Derived from the same per-configuration structure as
+        :meth:`_dyn_structure` (an activity's busy-window inputs are its
+        own jitter plus its interferers' jitters); the fix point uses it
+        for exact change tracking instead of rebuilding input-signature
+        tuples every pass.
+        """
+        key = ("deps",) + (
+            tuple(sorted(config.frame_ids.items())),
+            config.bits_per_mt,
+            config.frame_overhead_bytes,
+            config.gd_minislot,
+        )
+        deps = self._structure_cache.get(key)
+        if deps is not None:
+            self._structure_cache.move_to_end(key)
+            return deps
+        structure = self._dyn_structure(config)
+        out: Dict[str, List[str]] = {}
+        for m in self.dyn_messages:
+            for inp in structure[m.name][4]:
+                out.setdefault(inp, []).append(m.name)
+        for node in self.system.nodes:
+            for plan in self.fps_plans[node]:
+                for inp in plan.input_names:
+                    out.setdefault(inp, []).append(plan.name)
+        deps = {name: tuple(v) for name, v in out.items()}
+        _lru_insert(
+            self._structure_cache, key, deps, self.max_structure_entries
+        )
+        return deps
+
     def _dyn_views(self, config: FlexRayConfig) -> List[_DynView]:
         """Per-configuration DYN message views (tier c + scalars)."""
         structure = self._dyn_structure(config)
@@ -362,7 +453,12 @@ class AnalysisContext:
 
         ``static_key()`` plus -- only when the application sends ST
         messages -- the cycle length.  Configurations sharing this key
-        produce byte-identical schedules.
+        produce byte-identical schedules.  (ST slot *placements* are not
+        cycle-length-invariant -- a later cycle starts at a different
+        absolute time, shifting message readiness chains -- so the
+        per-table key must keep ``gd_cycle``; what collapses to
+        ``static_key()`` alone is the :class:`SchedulePlan` the table is
+        replayed from, see :meth:`_plan`.)
         """
         return config.static_key() + (
             (config.gd_cycle,) if self._st_dependent else ()
@@ -391,7 +487,7 @@ class AnalysisContext:
         return (
             arts.table
             if arts.table.config is config
-            else arts.table.clone_for(config)
+            else arts.table.retime_for(config)
         )
 
     # ------------------------------------------------------------------
@@ -402,15 +498,17 @@ class AnalysisContext:
 
         Bit-identical to :func:`repro.analysis.holistic.analyse_system`
         run without a context; see the module docstring for what is
-        shared between calls.
+        shared between calls.  With ``options.warm_start="seed"`` the
+        outer fix point is seeded from the previous neighbouring
+        solution instead (opt-in; see
+        :class:`~repro.analysis.holistic.AnalysisOptions`).
         """
         from repro.analysis.holistic import AnalysisResult, _infeasible
 
         options = self.options
-        try:
-            config.validate_for(self.system)
-        except ConfigurationError as exc:
-            return _infeasible(config, f"configuration invalid: {exc}")
+        failure = self._validate(config)
+        if failure is not None:
+            return _infeasible(config, failure)
 
         arts = self._schedule_artifacts(config)
         if arts.failure is not None:
@@ -418,28 +516,116 @@ class AnalysisContext:
         table = (
             arts.table
             if arts.table.config is config
-            else arts.table.clone_for(config)
+            else arts.table.retime_for(config)
         )
-        availability = arts.availability
 
         cap_base = self._cap_base
         gd_cycle = config.gd_cycle
         cap = options.cap_factor * (cap_base if cap_base > gd_cycle else gd_cycle)
-        fill_strategy = options.dyn_fill_strategy
         dyn_views = self._dyn_views(config)
+
+        # --- holistic fix point ---------------------------------------
+        if options.warm_start == "off":
+            # The default: no sweep-key bookkeeping on the hot path.
+            wcrt, converged = self._fix_point(config, arts, dyn_views, cap)
+        else:
+            sweep_key = self._sweep_key(config)
+            prev = self._warm_state
+            seed_wcrt = (
+                prev[1]
+                if prev is not None and prev[0] == sweep_key and prev[2]
+                else None
+            )
+            if seed_wcrt is None:
+                wcrt, converged = self._fix_point(config, arts, dyn_views, cap)
+            elif options.warm_start == "seed":
+                wcrt, converged = self._fix_point(
+                    config, arts, dyn_views, cap, seed_wcrt=seed_wcrt
+                )
+            else:  # "verify": seeded run cross-checked against cold
+                warm_wcrt, warm_converged = self._fix_point(
+                    config, arts, dyn_views, cap, seed_wcrt=seed_wcrt
+                )
+                wcrt, converged = self._fix_point(
+                    config, arts, dyn_views, cap
+                )
+                if (warm_wcrt, warm_converged) != (wcrt, converged):
+                    self.warm_start_divergences += 1
+            self._warm_state = (sweep_key, wcrt, converged)
+
+        cost = cost_function(self.app, wcrt)
+        return AnalysisResult(
+            config=config,
+            feasible=True,
+            schedulable=cost.schedulable and converged,
+            converged=converged,
+            cost=cost,
+            wcrt=wcrt,
+            table=table,
+        )
+
+    def _sweep_key(self, config: FlexRayConfig) -> tuple:
+        """Identity of a sweep family: everything but the DYN length.
+
+        Two configurations sharing this key differ only in
+        ``n_minislots`` -- the neighbourhood relation the outer
+        warm-start modes accept seeds across.
+        """
+        return config.static_key() + (tuple(sorted(config.frame_ids.items())),)
+
+    def _fix_point(
+        self,
+        config: FlexRayConfig,
+        arts: _ScheduleArtifacts,
+        dyn_views: List[_DynView],
+        cap: int,
+        seed_wcrt: Dict[str, int] = None,
+    ) -> Tuple[Dict[str, int], bool]:
+        """The holistic Kleene iteration; returns ``(wcrt, converged)``.
+
+        Without ``seed_wcrt`` this is the canonical cold trajectory.
+        Its jitters grow monotonically across passes, which certifies
+        the *inner* warm starts: each busy-window recurrence is seeded
+        with its own previous converged demand/window -- a lower bound
+        of the new least fixed point, so the seeded recurrence provably
+        converges to exactly the cold value (see
+        :func:`repro.analysis.fps.seeded_busy_window`).
+
+        With ``seed_wcrt`` the outer state starts from a neighbouring
+        configuration's solution instead.  That trajectory is not
+        monotone, so the certification argument does not apply: inner
+        warm starts are disabled, and the result may be a fixed point
+        above the least one (which is why outer seeding is opt-in and
+        guarded by the ``"verify"`` mode).
+        """
+        options = self.options
+        fill_strategy = options.dyn_fill_strategy
+        availability = arts.availability
         fps_plans = self.fps_plans
         nodes = self.system.nodes
 
-        # --- holistic fix point ---------------------------------------
         wcrt: Dict[str, int] = dict(arts.static_wcrt)
         jitters: Dict[str, int] = {}
+        inner_seeds: Dict[str, object] = {}
+        use_inner = seed_wcrt is None
+        if seed_wcrt is not None:
+            for name, value in seed_wcrt.items():
+                if name not in wcrt:
+                    wcrt[name] = value
         wcrt_get = wcrt.get
         jitters_get = jitters.get
-        # Memo of each activity's last (own jitter, interferer jitters)
-        # signature and the busy-window outcome it produced: the
-        # recurrences are pure, so an unchanged signature means an
-        # unchanged result and the fix point can skip the recomputation.
-        last_sig: Dict[str, tuple] = {}
+        seeds_get = inner_seeds.get
+        # Exact change tracking replaces per-pass input-signature tuples:
+        # an activity's busy window is a pure function of its own jitter
+        # and its interferers' jitters, so it must be re-evaluated iff
+        # its own jitter changed (``last_own``) or some interferer's
+        # jitter was updated since its last evaluation (``dirty``, fed by
+        # the reverse interference map).
+        dependents = self._dependents(config)
+        deps_get = dependents.get
+        dirty = set()
+        dirty_add = dirty.add
+        last_own: Dict[str, int] = {}
         last_out: Dict[str, Tuple[int, bool]] = {}
         converged = True
         for _ in range(options.max_holistic_iterations):
@@ -452,14 +638,13 @@ class AnalysisContext:
                 if jitters_get(name, 0) != j_m:
                     jitters[name] = j_m
                     changed = True
-                sig = (j_m, tuple(
-                    [jitters_get(n, 0) for n in view.input_names]
-                ))
-                if last_sig.get(name) == sig:
+                    for dep in deps_get(name, ()):
+                        dirty_add(dep)
+                if name not in dirty and last_own.get(name) == j_m:
                     value, ok = last_out[name]
                 else:
                     if view.sendable:
-                        w, ok = _dyn_busy_window(
+                        w, ok, final = _dyn_busy_window(
                             view.hp_info,
                             view.lf_info,
                             view.lower_slots,
@@ -474,14 +659,18 @@ class AnalysisContext:
                             cap,
                             j_m,
                             fill_strategy,
+                            seeds_get(name) if use_inner else None,
                         )
+                        if use_inner:
+                            inner_seeds[name] = final
                         value = j_m + w + view.ct
                         if value > cap:
                             value = cap
                     else:
                         # The frame can never be sent: certain miss.
                         value, ok = cap, False
-                    last_sig[name] = sig
+                    dirty.discard(name)
+                    last_own[name] = j_m
                     last_out[name] = (value, ok)
                 converged = converged and ok
                 if wcrt_get(name) != value:
@@ -501,21 +690,24 @@ class AnalysisContext:
                     if jitters_get(name, 0) != j_i:
                         jitters[name] = j_i
                         changed = True
-                    sig = (j_i, tuple(
-                        [jitters_get(n, 0) for n in plan.input_names]
-                    ))
-                    if last_sig.get(name) == sig:
+                        for dep in deps_get(name, ()):
+                            dirty_add(dep)
+                    if name not in dirty and last_own.get(name) == j_i:
                         window_value, ok = last_out[name]
                     else:
-                        window_value, ok = _fps_busy_window(
+                        window_value, ok, demands = _fps_busy_window(
                             plan.wcet,
                             plan.interferers,
                             node_availability,
                             jitters,
                             cap,
-                            own_jitter=j_i,
+                            j_i,
+                            seeds_get(name) if use_inner else None,
                         )
-                        last_sig[name] = sig
+                        if use_inner:
+                            inner_seeds[name] = demands
+                        dirty.discard(name)
+                        last_own[name] = j_i
                         last_out[name] = (window_value, ok)
                     converged = converged and ok
                     r_i = j_i + window_value
@@ -529,17 +721,7 @@ class AnalysisContext:
                 break
         else:
             converged = False
-
-        cost = cost_function(self.app, wcrt)
-        return AnalysisResult(
-            config=config,
-            feasible=True,
-            schedulable=cost.schedulable and converged,
-            converged=converged,
-            cost=cost,
-            wcrt=wcrt,
-            table=table,
-        )
+        return wcrt, converged
 
 
 def ancestor_sets(app) -> Dict[str, frozenset]:

@@ -43,7 +43,7 @@ from typing import List, Mapping, Tuple
 
 from repro.core.config import FlexRayConfig
 from repro.errors import AnalysisError
-from repro.analysis.fill import max_filled_cycles
+from repro.analysis.fill import FILL_STRATEGIES, max_filled_cycles_aggregated
 from repro.analysis.fps import MAX_FIXPOINT_ITERATIONS, WcrtResult
 from repro.model.message import Message
 from repro.model.system import System
@@ -177,9 +177,55 @@ def prepped_busy_window(
     :meth:`repro.analysis.context.AnalysisContext`) instead of on every
     fix-point iteration.  Returns ``(busy window, converged)``.
     """
+    w, converged, _ = seeded_busy_window(
+        hp_info, lf_info, lower_slots, lam, theta, sigma_m, ct, gd_cycle,
+        st_bus, ms_len, jitters, cap, own_jitter, fill_strategy,
+    )
+    return w, converged
+
+
+def seeded_busy_window(
+    hp_info: Tuple[Tuple[str, int, bool], ...],
+    lf_info: Tuple[Tuple[str, int, bool, int], ...],
+    lower_slots: int,
+    lam: int,
+    theta: int,
+    sigma_m: int,
+    ct: int,
+    gd_cycle: int,
+    st_bus: int,
+    ms_len: int,
+    jitters: Mapping[str, int],
+    cap: int,
+    own_jitter: int,
+    fill_strategy: str,
+    seed: int = None,
+) -> Tuple[int, bool, int]:
+    """:func:`prepped_busy_window` with a fix-point warm start.
+
+    ``seed`` optionally supplies the starting window; it MUST be a
+    certified lower bound of the converged busy window (Eq. (3)'s
+    right-hand side is monotone in the window, so iterating from any
+    start below the least fixed point reaches exactly the least fixed
+    point).  The holistic fix point certifies its seeds through the
+    monotone growth of its jitters across Kleene passes; a descending
+    step or an iteration-limit exit (an uncertified seed) restarts the
+    recurrence cold, so the result always equals the cold computation.
+
+    Returns ``(busy window, converged, final window)`` -- the final
+    window is the certified seed for the next evaluation under larger
+    jitters.
+    """
+    if fill_strategy not in FILL_STRATEGIES:
+        raise AnalysisError(
+            f"unknown fill strategy {fill_strategy!r}; "
+            f"choose from {FILL_STRATEGIES}"
+        )
     jitters_get = jitters.get
-    t = ct
+    seeded = seed is not None and seed > ct
+    t = seed if seeded else ct
     w = 0
+    bound_only = fill_strategy == "bound"
     for _ in range(MAX_FIXPOINT_ITERATIONS):
         hp_cycles = 0
         for name, period, is_ancestor in hp_info:
@@ -189,7 +235,11 @@ def prepped_busy_window(
                     hp_cycles += -(-slack // period)
             else:
                 hp_cycles += -(-(t + jitters_get(name, 0)) // period)
-        lf_items: List[int] = []  # adjusted size per lf frame instance
+        # Aggregate the lf frame instances as (adjusted size, count)
+        # pairs: the bound strategy never materialises the multiset.
+        lf_total = 0  # sum of adjusted sizes over all instances
+        lf_useful = 0  # instances with adjusted size > 0
+        lf_pairs: List[Tuple[int, int]] = [] if not bound_only else None
         for name, period, is_ancestor, adjusted in lf_info:
             if is_ancestor:
                 slack = t + own_jitter - period
@@ -197,19 +247,46 @@ def prepped_busy_window(
             else:
                 n = -(-(t + jitters_get(name, 0)) // period)
             if n:
-                lf_items.extend([adjusted] * n)
+                if adjusted > 0:
+                    lf_total += adjusted * n
+                    lf_useful += n
+                if lf_pairs is not None:
+                    lf_pairs.append((adjusted, n))
         # theta >= 1 is guaranteed by the f <= p_latest check above.
-        lf_cycles = max_filled_cycles(lf_items, theta, fill_strategy)
-        leftover = max(0, sum(lf_items) - lf_cycles * theta)
+        if bound_only:
+            lf_cycles = lf_useful if lf_useful < lf_total // theta else lf_total // theta
+        else:
+            lf_cycles = max_filled_cycles_aggregated(
+                lf_pairs, theta, fill_strategy
+            )
+        leftover = lf_total - lf_cycles * theta
+        if leftover < 0:
+            leftover = 0
         final_consumed = min(lam, lower_slots + leftover)
         w_final = st_bus + final_consumed * ms_len
         w = sigma_m + (hp_cycles + lf_cycles) * gd_cycle + w_final
         if w >= cap:
-            return cap, False
+            return cap, False, t
         if w <= t:
-            return w, True
+            if seeded and w < t:
+                # The seed overshot the least fixed point: replay cold so
+                # the result stays bit-identical to an unseeded run.
+                return seeded_busy_window(
+                    hp_info, lf_info, lower_slots, lam, theta, sigma_m, ct,
+                    gd_cycle, st_bus, ms_len, jitters, cap, own_jitter,
+                    fill_strategy,
+                )
+            return w, True, w
         t = w
-    return w, False
+    if seeded:
+        # The truncated value is trajectory-dependent; only the cold
+        # trajectory's truncation is the canonical result.
+        return seeded_busy_window(
+            hp_info, lf_info, lower_slots, lam, theta, sigma_m, ct,
+            gd_cycle, st_bus, ms_len, jitters, cap, own_jitter,
+            fill_strategy,
+        )
+    return w, False, w
 
 
 def dyn_message_wcrt(

@@ -41,6 +41,50 @@ def fill_bound(items: Sequence[int], theta: int) -> int:
     return min(len(useful), sum(useful) // theta)
 
 
+def fill_bound_aggregated(pairs: Sequence[Tuple[int, int]], theta: int) -> int:
+    """:func:`fill_bound` over an aggregated ``(size, count)`` multiset.
+
+    The DYN busy-window fix point releases many instances of the same
+    adjusted frame size per window; aggregating them keeps the bound a
+    handful of integer operations instead of materialising (and summing
+    over) a list with one element per frame instance.  Exactly equal to
+    ``fill_bound([size] * count for every pair)``.
+    """
+    if theta < 1:
+        raise AnalysisError(f"theta must be >= 1, got {theta}")
+    useful = 0
+    total = 0
+    for size, count in pairs:
+        if size > 0 and count > 0:
+            useful += count
+            total += size * count
+    return min(useful, total // theta)
+
+
+def max_filled_cycles_aggregated(
+    pairs: Sequence[Tuple[int, int]],
+    theta: int,
+    strategy: str = "bound",
+    exact_limit: int = DEFAULT_EXACT_LIMIT,
+) -> int:
+    """:func:`max_filled_cycles` over an aggregated ``(size, count)`` multiset.
+
+    The ``bound`` strategy stays fully aggregated; ``exact`` expands the
+    multiset and delegates, so results match the per-instance API
+    bit for bit.
+    """
+    if strategy not in FILL_STRATEGIES:
+        raise AnalysisError(
+            f"unknown fill strategy {strategy!r}; choose from {FILL_STRATEGIES}"
+        )
+    if strategy == "bound":
+        return fill_bound_aggregated(pairs, theta)
+    items: List[int] = []
+    for size, count in pairs:
+        items.extend([size] * count)
+    return max_filled_cycles(items, theta, strategy, exact_limit)
+
+
 def max_filled_cycles(
     items: Sequence[int],
     theta: int,

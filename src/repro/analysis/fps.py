@@ -15,6 +15,7 @@ over the critical instants where an SCS busy interval begins.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import List, Mapping, Optional, Sequence, Tuple
 
@@ -156,7 +157,7 @@ def prepped_busy_window(
     worst = 0
     converged = True
     for t0 in availability.critical_instants():
-        window, ok = _busy_window_at(
+        window, ok, _ = _busy_window_at(
             wcet, info, availability, jitters, cap, t0, own_jitter
         )
         if window >= cap:
@@ -167,6 +168,108 @@ def prepped_busy_window(
     return worst, converged
 
 
+def seeded_busy_window(
+    wcet: int,
+    info: Sequence[Tuple[str, int, bool, int]],
+    availability: NodeAvailability,
+    jitters: Mapping[str, int],
+    cap: int,
+    own_jitter: int,
+    seeds: Optional[Sequence[Optional[int]]] = None,
+) -> Tuple[int, bool, List[Optional[int]]]:
+    """:func:`prepped_busy_window` with per-instant fix-point warm starts.
+
+    ``seeds[k]`` optionally supplies a starting demand for the busy
+    window at critical instant k.  Seeds MUST be certified lower bounds
+    of the instant's converged demand: the demand recurrence is monotone,
+    so iterating from any start below the least fixed point reaches
+    exactly the least fixed point (the start-independence argument the
+    incremental analysis engine relies on).  The holistic fix point
+    satisfies this by construction -- its jitters grow monotonically
+    across Kleene passes, so a converged demand from an earlier pass of
+    the same analysis bounds the current one from below.  Uncertified
+    seeds are additionally caught at runtime: a descending demand step or
+    an iteration-limit exit restarts that instant cold, so the returned
+    ``(value, converged)`` pair always equals the cold computation.
+
+    Returns ``(value, converged, demands)`` where ``demands[k]`` is the
+    converged demand at instant k -- the certified seed for the next call
+    under larger jitters (``None`` for instants not reached because an
+    earlier instant already hit the cap).
+    """
+    (instants, before, slack, period, gap_ends, through) = (
+        availability.instant_advance_tables()
+    )
+    n_instants = len(instants)
+    demands: List[Optional[int]] = [None] * n_instants
+    worst = 0
+    converged = True
+    n_seeds = len(seeds) if seeds is not None else 0
+    jitters_get = jitters.get
+    # The common case inlines the whole demand recurrence (no ``advance``
+    # calls): every t0 is a critical instant, whose pattern-slack offset
+    # is precomputed on the availability.  Degenerate patterns (fully
+    # idle node, zero slack) and warm-start fallbacks take the generic
+    # ``_busy_window_at`` path instead; results are identical.
+    fast = gap_ends is not None and slack > 0 and wcet > 0
+    for idx in range(n_instants):
+        t0 = instants[idx]
+        seed = seeds[idx] if idx < n_seeds else None
+        result = None
+        if fast:
+            seeded = seed is not None and seed > wcet
+            demand = seed if seeded else wcet
+            window = 0
+            offset = before[idx]
+            for _ in range(MAX_FIXPOINT_ITERATIONS):
+                whole, rem = divmod(offset + demand - 1, slack)
+                k = bisect_left(through, rem + 1)
+                window = (
+                    whole * period + gap_ends[k] - (through[k] - rem - 1) - t0
+                )
+                if window >= cap:
+                    result = (cap, False, demand)
+                    break
+                new_demand = wcet
+                for name, p, is_ancestor, c_j in info:
+                    if is_ancestor:
+                        s = window + own_jitter - p
+                        count = -(-s // p) if s > 0 else 0
+                    else:
+                        count = -(-(window + jitters_get(name, 0)) // p)
+                    new_demand += count * c_j
+                if new_demand == demand:
+                    result = (window, True, demand)
+                    break
+                if seeded and new_demand < demand:
+                    # Uncertified seed: replay this instant cold.
+                    result = _busy_window_at(
+                        wcet, info, availability, jitters, cap, t0, own_jitter
+                    )
+                    break
+                demand = new_demand
+            if result is None:
+                result = (
+                    _busy_window_at(
+                        wcet, info, availability, jitters, cap, t0, own_jitter
+                    )
+                    if seeded
+                    else (window, False, demand)
+                )
+        else:
+            result = _busy_window_at(
+                wcet, info, availability, jitters, cap, t0, own_jitter, seed
+            )
+        window, ok, demand = result
+        demands[idx] = demand
+        if window >= cap:
+            return cap, False, demands
+        if window > worst:
+            worst = window
+        converged = converged and ok
+    return worst, converged, demands
+
+
 def _busy_window_at(
     wcet: int,
     info: Sequence[Tuple[str, int, bool, int]],
@@ -175,18 +278,20 @@ def _busy_window_at(
     cap: int,
     t0: int,
     own_jitter: int,
-) -> Tuple[int, bool]:
-    demand = wcet
+    seed: Optional[int] = None,
+) -> Tuple[int, bool, int]:
+    seeded = seed is not None and seed > wcet
+    demand = seed if seeded else wcet
     window = 0
     advance = availability.advance
     jitters_get = jitters.get
     for _ in range(MAX_FIXPOINT_ITERATIONS):
         end = advance(t0, demand)
         if end is None:
-            return cap, False
+            return cap, False, demand
         window = end - t0
         if window >= cap:
-            return cap, False
+            return cap, False, demand
         new_demand = wcet
         for name, period, is_ancestor, c_j in info:
             if is_ancestor:
@@ -196,9 +301,22 @@ def _busy_window_at(
                 count = -(-(window + jitters_get(name, 0)) // period)
             new_demand += count * c_j
         if new_demand == demand:
-            return window, True
+            return window, True, demand
+        if seeded and new_demand < demand:
+            # The seed overshot the least fixed point (it was not a
+            # certified lower bound): replay this instant cold so the
+            # result stays bit-identical to an unseeded run.
+            return _busy_window_at(
+                wcet, info, availability, jitters, cap, t0, own_jitter
+            )
         demand = new_demand
-    return window, False
+    if seeded:
+        # The truncated value is trajectory-dependent; only the cold
+        # trajectory's truncation is the canonical result.
+        return _busy_window_at(
+            wcet, info, availability, jitters, cap, t0, own_jitter
+        )
+    return window, False, demand
 
 
 def node_local_fps_cost(

@@ -28,6 +28,10 @@ from repro.core.cost import CostBreakdown
 from repro.model.system import System
 
 
+#: Legal values of :attr:`AnalysisOptions.warm_start`.
+WARM_START_MODES = ("off", "seed", "verify")
+
+
 @dataclass(frozen=True)
 class AnalysisOptions:
     """Tunables of the holistic analysis."""
@@ -38,6 +42,26 @@ class AnalysisOptions:
     #: Filled-cycle computation for DYN messages: "bound" (polynomial)
     #: or "exact" (bin-covering search; tighter, slower).
     dyn_fill_strategy: str = "bound"
+    #: Cross-configuration warm starting of the *outer* holistic fix
+    #: point (sweep neighbours seed each other's Kleene iteration):
+    #:
+    #: * ``"off"`` (default) -- every configuration runs the canonical
+    #:   cold trajectory.  The certified *inner* busy-window warm starts
+    #:   (:func:`repro.analysis.fps.seeded_busy_window`,
+    #:   :func:`repro.analysis.dyn.seeded_busy_window`) stay active --
+    #:   they are provably bit-identical, so there is nothing to opt out
+    #:   of.
+    #: * ``"seed"`` -- seed the outer iteration from the previous
+    #:   neighbouring solution.  Fast, but the outer fix point is **not**
+    #:   start-independent: a seed above the least fixed point can
+    #:   converge to a strictly larger one (observed on real generated
+    #:   workloads), so results may differ from a cold run.  Opt-in
+    #:   only; never used by the library's own optimisers.
+    #: * ``"verify"`` -- debug mode: run the seeded iteration *and* the
+    #:   cold iteration, count divergences on the owning
+    #:   :class:`~repro.analysis.context.AnalysisContext`, and always
+    #:   return the cold (canonical) result.
+    warm_start: str = "off"
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,7 @@ CPU consults at run time ("2/2" entries in Fig. 1).
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import FlexRayConfig
@@ -35,15 +35,31 @@ class ScheduledTask:
 
 @dataclass(frozen=True)
 class ScheduledMessage:
-    """Placement of one ST message instance inside a static frame."""
+    """Placement of one ST message instance inside a static frame.
+
+    The placement itself is *retimable*: only the (cycle, slot, offset)
+    coordinates and the transmission time are stored; absolute macrotick
+    times are derived on demand from the bound :class:`FlexRayConfig`
+    view through :mod:`repro.flexray.timeline`.  Rebinding the entry to
+    a configuration with a different cycle length (see
+    :meth:`ScheduleTable.retime_for`) therefore shifts every derived
+    time consistently without touching the stored placement.
+    """
 
     job_key: str
     message: Message
     cycle: int
     slot: int
     offset: int  # macroticks into the frame payload
-    slot_start: int  # absolute start of the slot
     ct: int  # transmission time of this message
+    #: The configuration view absolute times are derived from; excluded
+    #: from equality so rebound copies compare placement-identical.
+    config: FlexRayConfig = field(compare=False, repr=False)
+
+    @property
+    def slot_start(self) -> int:
+        """Absolute start of the slot instance under the bound config."""
+        return st_slot_start(self.config, self.cycle, self.slot)
 
     @property
     def start(self) -> int:
@@ -98,44 +114,33 @@ class ScheduleTable:
     def gap_starts(self, node: str, earliest: int, duration: int, limit: int) -> List[int]:
         """Up to *limit* candidate start times (one per gap) for a task.
 
-        The first candidate is the first-fit start; later candidates start
-        right after each subsequent busy interval.  Used by the FPS-aware
-        placement heuristic (Fig. 2, line 11).
+        The first candidate is the first-fit start; each later candidate
+        is the first fit after the busy interval that bounds the previous
+        candidate's gap, i.e. exactly one candidate per distinct gap that
+        can hold *duration* macroticks.  Public helper for placement
+        exploration (the built-in FPS-aware heuristic of Fig. 2 line 11
+        currently spreads candidates over the slack window via
+        ``first_fit`` instead -- see ``scheduler._placement_candidates``).
+        Candidates are strictly increasing; abutting busy intervals are
+        treated as one blocked region.
         """
+        if limit < 1:
+            return []
         candidates: List[int] = []
-        t = max(0, earliest)
         busy = self._node_busy.get(node, [])
-        i = 0
+        t = max(0, earliest)
         while len(candidates) < limit:
-            start = t
-            blocked = False
-            for j in range(i, len(busy)):
-                s, e = busy[j]
-                if e <= start:
-                    i = j + 1
-                    continue
-                if s >= start + duration:
-                    break
-                start = max(start, e)
-                blocked = True
-                i = j + 1
+            start = self.first_fit(node, t, duration)
             candidates.append(start)
-            if not blocked and i >= len(busy):
-                break
-            t = start + 1
-            # jump to the end of the next busy interval to get a new gap
-            if i < len(busy):
-                t = max(t, busy[i][1]) if busy[i][0] <= start + duration else start + 1
-            else:
-                break
-        # de-duplicate while preserving order
-        seen = set()
-        out = []
-        for c in candidates:
-            if c not in seen:
-                seen.add(c)
-                out.append(c)
-        return out
+            # The gap holding [start, start + duration) extends to the
+            # first busy interval at or beyond the placement's end (any
+            # earlier interval would have blocked the first fit).  The
+            # next distinct gap begins after that interval.
+            idx = bisect.bisect_left(busy, (start + duration, -1))
+            if idx == len(busy):
+                break  # the candidate lies in the unbounded tail gap
+            t = busy[idx][1]
+        return candidates
 
     def add_task(self, job_key: str, task: Task, start: int) -> ScheduledTask:
         """Record an SCS task instance at *start*; rejects overlaps."""
@@ -180,14 +185,15 @@ class ScheduleTable:
                 f"{message.name!r} ({ct} MT) does not fit gd_static_slot="
                 f"{self.config.gd_static_slot}"
             )
+        st_slot_start(self.config, cycle, slot)  # validates (cycle, slot)
         entry = ScheduledMessage(
             job_key=job_key,
             message=message,
             cycle=cycle,
             slot=slot,
             offset=used,
-            slot_start=st_slot_start(self.config, cycle, slot),
             ct=ct,
+            config=self.config,
         )
         self._frame_used[(cycle, slot)] = used + ct
         self.messages[job_key] = entry
@@ -196,23 +202,39 @@ class ScheduleTable:
     # ------------------------------------------------------------------
     # cache support
     # ------------------------------------------------------------------
-    def clone_for(self, config: FlexRayConfig) -> "ScheduleTable":
+    def retime_for(self, config: FlexRayConfig) -> "ScheduleTable":
         """Copy with identical placements, re-bound to *config*.
 
-        Used by the incremental analysis engine when a cached schedule is
-        reused for a configuration that shares the cache key (same static
-        segment and cycle geometry, e.g. a different FrameID assignment):
-        the placements are byte-identical, only the ``config`` attribute
-        the result carries must reflect the analysed configuration.
+        Placements are stored in (cycle, slot, offset) coordinates, so
+        rebinding derives every absolute message time from *config*'s
+        cycle geometry on demand.  Used by the incremental analysis
+        engine when a cached schedule serves a configuration that shares
+        its cache key (same static segment and cycle geometry, e.g. a
+        different FrameID assignment): placements are byte-identical,
+        only the configuration view the derived times come from changes.
+
+        NOTE: rebinding across a *different* ``gd_cycle`` yields a table
+        whose derived times shift with the new geometry -- that is only
+        the schedule the global scheduling algorithm would have produced
+        when the placement indices coincide, which the engine guarantees
+        by keying its schedule cache on the cycle length whenever ST
+        messages exist (placement indices are empirically *not*
+        cycle-length-invariant; see ``SchedulePlan`` for what is).
         """
         clone = ScheduleTable.__new__(ScheduleTable)
         clone.config = config
         clone.horizon = self.horizon
         clone.tasks = dict(self.tasks)
-        clone.messages = dict(self.messages)
+        clone.messages = {
+            key: replace(entry, config=config)
+            for key, entry in self.messages.items()
+        }
         clone._node_busy = {n: list(v) for n, v in self._node_busy.items()}
         clone._frame_used = dict(self._frame_used)
         return clone
+
+    #: Backwards-compatible alias (PR 1 name).
+    clone_for = retime_for
 
     # ------------------------------------------------------------------
     # queries

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.config import FlexRayConfig
 from repro.errors import SchedulingError
@@ -74,87 +74,161 @@ def build_schedule(
     priorities; they only depend on the bus speed parameters, so the
     incremental analysis engine computes them once per parameter set
     instead of once per candidate configuration.
+
+    Implemented as ``SchedulePlan(system, options, priorities).replay
+    (config, wcrt_estimates)``: the plan holds everything that does not
+    depend on the candidate configuration's cycle geometry, so repeated
+    analyses (a DYN-length sweep) construct it once and replay it per
+    candidate.  A one-shot build and a replayed plan produce
+    byte-identical tables by construction.
     """
-    options = options or ScheduleOptions()
-    app = system.application
-    horizon = app.hyperperiod
-    table = ScheduleTable(config, horizon)
     if priorities is None:
-        priorities = critical_path_priorities(app, config)
+        priorities = critical_path_priorities(system.application, config)
+    plan = SchedulePlan(system, options, priorities)
+    return plan.replay(config, wcrt_estimates)
 
-    jobs = expand_jobs(app, scs_only=True, horizon=horizon)
-    job_by_key: Dict[str, Job] = {j.key: j for j in jobs}
-    scheduled_keys = set()
 
-    # --- dependency bookkeeping -------------------------------------
-    pending: Dict[str, int] = {}
-    successors: Dict[str, List[str]] = {}
-    for j in jobs:
-        count = 0
-        for pred in j.graph.predecessors(j.name):
-            pred_key = f"{pred}#{j.instance}"
-            if pred_key in job_by_key:
-                count += 1
-                successors.setdefault(pred_key, []).append(j.key)
-        pending[j.key] = count
+class _PlanJob:
+    """Per-job record of a :class:`SchedulePlan`.
 
-    ready: List[tuple] = []
-    for j in jobs:
-        if pending[j.key] == 0:
-            heapq.heappush(ready, _entry(j, priorities))
+    ``pred_keys`` are the predecessor job keys placed in the table;
+    ``ext_preds`` the names of event-triggered predecessors that need
+    ``wcrt_estimates``; ``base`` the instance's period offset those
+    estimates are relative to.
+    """
 
-    done = 0
-    while ready:
-        job = heapq.heappop(ready)[-1]
-        asap = _asap(job, job_by_key, table, wcrt_estimates, app)
-        if isinstance(job.activity, Task):
-            _schedule_task(table, system, job, asap, options)
-        else:
-            _schedule_st_message(table, system, config, job, asap, options, horizon)
-        scheduled_keys.add(job.key)
-        done += 1
-        for succ_key in successors.get(job.key, ()):  # update TT_ready_list
-            pending[succ_key] -= 1
-            if pending[succ_key] == 0:
-                heapq.heappush(ready, _entry(job_by_key[succ_key], priorities))
+    __slots__ = ("job", "pred_keys", "ext_preds", "base")
 
-    if done != len(jobs):  # pragma: no cover - defensive; DAG guarantees progress
-        missing = sorted(k for k in job_by_key if k not in scheduled_keys)
-        raise SchedulingError(f"jobs never became ready: {missing[:5]}")
-    return table
+    def __init__(self, job, pred_keys, ext_preds, base):
+        self.job = job
+        self.pred_keys = pred_keys
+        self.ext_preds = ext_preds
+        self.base = base
+
+
+class SchedulePlan:
+    """Configuration-independent half of the global scheduling algorithm.
+
+    The list scheduler of Fig. 2 pops jobs off a ready list ordered by
+    the static key ``(-priority, release, name, instance)``; readiness is
+    purely structural (a job becomes ready when its predecessors are
+    *scheduled*, not at a point in time), so the pop **order** is fully
+    determined by the task graphs and the critical-path priorities --
+    never by where previous jobs were placed.  Everything that is
+    invariant across candidate configurations sharing the bus-speed
+    parameters lives here: the expanded job instances, the dependency
+    keys and the scheduling order.  :meth:`replay` then performs only
+    the placement arithmetic for one concrete configuration, producing a
+    table byte-identical to a from-scratch :func:`build_schedule`.
+
+    This is what makes the schedule representation *retimable* at the
+    cache level: the incremental analysis engine caches one plan per
+    bus-speed parameter set (``FlexRayConfig.static_key()`` alone, no
+    cycle length) and derives each cycle length's table by replay,
+    instead of re-running job expansion, priority assignment and ready
+    -list ordering per candidate.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        options: Optional[ScheduleOptions],
+        priorities: Mapping[str, int],
+    ):
+        self.system = system
+        self.options = options or ScheduleOptions()
+        app = system.application
+        self.horizon = app.hyperperiod
+
+        jobs = expand_jobs(app, scs_only=True, horizon=self.horizon)
+        job_by_key: Dict[str, Job] = {j.key: j for j in jobs}
+
+        # --- dependency bookkeeping (structural, config-free) ---------
+        pending: Dict[str, int] = {}
+        successors: Dict[str, List[str]] = {}
+        preds: Dict[str, Tuple[List[str], List[str]]] = {}
+        for j in jobs:
+            pred_keys: List[str] = []
+            ext_preds: List[str] = []
+            for pred in j.graph.predecessors(j.name):
+                pred_key = f"{pred}#{j.instance}"
+                if pred_key in job_by_key:
+                    pred_keys.append(pred_key)
+                    successors.setdefault(pred_key, []).append(j.key)
+                else:
+                    ext_preds.append(pred)
+            pending[j.key] = len(pred_keys)
+            preds[j.key] = (pred_keys, ext_preds)
+
+        # --- the list-scheduling order --------------------------------
+        ready: List[tuple] = []
+        for j in jobs:
+            if pending[j.key] == 0:
+                heapq.heappush(ready, _entry(j, priorities))
+        order: List[_PlanJob] = []
+        while ready:
+            job = heapq.heappop(ready)[-1]
+            pred_keys, ext_preds = preds[job.key]
+            order.append(
+                _PlanJob(
+                    job=job,
+                    pred_keys=tuple(pred_keys),
+                    ext_preds=tuple(ext_preds),
+                    base=job.instance * job.graph.period,
+                )
+            )
+            for succ_key in successors.get(job.key, ()):  # TT_ready_list
+                pending[succ_key] -= 1
+                if pending[succ_key] == 0:
+                    heapq.heappush(ready, _entry(job_by_key[succ_key], priorities))
+        if len(order) != len(jobs):  # pragma: no cover - DAG guarantees progress
+            placed = {rec.job.key for rec in order}
+            missing = sorted(k for k in job_by_key if k not in placed)
+            raise SchedulingError(f"jobs never became ready: {missing[:5]}")
+        self.order: Tuple[_PlanJob, ...] = tuple(order)
+
+    def replay(
+        self,
+        config: FlexRayConfig,
+        wcrt_estimates: Optional[Mapping[str, int]] = None,
+    ) -> ScheduleTable:
+        """Place every job of the plan under *config*'s cycle geometry."""
+        options = self.options
+        system = self.system
+        horizon = self.horizon
+        table = ScheduleTable(config, horizon)
+        finish_of = table.finish_of
+        for rec in self.order:
+            job = rec.job
+            asap = job.release
+            for pred_key in rec.pred_keys:
+                finish = finish_of(pred_key)
+                if finish is None:  # pragma: no cover - order invariant
+                    raise SchedulingError(
+                        f"predecessor {pred_key!r} of {job.key!r} not scheduled yet"
+                    )
+                if finish > asap:
+                    asap = finish
+            for pred in rec.ext_preds:
+                if wcrt_estimates is None or pred not in wcrt_estimates:
+                    raise SchedulingError(
+                        f"SCS activity {job.name!r} depends on event-triggered "
+                        f"activity {pred!r}; pass wcrt_estimates to schedule it"
+                    )
+                est = rec.base + wcrt_estimates[pred]
+                if est > asap:
+                    asap = est
+            if isinstance(job.activity, Task):
+                _schedule_task(table, system, job, asap, options)
+            else:
+                _schedule_st_message(
+                    table, system, config, job, asap, options, horizon
+                )
+        return table
 
 
 def _entry(job: Job, priorities: Mapping[str, int]) -> tuple:
     return (-priorities[job.name], job.release, job.name, job.instance, job)
-
-
-def _asap(
-    job: Job,
-    job_by_key: Mapping[str, Job],
-    table: ScheduleTable,
-    estimates: Optional[Mapping[str, int]],
-    app,
-) -> int:
-    """Earliest moment all predecessors of *job* are finished."""
-    asap = job.release
-    base = job.instance * job.graph.period
-    for pred in job.graph.predecessors(job.name):
-        pred_key = f"{pred}#{job.instance}"
-        if pred_key in job_by_key:
-            finish = table.finish_of(pred_key)
-            if finish is None:  # pragma: no cover - ready-list invariant
-                raise SchedulingError(
-                    f"predecessor {pred_key!r} of {job.key!r} not scheduled yet"
-                )
-            asap = max(asap, finish)
-        else:
-            if estimates is None or pred not in estimates:
-                raise SchedulingError(
-                    f"SCS activity {job.name!r} depends on event-triggered "
-                    f"activity {pred!r}; pass wcrt_estimates to schedule it"
-                )
-            asap = max(asap, base + estimates[pred])
-    return asap
 
 
 def _schedule_task(
@@ -233,17 +307,22 @@ def _schedule_st_message(
             f"node {node!r} sends ST message {message.name!r} but owns no static slot"
         )
     ct = config.message_ct(message)
-    limit = options.horizon_factor * horizon + config.gd_cycle
-    cycle = max(0, ready // config.gd_cycle)
-    while cycle * config.gd_cycle < limit:
+    gd_cycle = config.gd_cycle
+    gd_static_slot = config.gd_static_slot
+    frame_used = table.frame_used
+    limit = options.horizon_factor * horizon + gd_cycle
+    cycle = max(0, ready // gd_cycle)
+    cycle_base = cycle * gd_cycle
+    while cycle_base < limit:
         for slot in slots:
-            slot_start = cycle * config.gd_cycle + (slot - 1) * config.gd_static_slot
+            slot_start = cycle_base + (slot - 1) * gd_static_slot
             if slot_start < ready:
                 continue
-            if table.frame_used(cycle, slot) + ct <= config.gd_static_slot:
+            if frame_used(cycle, slot) + ct <= gd_static_slot:
                 table.add_message(job.key, message, cycle, slot)
                 return
         cycle += 1
+        cycle_base += gd_cycle
     raise SchedulingError(
         f"no static slot instance before {limit} MT can carry message "
         f"{job.key!r} (ready at {ready}, C_m={ct})"

@@ -102,6 +102,14 @@ class FlexRayConfig:
                     f"FrameID {fid} of message {name!r} cannot fit in a dynamic "
                     f"segment of {self.n_minislots} minislots"
                 )
+        # Geometry is read on every hot-path iteration: precompute once
+        # (the dataclass is frozen, so the derived values never go stale;
+        # ``replace()`` re-runs this initialiser).
+        st_bus = len(self.static_slots) * self.gd_static_slot
+        dyn_bus = self.n_minislots * self.gd_minislot
+        object.__setattr__(self, "_st_bus", st_bus)
+        object.__setattr__(self, "_dyn_bus", dyn_bus)
+        object.__setattr__(self, "_gd_cycle", st_bus + dyn_bus)
         if self.gd_cycle > params.MAX_CYCLE_MT:
             raise ConfigurationError(
                 f"gd_cycle={self.gd_cycle} MT exceeds the protocol maximum "
@@ -121,17 +129,17 @@ class FlexRayConfig:
     @property
     def st_bus(self) -> int:
         """Length of the static segment in macroticks."""
-        return self.n_static_slots * self.gd_static_slot
+        return self._st_bus
 
     @property
     def dyn_bus(self) -> int:
         """Length of the dynamic segment in macroticks."""
-        return self.n_minislots * self.gd_minislot
+        return self._dyn_bus
 
     @property
     def gd_cycle(self) -> int:
         """Length of the whole communication cycle in macroticks."""
-        return self.st_bus + self.dyn_bus
+        return self._gd_cycle
 
     # ------------------------------------------------------------------
     # message metrics

@@ -67,17 +67,32 @@ def curvefit_dyn_length(
     exact: Dict[int, AnalysisResult] = {}
     interpolators: Dict[str, NewtonInterpolator] = {}
 
-    def analyse_point(n: int) -> AnalysisResult:
-        result = evaluator.analyse(template.with_dyn_length(n))
+    def record_point(n: int, result: AnalysisResult) -> None:
         exact[n] = result
         if result.feasible:
             for name, r in result.wcrt.items():
                 interpolators.setdefault(name, NewtonInterpolator()).add_point(n, r)
+
+    def analyse_point(n: int) -> AnalysisResult:
+        result = evaluator.analyse(template.with_dyn_length(n))
+        record_point(n, result)
         return result
 
-    # Line 1-5: seed points, analysed exactly.
-    for n in spread_points(lo, hi, options.initial_cf_points):
-        result = analyse_point(n)
+    # Line 1-5: seed points, analysed exactly.  The seeds are mutually
+    # independent, so they go through ``analyse_many`` as one batch: they
+    # share the evaluator's result cache and fan out over the parallel
+    # pool when one is configured.  Batching unconditionally forfeits
+    # the old stop-at-first-schedulable-seed early exit (rare: it only
+    # fired when the very first exact points were already schedulable),
+    # but keeps serial and parallel runs byte-identical -- branching on
+    # ``parallel_workers`` here would make their evaluation counts and
+    # traces diverge.
+    seed_lengths = spread_points(lo, hi, options.initial_cf_points)
+    seed_results = evaluator.analyse_many(
+        [template.with_dyn_length(n) for n in seed_lengths]
+    )
+    for n, result in zip(seed_lengths, seed_results):
+        record_point(n, result)
         if result.schedulable and options.stop_when_schedulable:
             return result
 

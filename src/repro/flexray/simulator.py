@@ -127,6 +127,9 @@ _EV_DYN_SLOT = 3
 _EV_ARRIVAL = 4
 _EV_FPS_CHECK = 5
 _EV_FPS_READY = 6
+#: Second phase of a dynamic-slot event: ordered after every other kind
+#: so the slot decision sees all frames queued at the same instant.
+_EV_DYN_DECIDE = 7
 
 
 def simulate(
@@ -186,6 +189,10 @@ class _Engine:
         self.finish_times: Dict[Tuple[str, int], int] = {}
         self.release_base: Dict[Tuple[str, int], int] = {}
         self.chi = ChiQueues(config, system)
+        #: Where the current cycle's dynamic-segment walk stopped because
+        #: nothing was queued: ``(cycle, fid, minislot, time)``; a later
+        #: queueing inside the segment resumes the walk from here.
+        self._dyn_idle = None
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
@@ -202,6 +209,7 @@ class _Engine:
                 _EV_ARRIVAL: self._on_arrival,
                 _EV_FPS_CHECK: self._on_fps_check,
                 _EV_FPS_READY: self._on_fps_ready,
+                _EV_DYN_DECIDE: self._on_dyn_decide,
             }[kind]
             handler(time, payload)
         return self._collect()
@@ -384,14 +392,46 @@ class _Engine:
     def _queue_dyn(self, message: Message, instance: int, time: int) -> None:
         node = self.chi.queue(message, instance, time)
         self._record(time, EventKind.MSG_QUEUED, message.name, instance, node)
+        if self._dyn_idle is not None:
+            # The current segment's walk idled out before this frame was
+            # queued; resume it at the first slot boundary the frame can
+            # make (inclusive: queued exactly at a boundary counts).
+            cycle, fid, minislot, idle_time = self._dyn_idle
+            self._dyn_idle = None
+            segment_end = cycle * self.config.gd_cycle + self.config.gd_cycle
+            if time < segment_end:
+                ms_len = self.config.gd_minislot
+                skipped = -(-(time - idle_time) // ms_len)  # ceil
+                self._push(
+                    idle_time + skipped * ms_len,
+                    _EV_DYN_SLOT,
+                    (cycle, fid + skipped, minislot + skipped),
+                )
 
     def _on_dyn_slot(self, time: int, payload) -> None:
+        # Two-phase slot decision: the controller reads its buffers at
+        # the *start* of the slot, and a frame queued exactly at that
+        # instant counts (``pop_for_slot`` filters ``queued <= start``).
+        # Re-enqueueing the decision behind every same-instant event
+        # (task completions, arrivals) makes the event order match that
+        # semantic, so the simulation never exceeds the analysis, which
+        # assumes a frame ready at its slot's earliest start makes the
+        # cycle.
+        self._push(time, _EV_DYN_DECIDE, payload)
+
+    def _on_dyn_decide(self, time: int, payload) -> None:
         cycle, fid, minislot = payload
         segment_end = cycle * self.config.gd_cycle + self.config.gd_cycle
         if time >= segment_end or minislot > self.config.n_minislots:
             return
-        if self.chi.pending == 0 or fid > self.chi.max_frame_id:
-            return  # nothing queued anywhere: the rest of the segment idles
+        if fid > self.chi.max_frame_id:
+            return  # no message uses this or any later slot: segment over
+        if self.chi.pending == 0:
+            # Nothing queued anywhere: the walk idles, but a frame queued
+            # later in this segment must still meet its slot -- remember
+            # where the walk stopped so ``_queue_dyn`` can resume it.
+            self._dyn_idle = (cycle, fid, minislot, time)
+            return
         frame = self.chi.pop_for_slot(fid, time, minislot)
         if frame is None:
             # Empty dynamic slot: one minislot elapses.

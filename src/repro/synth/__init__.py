@@ -1,11 +1,16 @@
 """Synthetic workload generation (Section 7 experiment recipe)."""
 
-from repro.synth.suite import full_paper_benchmark, paper_suite
+from repro.synth.sharding import ShardEntry, ShardSpec, shard_plan
+from repro.synth.suite import full_paper_benchmark, paper_suite, paper_system
 from repro.synth.taskgraph_gen import GeneratorConfig, generate_system
 
 __all__ = [
     "GeneratorConfig",
+    "ShardEntry",
+    "ShardSpec",
     "full_paper_benchmark",
     "generate_system",
     "paper_suite",
+    "paper_system",
+    "shard_plan",
 ]

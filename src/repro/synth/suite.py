@@ -14,6 +14,24 @@ from repro.model.system import System
 from repro.synth.taskgraph_gen import GeneratorConfig, generate_system
 
 
+def paper_system(
+    n_nodes: int,
+    index: int,
+    base: GeneratorConfig = None,
+    seed: int = 2007,
+) -> System:
+    """Member *index* of the suite ``paper_suite(n_nodes, ..., seed)``.
+
+    The per-member seed derivation is shared with :func:`paper_suite`,
+    so any single suite member can be regenerated in isolation -- this
+    is what lets a sharded experiment runner rebuild exactly its own
+    slice of the full benchmark without materialising the rest.
+    """
+    base = base or GeneratorConfig()
+    cfg = replace(base, n_nodes=n_nodes, seed=seed * 1_000 + n_nodes * 100 + index)
+    return generate_system(cfg)
+
+
 def paper_suite(
     n_nodes: int,
     count: int = 25,
@@ -25,12 +43,7 @@ def paper_suite(
     Each system uses a distinct derived seed, so the suite is
     deterministic for a given (n_nodes, count, seed) triple.
     """
-    base = base or GeneratorConfig()
-    systems = []
-    for i in range(count):
-        cfg = replace(base, n_nodes=n_nodes, seed=seed * 1_000 + n_nodes * 100 + i)
-        systems.append(generate_system(cfg))
-    return systems
+    return [paper_system(n_nodes, i, base, seed) for i in range(count)]
 
 
 def full_paper_benchmark(

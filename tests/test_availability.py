@@ -98,3 +98,79 @@ class TestNodeAvailability:
     def test_rejects_bad_period(self):
         with pytest.raises(AnalysisError):
             NodeAvailability([], period=0)
+
+
+class TestAdvanceBisectEquivalence:
+    """The bisecting ``advance`` must match the reference gap walk."""
+
+    @staticmethod
+    def _walk_advance(av, t0, demand):
+        """The pre-optimisation implementation, kept as the oracle."""
+        if demand == 0:
+            return t0
+        if not av.busy:
+            return t0 + demand
+        slack = av.slack_per_period
+        if slack == 0:
+            return None
+        period = av.period
+        gaps = av._gap_list
+        remaining = demand
+        whole = (remaining - 1) // slack
+        t = t0 + whole * period
+        remaining -= whole * slack
+        while remaining > 0:
+            base = (t // period) * period
+            x = t - base
+            for s, e in gaps:
+                lo = s if s > x else x
+                if lo >= e:
+                    continue
+                room = e - lo
+                if room >= remaining:
+                    return base + lo + remaining
+                remaining -= room
+            t = base + period
+        return t
+
+    def test_fuzz_against_reference_walk(self):
+        import random
+
+        rng = random.Random(20070501)
+        for _ in range(1500):
+            period = rng.randint(1, 60)
+            busy = []
+            for _ in range(rng.randint(0, 6)):
+                s = rng.randint(0, period - 1)
+                busy.append((s, rng.randint(s + 1, period)))
+            av = NodeAvailability(busy, period)
+            for _ in range(12):
+                t0 = rng.randint(0, 4 * period)
+                demand = rng.randint(0, 5 * period)
+                assert av.advance(t0, demand) == self._walk_advance(
+                    av, t0, demand
+                ), (period, busy, t0, demand)
+
+    def test_instant_tables_consistent_with_advance(self):
+        av = NodeAvailability([(2, 5), (8, 10)], period=12)
+        (instants, before, slack, period, gap_ends, through) = (
+            av.instant_advance_tables()
+        )
+        assert instants == av.critical_instants()
+        assert slack == av.slack_per_period and period == av.period
+        for idx, t0 in enumerate(instants):
+            for demand in range(1, 3 * period):
+                target = before[idx] + demand
+                whole, rem = divmod(target - 1, slack)
+                import bisect
+
+                k = bisect.bisect_left(through, rem + 1)
+                end = whole * period + gap_ends[k] - (through[k] - rem - 1)
+                assert end == av.advance(t0, demand)
+
+    def test_idle_pattern_tables(self):
+        av = NodeAvailability([], period=10)
+        instants, before, slack, period, gap_ends, through = (
+            av.instant_advance_tables()
+        )
+        assert gap_ends is None and instants == [0]

@@ -81,3 +81,33 @@ class TestCurveFit:
         curvefit_dyn_length(evaluator, template, lo, hi)
         kinds = {p.exact for p in evaluator.trace}
         assert True in kinds
+
+
+class TestBatchedSeedPoints:
+    def test_seed_points_go_through_analyse_many(self, setup):
+        """The OBC/CF seed set is analysed as one batch: warming the
+        evaluator cache with exactly the seed configurations makes the
+        seed phase free, and the outcome is unchanged."""
+        from repro.core.curvefit import spread_points
+
+        system, _, template, lo, hi = setup
+        options = BusOptimisationOptions()
+
+        plain = Evaluator(system, options)
+        expected = curvefit_dyn_length(plain, template, lo, hi)
+
+        warmed = Evaluator(system, options)
+        seeds = [
+            template.with_dyn_length(n)
+            for n in spread_points(lo, hi, options.initial_cf_points)
+        ]
+        warmed.analyse_many(seeds)
+        primed_evals = warmed.evaluations
+        result = curvefit_dyn_length(warmed, template, lo, hi)
+        assert result.config.cache_key() == expected.config.cache_key()
+        assert result.cost_value == expected.cost_value
+        # every seed analysis of the CF run hit the warmed cache
+        assert warmed.cache_hits >= len(seeds)
+        assert warmed.evaluations - primed_evals == (
+            plain.evaluations - len(seeds)
+        )

@@ -73,3 +73,36 @@ class TestExactFill:
                 bins += 1
                 acc = 0
         assert max_filled_cycles(items, theta, "exact") >= bins
+
+
+class TestAggregatedEquivalence:
+    """(size, count) aggregation must match the per-instance API."""
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 12), st.integers(0, 6)), max_size=6),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=300, deadline=None)  # "exact" DFS can spike
+    def test_bound_matches_materialised(self, pairs, theta):
+        from repro.analysis.fill import (
+            fill_bound_aggregated,
+            max_filled_cycles_aggregated,
+        )
+
+        items = [size for size, count in pairs for _ in range(count)]
+        assert fill_bound_aggregated(pairs, theta) == fill_bound(items, theta)
+        for strategy in ("bound", "exact"):
+            assert max_filled_cycles_aggregated(
+                pairs, theta, strategy
+            ) == max_filled_cycles(items, theta, strategy)
+
+    def test_aggregated_validates_like_original(self):
+        from repro.analysis.fill import (
+            fill_bound_aggregated,
+            max_filled_cycles_aggregated,
+        )
+
+        with pytest.raises(AnalysisError, match="theta"):
+            fill_bound_aggregated([(3, 2)], 0)
+        with pytest.raises(AnalysisError, match="unknown fill strategy"):
+            max_filled_cycles_aggregated([(3, 2)], 2, "nope")

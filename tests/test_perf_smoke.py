@@ -1,0 +1,67 @@
+"""Quick perf-smoke exercise of the warm-analysis hot path.
+
+``pytest -m perf_smoke`` runs only this module: a miniature ST-heavy
+DYN-length sweep through one warm :class:`AnalysisContext` -- the exact
+code path the optimisers hammer (retimable schedule plan, certified
+busy-window warm starts, dirty-tracked fix point) -- cross-checked
+against fresh cold contexts.  Designed to finish in a few seconds, so
+the perf plumbing stays covered by every tier-1 run.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import AnalysisContext
+from repro.core.bbc import basic_configuration
+from repro.core.search import (
+    BusOptimisationOptions,
+    dyn_segment_bounds,
+    min_static_slot,
+    sweep_lengths,
+)
+from repro.synth import paper_suite
+
+
+def _signature(result):
+    return (
+        result.feasible,
+        result.schedulable,
+        result.converged,
+        result.failure,
+        None if result.cost is None else result.cost.value,
+        tuple(sorted(result.wcrt.items())),
+    )
+
+
+@pytest.mark.perf_smoke
+def test_warm_sweep_fast_and_bit_identical():
+    system = paper_suite(3, count=1, seed=23)[0]
+    assert system.application.st_messages(), "smoke workload must be ST-heavy"
+    options = BusOptimisationOptions()
+    slot = min_static_slot(system, options)
+    st_bus = len(system.st_sender_nodes()) * slot
+    lo, hi = dyn_segment_bounds(system, st_bus, options)
+    configs = [
+        basic_configuration(system, n, options)
+        for n in sweep_lengths(lo, hi, 24)
+    ]
+
+    context = AnalysisContext(system)
+    t0 = time.perf_counter()
+    warm = [context.analyse(c) for c in configs]
+    warm_s = time.perf_counter() - t0
+
+    # One schedule plan serves the whole sweep; with ST messages every
+    # cycle length still gets its own (replayed) table.
+    assert len(context._plan_cache) == 1
+    assert len(context._schedule_cache) == len(
+        {context.schedule_key(c) for c in configs}
+    )
+
+    cold = [AnalysisContext(system).analyse(c) for c in configs]
+    assert [_signature(r) for r in warm] == [_signature(r) for r in cold]
+
+    # Loose sanity bound only -- wall-clock asserts are flaky on shared
+    # machines; the real perf claims live in benchmarks/BENCH_*.json.
+    assert warm_s < 10.0

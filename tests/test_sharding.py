@@ -1,0 +1,65 @@
+"""Sharded benchmark partitioning (``repro.synth.sharding``)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.synth import paper_suite, paper_system, shard_plan
+
+
+class TestShardPlan:
+    def test_partition_is_exact_and_balanced(self):
+        plan = shard_plan(node_counts=range(2, 8), count=25, num_shards=8)
+        assert len(plan) == 8
+        all_entries = [e for spec in plan for e in spec.entries]
+        assert len(all_entries) == 6 * 25
+        assert len(set(all_entries)) == 6 * 25
+        sizes = [len(spec.entries) for spec in plan]
+        assert max(sizes) - min(sizes) <= 1
+        # Round-robin: every shard sees every node-count class.
+        for spec in plan:
+            assert {e.n_nodes for e in spec.entries} == set(range(2, 8))
+
+    def test_deterministic_and_self_describing(self):
+        a = shard_plan((2, 3, 4), count=5, num_shards=3, seed=99)
+        b = shard_plan((4, 3, 2), count=5, num_shards=3, seed=99)
+        assert a == b  # node counts are normalised
+        assert a[0].suite_key() == ((2, 3, 4), 5, 99)
+        assert all(spec.num_shards == 3 for spec in a)
+
+    def test_more_shards_than_systems(self):
+        plan = shard_plan((2,), count=2, num_shards=5)
+        assert sum(len(s.entries) for s in plan) == 2
+        assert sum(1 for s in plan if not s.entries) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            shard_plan((2, 3), count=0, num_shards=2)
+        with pytest.raises(ValidationError):
+            shard_plan((2, 3), count=2, num_shards=0)
+        with pytest.raises(ValidationError):
+            shard_plan((), count=2, num_shards=2)
+
+
+class TestPaperSystemRegeneration:
+    def test_paper_system_matches_suite_member(self):
+        suite = paper_suite(3, count=4, seed=23)
+        for i, system in enumerate(suite):
+            regenerated = paper_system(3, i, seed=23)
+            assert regenerated.describe() == system.describe()
+            assert [t.name for t in regenerated.application.tasks()] == [
+                t.name for t in system.application.tasks()
+            ]
+            assert [
+                (t.wcet, t.node, t.priority)
+                for t in regenerated.application.tasks()
+            ] == [
+                (t.wcet, t.node, t.priority) for t in system.application.tasks()
+            ]
+
+    def test_shard_systems_cover_their_entries(self):
+        plan = shard_plan((2, 3), count=2, num_shards=2, seed=23)
+        for spec in plan:
+            regenerated = list(spec.systems())
+            assert [e for e, _ in regenerated] == list(spec.entries)
+            for entry, system in regenerated:
+                assert len(system.nodes) == entry.n_nodes

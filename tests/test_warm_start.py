@@ -1,0 +1,280 @@
+"""Fix-point warm starting: certified inner seeds and outer sweep modes.
+
+Three layers, three guarantees:
+
+* the *inner* busy-window warm starts (always on) are certified lower
+  -bound seeding -- bit-identical to cold by construction, fuzzed here
+  against uncertified seeds to exercise the runtime guards;
+* ``warm_start="off"`` (the default outer mode) runs the canonical cold
+  trajectory -- equal to fresh contexts over the Fig. 7 sweep;
+* ``warm_start="verify"`` cross-checks the seeded outer iteration
+  against the cold one: on the adversarial OBC/EE sweep it must both
+  *count* the known divergences (the outer fix point is provably not
+  start-independent -- that is why ``"seed"`` is opt-in) and still
+  return bit-identical results.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import AnalysisContext, AnalysisOptions
+from repro.analysis.availability import NodeAvailability
+from repro.analysis.dyn import (
+    prepped_busy_window as dyn_cold,
+    seeded_busy_window as dyn_seeded,
+)
+from repro.analysis.fps import (
+    prepped_busy_window as fps_cold,
+    seeded_busy_window as fps_seeded,
+)
+from repro.core.bbc import basic_configuration
+from repro.core.search import (
+    BusOptimisationOptions,
+    dyn_segment_bounds,
+    min_static_slot,
+    sweep_lengths,
+)
+from repro.errors import ConfigurationError
+from repro.synth import paper_suite
+
+
+def _signature(result):
+    return (
+        result.feasible,
+        result.schedulable,
+        result.converged,
+        result.failure,
+        None if result.cost is None else result.cost.value,
+        tuple(sorted(result.wcrt.items())),
+    )
+
+
+def _sweep(system, points=24):
+    options = BusOptimisationOptions()
+    st_nodes = system.st_sender_nodes()
+    slot = min_static_slot(system, options) if st_nodes else 0
+    lo, hi = dyn_segment_bounds(system, len(st_nodes) * slot, options)
+    return [
+        basic_configuration(system, n, options)
+        for n in sweep_lengths(lo, hi, points)
+    ]
+
+
+#: The OBC/EE sweep on this suite member contains neighbouring DYN
+#: lengths whose seeded outer iteration converges to a strictly larger
+#: fixed point than the cold one -- the measured counterexample that
+#: rules out unconditional outer warm starting.
+ADVERSARIAL = dict(n_nodes=4, count=1, seed=23, points=64)
+
+
+class TestInnerWarmStartKernels:
+    def _random_case(self, rng):
+        period = rng.randint(20, 120)
+        busy = []
+        for _ in range(rng.randint(0, 4)):
+            s = rng.randint(0, period - 2)
+            busy.append((s, rng.randint(s + 1, period)))
+        availability = NodeAvailability(busy, period)
+        info = tuple(
+            (f"j{k}", rng.randint(5, 200), rng.random() < 0.2,
+             rng.randint(1, 6))
+            for k in range(rng.randint(0, 4))
+        )
+        jitters = {name: rng.randint(0, 40) for name, _, _, _ in info}
+        return availability, info, jitters
+
+    def test_fps_certified_seeds_bit_identical(self):
+        rng = random.Random(7)
+        for _ in range(400):
+            availability, info, jitters = self._random_case(rng)
+            wcet = rng.randint(1, 10)
+            cap = rng.randint(50, 4000)
+            own = rng.randint(0, 30)
+            cold = fps_cold(wcet, info, availability, jitters, cap, own)
+            value, ok, demands = fps_seeded(
+                wcet, info, availability, jitters, cap, own, None
+            )
+            assert (value, ok) == cold
+            # Certified seeds: any start at or below the converged
+            # demand must reproduce the cold result exactly.
+            seeds = [
+                None if d is None else rng.randint(0, d) for d in demands
+            ]
+            again = fps_seeded(
+                wcet, info, availability, jitters, cap, own, seeds
+            )
+            assert (again[0], again[1]) == cold
+            # Exact re-seed with the converged demands: same again.
+            exact = fps_seeded(
+                wcet, info, availability, jitters, cap, own, demands
+            )
+            assert (exact[0], exact[1]) == cold
+
+    def test_fps_uncertified_seed_guard(self):
+        """Seeds above the fixed point: the descent guard replays cold.
+
+        An over-seed that happens to land in the basin of a *higher*
+        fixed point can legitimately converge there without a single
+        descending step -- that is exactly why the least fixed point is
+        not start-independent from above, and why the analysis only ever
+        passes certified (lower-bound) seeds.  The guard's contract is
+        therefore: the result is never *below* the cold least fixed
+        point, and descending trajectories are replayed cold.
+        """
+        rng = random.Random(11)
+        guarded = 0
+        for _ in range(400):
+            availability, info, jitters = self._random_case(rng)
+            wcet = rng.randint(1, 10)
+            cap = rng.randint(50, 4000)
+            own = rng.randint(0, 30)
+            cold_value, _ = fps_cold(
+                wcet, info, availability, jitters, cap, own
+            )
+            _, _, demands = fps_seeded(
+                wcet, info, availability, jitters, cap, own, None
+            )
+            bogus = [
+                None if d is None else d + rng.randint(1, 25) for d in demands
+            ]
+            value, _, _ = fps_seeded(
+                wcet, info, availability, jitters, cap, own, bogus
+            )
+            assert value >= cold_value
+            if value == cold_value:
+                guarded += 1
+        # On this corpus the guard recovers the cold value nearly
+        # always; the deterministic count pins the behaviour.
+        assert guarded > 350
+
+    def test_dyn_certified_seeds_bit_identical(self):
+        rng = random.Random(13)
+        for _ in range(400):
+            n_info = rng.randint(0, 3)
+            hp = tuple(
+                (f"h{k}", rng.randint(10, 300), rng.random() < 0.2)
+                for k in range(n_info)
+            )
+            lf = tuple(
+                (f"l{k}", rng.randint(10, 300), rng.random() < 0.2,
+                 rng.randint(0, 4))
+                for k in range(rng.randint(0, 4))
+            )
+            jitters = {
+                name: rng.randint(0, 50)
+                for name in [r[0] for r in hp] + [r[0] for r in lf]
+            }
+            lower = len(lf)
+            lam = lower + rng.randint(0, 3)
+            theta = rng.randint(1, 5)
+            sigma = rng.randint(1, 60)
+            ct = rng.randint(1, 12)
+            gd_cycle = rng.randint(20, 150)
+            st_bus = rng.randint(0, 15)
+            ms = rng.randint(1, 4)
+            cap = rng.randint(100, 6000)
+            own = rng.randint(0, 40)
+            for strategy in ("bound", "exact"):
+                cold = dyn_cold(
+                    hp, lf, lower, lam, theta, sigma, ct, gd_cycle, st_bus,
+                    ms, jitters, cap, own, strategy,
+                )
+                w, ok, final = dyn_seeded(
+                    hp, lf, lower, lam, theta, sigma, ct, gd_cycle, st_bus,
+                    ms, jitters, cap, own, strategy,
+                )
+                assert (w, ok) == cold
+                seeded = dyn_seeded(
+                    hp, lf, lower, lam, theta, sigma, ct, gd_cycle, st_bus,
+                    ms, jitters, cap, own, strategy,
+                    seed=rng.randint(0, final),
+                )
+                assert (seeded[0], seeded[1]) == cold
+                # Uncertified over-seeds: never below the cold least
+                # fixed point (see the FPS guard test for why equality
+                # cannot be promised).
+                bogus = dyn_seeded(
+                    hp, lf, lower, lam, theta, sigma, ct, gd_cycle, st_bus,
+                    ms, jitters, cap, own, strategy,
+                    seed=final + rng.randint(1, 30),
+                )
+                assert bogus[0] >= cold[0]
+
+
+class TestOuterWarmStartModes:
+    def test_default_off_equals_fresh_contexts_fig7_sweep(self):
+        from benchmarks.bench_fig7_dyn_length_sweep import build_system
+
+        system = build_system()
+        configs = _sweep(system, points=12)
+        warm = AnalysisContext(system)
+        for config in configs:
+            fresh = AnalysisContext(system).analyse(config)
+            assert _signature(warm.analyse(config)) == _signature(fresh)
+
+    def test_seed_and_verify_agree_with_cold_on_fig7_sweep(self):
+        """The Fig. 7 workload warm-starts cleanly in every mode."""
+        from benchmarks.bench_fig7_dyn_length_sweep import build_system
+
+        system = build_system()
+        configs = _sweep(system, points=12)
+        cold = [AnalysisContext(system).analyse(c) for c in configs]
+        for mode in ("seed", "verify"):
+            ctx = AnalysisContext(system, AnalysisOptions(warm_start=mode))
+            got = [ctx.analyse(c) for c in configs]
+            assert [_signature(r) for r in got] == [
+                _signature(r) for r in cold
+            ]
+            assert ctx.warm_start_divergences == 0
+
+    def test_verify_counts_divergence_and_stays_cold(self):
+        """The adversarial sweep: divergences counted, results cold."""
+        system = paper_suite(
+            ADVERSARIAL["n_nodes"], count=ADVERSARIAL["count"],
+            seed=ADVERSARIAL["seed"],
+        )[0]
+        configs = _sweep(system, points=ADVERSARIAL["points"])
+        cold = [AnalysisContext(system).analyse(c) for c in configs]
+
+        ctx = AnalysisContext(system, AnalysisOptions(warm_start="verify"))
+        verified = [ctx.analyse(c) for c in configs]
+        assert [_signature(r) for r in verified] == [
+            _signature(r) for r in cold
+        ]
+        assert ctx.warm_start_divergences > 0
+
+        # ... and "seed" mode really does diverge there, which is the
+        # documented reason it is opt-in and off by default.
+        ctx_seed = AnalysisContext(system, AnalysisOptions(warm_start="seed"))
+        seeded = [ctx_seed.analyse(c) for c in configs]
+        assert [_signature(r) for r in seeded] != [
+            _signature(r) for r in cold
+        ]
+
+    def test_seeding_requires_sweep_neighbours(self):
+        """Changing the FrameID assignment invalidates the seed state."""
+        system = paper_suite(3, count=1, seed=23)[0]
+        configs = _sweep(system, points=4)
+        ctx = AnalysisContext(system, AnalysisOptions(warm_start="verify"))
+        for config in configs:
+            ctx.analyse(config)
+        # A different FrameID permutation is not a sweep neighbour: the
+        # next analysis must fall back to a cold start (seed key check).
+        fids = dict(configs[-1].frame_ids)
+        names = sorted(fids)
+        if len(names) >= 2:
+            a, b = names[0], names[1]
+            fids[a], fids[b] = fids[b], fids[a]
+        try:
+            other = configs[-1].with_frame_ids(fids)
+            other.validate_for(system)
+        except ConfigurationError:
+            pytest.skip("no legal FrameID permutation for this system")
+        cold = AnalysisContext(system).analyse(other)
+        assert _signature(ctx.analyse(other)) == _signature(cold)
+
+    def test_unknown_mode_rejected(self):
+        system = paper_suite(2, count=1, seed=23)[0]
+        with pytest.raises(ConfigurationError, match="warm_start"):
+            AnalysisContext(system, AnalysisOptions(warm_start="always"))

@@ -595,6 +595,433 @@ class Pr1WarmReference:
 
 
 # ----------------------------------------------------------------------
+# Reference: the PR 2 warm path, pinned.  Everything PR 1 had, plus the
+# retimable schedule plan (replay per cycle length), the bisecting
+# ``advance``, exact dirty tracking and the certified *inner* busy
+# -window warm starts -- but: no FPS instant pruning (every critical
+# instant runs its full recurrence, with per-iteration interferer name
+# lookups), per-job slot-ownership scans in the ST replay, a full
+# ``validate_for`` per configuration (no monotone floor), and the
+# pre-certified outer mode dispatch.  The third-generation kernel is
+# measured against this.
+# ----------------------------------------------------------------------
+from bisect import bisect_left as _bisect_left
+
+from repro.analysis.fill import FILL_STRATEGIES as _FILL_STRATEGIES
+from repro.analysis.fill import max_filled_cycles_aggregated
+from repro.analysis.scheduler import _schedule_task
+from repro.errors import AnalysisError
+from repro.model.task import Task as _Task
+
+
+def _pr2_fps_busy_window_at(
+    wcet, info, availability, jitters, cap, t0, own_jitter, seed=None
+):
+    """PR 2 ``fps._busy_window_at``: per-iteration interferer lookups."""
+    seeded = seed is not None and seed > wcet
+    demand = seed if seeded else wcet
+    window = 0
+    advance = availability.advance
+    jitters_get = jitters.get
+    for _ in range(MAX_FIXPOINT_ITERATIONS):
+        end = advance(t0, demand)
+        if end is None:
+            return cap, False, demand
+        window = end - t0
+        if window >= cap:
+            return cap, False, demand
+        new_demand = wcet
+        for name, period, is_ancestor, c_j in info:
+            if is_ancestor:
+                slack = window + own_jitter - period
+                count = -(-slack // period) if slack > 0 else 0
+            else:
+                count = -(-(window + jitters_get(name, 0)) // period)
+            new_demand += count * c_j
+        if new_demand == demand:
+            return window, True, demand
+        if seeded and new_demand < demand:
+            return _pr2_fps_busy_window_at(
+                wcet, info, availability, jitters, cap, t0, own_jitter
+            )
+        demand = new_demand
+    if seeded:
+        return _pr2_fps_busy_window_at(
+            wcet, info, availability, jitters, cap, t0, own_jitter
+        )
+    return window, False, demand
+
+
+def _pr2_fps_seeded_busy_window(
+    wcet, info, availability, jitters, cap, own_jitter, seeds=None
+):
+    """PR 2 ``fps.seeded_busy_window``: certified seeds, no pruning."""
+    (instants, before, slack, period, gap_ends, through, _order) = (
+        availability.instant_advance_tables()
+    )
+    n_instants = len(instants)
+    demands = [None] * n_instants
+    worst = 0
+    converged = True
+    n_seeds = len(seeds) if seeds is not None else 0
+    jitters_get = jitters.get
+    fast = gap_ends is not None and slack > 0 and wcet > 0
+    for idx in range(n_instants):
+        t0 = instants[idx]
+        seed = seeds[idx] if idx < n_seeds else None
+        result = None
+        if fast:
+            seeded = seed is not None and seed > wcet
+            demand = seed if seeded else wcet
+            window = 0
+            offset = before[idx]
+            for _ in range(MAX_FIXPOINT_ITERATIONS):
+                whole, rem = divmod(offset + demand - 1, slack)
+                k = _bisect_left(through, rem + 1)
+                window = (
+                    whole * period + gap_ends[k] - (through[k] - rem - 1) - t0
+                )
+                if window >= cap:
+                    result = (cap, False, demand)
+                    break
+                new_demand = wcet
+                for name, p, is_ancestor, c_j in info:
+                    if is_ancestor:
+                        s = window + own_jitter - p
+                        count = -(-s // p) if s > 0 else 0
+                    else:
+                        count = -(-(window + jitters_get(name, 0)) // p)
+                    new_demand += count * c_j
+                if new_demand == demand:
+                    result = (window, True, demand)
+                    break
+                if seeded and new_demand < demand:
+                    result = _pr2_fps_busy_window_at(
+                        wcet, info, availability, jitters, cap, t0, own_jitter
+                    )
+                    break
+                demand = new_demand
+            if result is None:
+                result = (
+                    _pr2_fps_busy_window_at(
+                        wcet, info, availability, jitters, cap, t0, own_jitter
+                    )
+                    if seeded
+                    else (window, False, demand)
+                )
+        else:
+            result = _pr2_fps_busy_window_at(
+                wcet, info, availability, jitters, cap, t0, own_jitter, seed
+            )
+        window, ok, demand = result
+        demands[idx] = demand
+        if window >= cap:
+            return cap, False, demands
+        if window > worst:
+            worst = window
+        converged = converged and ok
+    return worst, converged, demands
+
+
+def _pr2_dyn_seeded_busy_window(
+    hp_info, lf_info, lower_slots, lam, theta, sigma_m, ct, gd_cycle,
+    st_bus, ms_len, jitters, cap, own_jitter, fill_strategy, seed=None,
+):
+    """PR 2 ``dyn.seeded_busy_window``, pinned verbatim."""
+    if fill_strategy not in _FILL_STRATEGIES:
+        raise AnalysisError(
+            f"unknown fill strategy {fill_strategy!r}; "
+            f"choose from {_FILL_STRATEGIES}"
+        )
+    jitters_get = jitters.get
+    seeded = seed is not None and seed > ct
+    t = seed if seeded else ct
+    w = 0
+    bound_only = fill_strategy == "bound"
+    for _ in range(MAX_FIXPOINT_ITERATIONS):
+        hp_cycles = 0
+        for name, period, is_ancestor in hp_info:
+            if is_ancestor:
+                slack = t + own_jitter - period
+                if slack > 0:
+                    hp_cycles += -(-slack // period)
+            else:
+                hp_cycles += -(-(t + jitters_get(name, 0)) // period)
+        lf_total = 0
+        lf_useful = 0
+        lf_pairs = [] if not bound_only else None
+        for name, period, is_ancestor, adjusted in lf_info:
+            if is_ancestor:
+                slack = t + own_jitter - period
+                n = -(-slack // period) if slack > 0 else 0
+            else:
+                n = -(-(t + jitters_get(name, 0)) // period)
+            if n:
+                if adjusted > 0:
+                    lf_total += adjusted * n
+                    lf_useful += n
+                if lf_pairs is not None:
+                    lf_pairs.append((adjusted, n))
+        if bound_only:
+            lf_cycles = (
+                lf_useful if lf_useful < lf_total // theta
+                else lf_total // theta
+            )
+        else:
+            lf_cycles = max_filled_cycles_aggregated(
+                lf_pairs, theta, fill_strategy
+            )
+        leftover = lf_total - lf_cycles * theta
+        if leftover < 0:
+            leftover = 0
+        final_consumed = min(lam, lower_slots + leftover)
+        w_final = st_bus + final_consumed * ms_len
+        w = sigma_m + (hp_cycles + lf_cycles) * gd_cycle + w_final
+        if w >= cap:
+            return cap, False, t
+        if w <= t:
+            if seeded and w < t:
+                return _pr2_dyn_seeded_busy_window(
+                    hp_info, lf_info, lower_slots, lam, theta, sigma_m, ct,
+                    gd_cycle, st_bus, ms_len, jitters, cap, own_jitter,
+                    fill_strategy,
+                )
+            return w, True, w
+        t = w
+    if seeded:
+        return _pr2_dyn_seeded_busy_window(
+            hp_info, lf_info, lower_slots, lam, theta, sigma_m, ct,
+            gd_cycle, st_bus, ms_len, jitters, cap, own_jitter,
+            fill_strategy,
+        )
+    return w, False, w
+
+
+def _pr2_schedule_st_message(table, system, config, job, ready, options,
+                             horizon):
+    """PR 2 ST placement: slot ownership re-scanned per message job."""
+    message = job.activity
+    node = system.sender_node(message)
+    slots = config.st_slots_of(node)
+    if not slots:
+        raise SchedulingError(
+            f"node {node!r} sends ST message {message.name!r} but owns no "
+            "static slot"
+        )
+    ct = config.message_ct(message)
+    gd_cycle = config.gd_cycle
+    gd_static_slot = config.gd_static_slot
+    frame_used = table.frame_used
+    limit = options.horizon_factor * horizon + gd_cycle
+    cycle = max(0, ready // gd_cycle)
+    cycle_base = cycle * gd_cycle
+    while cycle_base < limit:
+        for slot in slots:
+            slot_start = cycle_base + (slot - 1) * gd_static_slot
+            if slot_start < ready:
+                continue
+            if frame_used(cycle, slot) + ct <= gd_static_slot:
+                table.add_message(job.key, message, cycle, slot)
+                return
+        cycle += 1
+        cycle_base += gd_cycle
+    raise SchedulingError(
+        f"no static slot instance before {limit} MT can carry message "
+        f"{job.key!r} (ready at {ready}, C_m={ct})"
+    )
+
+
+def _pr2_replay(plan, config):
+    """PR 2 ``SchedulePlan.replay``: no per-replay lookup hoisting."""
+    from repro.analysis.schedule_table import ScheduleTable
+
+    options = plan.options
+    system = plan.system
+    horizon = plan.horizon
+    table = ScheduleTable(config, horizon)
+    finish_of = table.finish_of
+    for rec in plan.order:
+        job = rec.job
+        asap = job.release
+        for pred_key in rec.pred_keys:
+            finish = finish_of(pred_key)
+            if finish > asap:
+                asap = finish
+        if rec.ext_preds:
+            raise SchedulingError(
+                f"SCS activity {job.name!r} depends on event-triggered "
+                f"activity {rec.ext_preds[0]!r}; pass wcrt_estimates to "
+                "schedule it"
+            )
+        if isinstance(job.activity, _Task):
+            _schedule_task(table, system, job, asap, options)
+        else:
+            _pr2_schedule_st_message(
+                table, system, config, job, asap, options, horizon
+            )
+    return table
+
+
+class Pr2WarmReference:
+    """The PR 2 incremental engine's warm path, frozen for comparison.
+
+    Reuses the live context's tier-(a)/(c) precomputation (identical in
+    PR 2) but pins PR 2's per-candidate costs: the unpruned FPS
+    maximisation, per-iteration interferer lookups, per-job ST slot
+    scans in the replay, and a full semantic validation per distinct
+    configuration.
+    """
+
+    def __init__(self, system):
+        self.system = system
+        self.options = AnalysisOptions()
+        self.inner = AnalysisContext(system, self.options)
+        self._schedule_cache = {}
+
+    def _artifacts(self, config):
+        key = self.inner.schedule_key(config)
+        entry = self._schedule_cache.get(key)
+        if entry is not None:
+            return entry
+        try:
+            table = _pr2_replay(self.inner._plan(config), config)
+        except SchedulingError as exc:
+            entry = (None, f"static scheduling failed: {exc}", None, None)
+        else:
+            static_wcrt = static_response_times(self.system.application, table)
+            availability = {
+                node: NodeAvailability(
+                    wrap_busy_intervals(
+                        table.busy_intervals(node), table.horizon
+                    ),
+                    table.horizon,
+                )
+                for node in self.system.nodes
+            }
+            entry = (table, None, static_wcrt, availability)
+        self._schedule_cache[key] = entry
+        return entry
+
+    def analyse(self, config):
+        from repro.analysis.holistic import _infeasible
+
+        inner = self.inner
+        options = self.options
+        try:
+            config.validate_for(self.system)
+        except ConfigurationError as exc:
+            return _infeasible(config, f"configuration invalid: {exc}")
+        table, failure, static_wcrt, availability = self._artifacts(config)
+        if failure is not None:
+            return _infeasible(config, failure)
+
+        cap_base = inner._cap_base
+        gd_cycle = config.gd_cycle
+        cap = options.cap_factor * (
+            cap_base if cap_base > gd_cycle else gd_cycle
+        )
+        fill_strategy = options.dyn_fill_strategy
+        dyn_views = inner._dyn_views(config)
+        fps_plans = inner.fps_plans
+        nodes = self.system.nodes
+
+        wcrt = dict(static_wcrt)
+        jitters = {}
+        inner_seeds = {}
+        wcrt_get = wcrt.get
+        jitters_get = jitters.get
+        seeds_get = inner_seeds.get
+        dependents = inner._dependents(config)
+        deps_get = dependents.get
+        dirty = set()
+        dirty_add = dirty.add
+        last_own = {}
+        last_out = {}
+        converged = True
+        for _ in range(options.max_holistic_iterations):
+            changed = False
+            for view in dyn_views:
+                name = view.name
+                j_m = wcrt_get(view.sender, 0)
+                if jitters_get(name, 0) != j_m:
+                    jitters[name] = j_m
+                    changed = True
+                    for dep in deps_get(name, ()):
+                        dirty_add(dep)
+                if name not in dirty and last_own.get(name) == j_m:
+                    value, ok = last_out[name]
+                else:
+                    if view.sendable:
+                        w, ok, final = _pr2_dyn_seeded_busy_window(
+                            view.hp_info, view.lf_info, view.lower_slots,
+                            view.lam, view.theta, view.sigma, view.ct,
+                            view.gd_cycle, view.st_bus, view.ms_len,
+                            jitters, cap, j_m, fill_strategy,
+                            seeds_get(name),
+                        )
+                        inner_seeds[name] = final
+                        value = j_m + w + view.ct
+                        if value > cap:
+                            value = cap
+                    else:
+                        value, ok = cap, False
+                    dirty.discard(name)
+                    last_own[name] = j_m
+                    last_out[name] = (value, ok)
+                converged = converged and ok
+                if wcrt_get(name) != value:
+                    wcrt[name] = value
+                    changed = True
+            for node in nodes:
+                node_availability = availability[node]
+                for plan in fps_plans[node]:
+                    name = plan.name
+                    j_i = plan.release
+                    for pred in plan.predecessors:
+                        v = wcrt_get(pred, 0)
+                        if v > j_i:
+                            j_i = v
+                    if jitters_get(name, 0) != j_i:
+                        jitters[name] = j_i
+                        changed = True
+                        for dep in deps_get(name, ()):
+                            dirty_add(dep)
+                    if name not in dirty and last_own.get(name) == j_i:
+                        window_value, ok = last_out[name]
+                    else:
+                        window_value, ok, demands = _pr2_fps_seeded_busy_window(
+                            plan.wcet, plan.interferers, node_availability,
+                            jitters, cap, j_i, seeds_get(name),
+                        )
+                        inner_seeds[name] = demands
+                        dirty.discard(name)
+                        last_own[name] = j_i
+                        last_out[name] = (window_value, ok)
+                    converged = converged and ok
+                    r_i = j_i + window_value
+                    if r_i > cap:
+                        r_i = cap
+                    if wcrt_get(name) != r_i:
+                        wcrt[name] = r_i
+                        changed = True
+            if not changed:
+                break
+        else:
+            converged = False
+
+        cost = _cost_function(self.system.application, wcrt)
+        return AnalysisResult(
+            config=config,
+            feasible=True,
+            schedulable=cost.schedulable and converged,
+            converged=converged,
+            cost=cost,
+            wcrt=wcrt,
+            table=table,
+        )
+
+
+# ----------------------------------------------------------------------
 # Workload: the OBC/EE DYN-length sweep on a Fig. 9 system.
 # ----------------------------------------------------------------------
 _cache = {}
@@ -628,8 +1055,31 @@ def _signature(result: AnalysisResult) -> tuple:
     )
 
 
+def _time_best(make_analyse, configs, repeats=3):
+    """Best-of-*repeats* sweep time; returns (seconds, first run's results).
+
+    ``make_analyse`` builds a fresh analyser per repeat (warm state must
+    not leak across repeats).  The speedup *ratios* asserted below
+    compare modes that each take well under a second, so a single timing
+    sample is at the mercy of scheduler noise; best-of-3 keeps the
+    comparison honest without inflating the bench's runtime.
+    """
+    best_s = None
+    results = None
+    for _ in range(max(1, repeats)):
+        analyse = make_analyse()
+        t0 = time.perf_counter()
+        out = [analyse(c) for c in configs]
+        elapsed = time.perf_counter() - t0
+        if best_s is None or elapsed < best_s:
+            best_s = elapsed
+        if results is None:
+            results = out
+    return best_s, results
+
+
 def run_modes():
-    """Time all four modes over the sweep; cached across test functions."""
+    """Time all modes over the sweep; cached across test functions."""
     if "modes" in _cache:
         return _cache["modes"]
     system, options, configs = _sweep_configs()
@@ -638,19 +1088,18 @@ def run_modes():
     seed_results = [seed_reference_analyse(system, c) for c in configs]
     seed_s = time.perf_counter() - t0
 
-    pr1 = Pr1WarmReference(system)
-    t0 = time.perf_counter()
-    pr1_results = [pr1.analyse(c) for c in configs]
-    pr1_s = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    cold_results = [analyse_system(system, c) for c in configs]
-    cold_s = time.perf_counter() - t0
-
-    context = AnalysisContext(system)
-    t0 = time.perf_counter()
-    warm_results = [context.analyse(c) for c in configs]
-    warm_s = time.perf_counter() - t0
+    pr1_s, pr1_results = _time_best(
+        lambda: Pr1WarmReference(system).analyse, configs
+    )
+    pr2_s, pr2_results = _time_best(
+        lambda: Pr2WarmReference(system).analyse, configs
+    )
+    cold_s, cold_results = _time_best(
+        lambda: lambda c: analyse_system(system, c), configs
+    )
+    warm_s, warm_results = _time_best(
+        lambda: AnalysisContext(system).analyse, configs
+    )
 
     workers = env_int("REPRO_BENCH_INC_WORKERS", min(8, os.cpu_count() or 1))
     import dataclasses
@@ -670,6 +1119,7 @@ def run_modes():
         "results": {
             "seed": (seed_s, seed_results),
             "pr1_warm": (pr1_s, pr1_results),
+            "pr2_warm": (pr2_s, pr2_results),
             "cold": (cold_s, cold_results),
             "warm": (warm_s, warm_results),
             "parallel": (par_s, par_results),
@@ -686,12 +1136,13 @@ def test_incremental_analysis_identical_and_fast():
 
     # Correctness first: every mode bit-identical to the seed reference.
     seed_sigs = [_signature(r) for r in results["seed"][1]]
-    for mode in ("pr1_warm", "cold", "warm", "parallel"):
+    for mode in ("pr1_warm", "pr2_warm", "cold", "warm", "parallel"):
         sigs = [_signature(r) for r in results[mode][1]]
         assert sigs == seed_sigs, f"{mode} diverged from the seed reference"
 
     seed_s = results["seed"][0]
     pr1_s = results["pr1_warm"][0]
+    pr2_s = results["pr2_warm"][0]
     warm_s = results["warm"][0]
     cold_s = results["cold"][0]
     par_s = results["parallel"][0]
@@ -705,6 +1156,7 @@ def test_incremental_analysis_identical_and_fast():
         "seconds": {
             "seed_behaviour": round(seed_s, 4),
             "pr1_warm": round(pr1_s, 4),
+            "pr2_warm": round(pr2_s, 4),
             "cold_context": round(cold_s, 4),
             "warm_context": round(warm_s, 4),
             "parallel": round(par_s, 4),
@@ -712,17 +1164,20 @@ def test_incremental_analysis_identical_and_fast():
         "analyses_per_second": {
             "seed_behaviour": round(n / seed_s, 2),
             "pr1_warm": round(n / pr1_s, 2),
+            "pr2_warm": round(n / pr2_s, 2),
             "cold_context": round(n / cold_s, 2),
             "warm_context": round(n / warm_s, 2),
             "parallel": round(n / par_s, 2),
         },
         "speedup_vs_seed": {
             "pr1_warm": round(seed_s / pr1_s, 2),
+            "pr2_warm": round(seed_s / pr2_s, 2),
             "cold_context": round(seed_s / cold_s, 2),
             "warm_context": round(seed_s / warm_s, 2),
             "parallel": round(seed_s / par_s, 2),
         },
         "warm_vs_pr1_warm": round(pr1_s / warm_s, 2),
+        "warm_vs_pr2_warm": round(pr2_s / warm_s, 2),
     }
     report_json("BENCH_incremental_analysis", payload)
     report(
@@ -739,6 +1194,7 @@ def test_incremental_analysis_identical_and_fast():
             for mode, key in (
                 ("seed", "seed_behaviour"),
                 ("pr1_warm", "pr1_warm"),
+                ("pr2_warm", "pr2_warm"),
                 ("cold", "cold_context"),
                 ("warm", "warm_context"),
                 ("parallel", "parallel"),
@@ -749,6 +1205,9 @@ def test_incremental_analysis_identical_and_fast():
             f"{modes['workers']} workers on {os.cpu_count()} CPU(s)",
             f"warm vs PR 1 warm path: {pr1_s / warm_s:.2f}x "
             "(retimable schedule plan + certified fix-point warm starts)",
+            f"warm vs PR 2 warm path: {pr2_s / warm_s:.2f}x "
+            "(FPS instant pruning + hoisted interferer rows + monotone "
+            "validation floor)",
         ],
     )
 
@@ -762,6 +1221,13 @@ def test_incremental_analysis_identical_and_fast():
     # schedule, so PR 1 rebuilt each from scratch).
     assert pr1_s / warm_s >= 2.0, (
         f"warm context only {pr1_s / warm_s:.2f}x faster than the PR 1 warm path"
+    )
+    # PR 3's claim: the third-generation kernel (dominance-pruned FPS
+    # instants via the incremental per-instant bound, hoisted interferer
+    # rows, per-replay lookup hoisting, monotone validation floor) beats
+    # the pinned PR 2 warm path >= 1.3x on the same sweep.
+    assert pr2_s / warm_s >= 1.3, (
+        f"warm context only {pr2_s / warm_s:.2f}x faster than the PR 2 warm path"
     )
 
 

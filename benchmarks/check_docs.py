@@ -1,0 +1,125 @@
+"""Lightweight documentation checker (wired into tier-1 via tests/test_docs.py).
+
+The architecture documents under ``docs/`` point into the codebase with
+backticked dotted names (```repro.analysis.fps.seeded_busy_window```),
+backticked repo paths (```src/repro/analysis/context.py```) and relative
+markdown links.  Stale pointers are the classic way architecture docs
+rot, so this checker verifies, for every documentation file:
+
+* every backticked ``repro.*`` dotted name imports (module) or resolves
+  (module attribute, class attribute one level deep);
+* every backticked token that looks like a repo path exists;
+* every relative markdown link resolves, and a ``#anchor`` fragment
+  matches a heading slug of the target document.
+
+Run directly (``python benchmarks/check_docs.py``) for a report, or let
+``tests/test_docs.py`` fail tier-1 on the first stale pointer.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Documentation files under the checker's contract.
+DOC_FILES = (
+    "README.md",
+    "docs/ARCHITECTURE.md",
+    "docs/ANALYSIS.md",
+    "benchmarks/README.md",
+)
+
+_DOTTED = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+)`")
+_PATHISH = re.compile(r"`([A-Za-z0-9_./-]+/[A-Za-z0-9_.-]+\.(?:py|md|json|ini|txt))`")
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _slug(heading: str) -> str:
+    """GitHub-style anchor slug of a markdown heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _check_dotted(name: str) -> str:
+    """Empty string when *name* resolves; the failure reason otherwise."""
+    parts = name.split(".")
+    # Longest importable module prefix, then attribute-chain the rest.
+    for cut in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:cut])
+        try:
+            obj = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        try:
+            for attr in parts[cut:]:
+                obj = getattr(obj, attr)
+        except AttributeError as exc:
+            return f"resolved module {module_name!r} but {exc}"
+        return ""
+    return "no importable module prefix"
+
+
+def check_file(path: Path) -> List[str]:
+    """Problems found in one documentation file (empty = clean)."""
+    problems: List[str] = []
+    rel = path.relative_to(REPO_ROOT)
+    text = path.read_text(encoding="utf-8")
+
+    for match in _DOTTED.finditer(text):
+        reason = _check_dotted(match.group(1))
+        if reason:
+            problems.append(f"{rel}: stale code pointer `{match.group(1)}` ({reason})")
+
+    for match in _PATHISH.finditer(text):
+        target = match.group(1)
+        if target.startswith("repro/"):
+            target = "src/" + target
+        if not (REPO_ROOT / target).exists():
+            problems.append(f"{rel}: backticked path `{match.group(1)}` does not exist")
+
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, anchor = target.partition("#")
+        dest = (path.parent / base).resolve() if base else path
+        if base and not dest.exists():
+            problems.append(f"{rel}: broken link ({target})")
+            continue
+        if anchor and dest.suffix == ".md":
+            slugs = {_slug(h) for h in _HEADING.findall(dest.read_text(encoding="utf-8"))}
+            if anchor not in slugs:
+                problems.append(f"{rel}: missing anchor ({target})")
+    return problems
+
+
+def check_all() -> List[str]:
+    """Problems across every documentation file under the contract."""
+    problems: List[str] = []
+    for name in DOC_FILES:
+        path = REPO_ROOT / name
+        if not path.exists():
+            problems.append(f"{name}: documentation file missing")
+            continue
+        problems.extend(check_file(path))
+    return problems
+
+
+def main() -> int:
+    problems = check_all()
+    for problem in problems:
+        print(problem)
+    print(f"check_docs: {len(problems)} problem(s) across {len(DOC_FILES)} file(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    raise SystemExit(main())

@@ -1,4 +1,30 @@
-"""Timing analysis: static scheduling, FPS/DYN response times, holistic loop."""
+"""Timing analysis: static scheduling, FPS/DYN response times, holistic loop.
+
+Public entry points
+-------------------
+:func:`analyse_system`
+    One-off scheduling + holistic analysis of a (system, configuration)
+    pair; builds a transient :class:`AnalysisContext` unless one is
+    passed in.
+:class:`AnalysisContext`
+    The incremental analysis engine: construct once per system, call
+    ``analyse`` per candidate configuration.  Results are bit-identical
+    to :func:`analyse_system` with no context -- the context only makes
+    repeated analyses (DYN-length sweeps, optimiser neighbourhoods)
+    incremental.  See ``docs/ARCHITECTURE.md`` for its cache layers.
+:class:`AnalysisOptions`
+    Analysis tunables; the ``warm_start`` field selects the fix-point
+    trajectory (``"certified"`` default, ``"off"`` oracle, ``"seed"``
+    legacy neighbour seeding, ``"verify"`` cross-check) -- every mode's
+    determinism guarantee is documented on the field.
+
+The busy-window kernels (:func:`fps_task_busy_window`,
+:func:`dyn_message_busy_window`), the static scheduler
+(:func:`build_schedule`, :class:`SchedulePlan`) and the availability
+primitive (:class:`NodeAvailability`) are exported for direct use in
+tests, benchmarks and tooling; the math behind them is derived in
+``docs/ANALYSIS.md``.
+"""
 
 from repro.analysis.availability import (
     NodeAvailability,

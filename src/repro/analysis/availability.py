@@ -99,6 +99,24 @@ class NodeAvailability:
         self._instant_slack_before = [
             self._slack_before(t) for t in self._critical_instants
         ]
+        #: Evaluation order for the busy-window maximisation: instants
+        #: sorted by descending initial busy-run length (ties by index).
+        #: Instants with long initial blocking tend to produce the
+        #: largest busy windows, so visiting them first makes the
+        #: incremental per-instant bound of
+        #: :func:`repro.analysis.fps.seeded_busy_window` prune the rest
+        #: early.  The maximisation result is order-independent.
+        end_of_run = dict(merged)
+
+        def _initial_block(t: int) -> int:
+            return end_of_run[t] - t if t in end_of_run else 0
+
+        self._instant_eval_order = tuple(
+            sorted(
+                range(len(self._critical_instants)),
+                key=lambda i: (-_initial_block(self._critical_instants[i]), i),
+            )
+        )
 
     def _slack_before(self, x: int) -> int:
         """Pattern slack in ``[0, x)`` for ``0 <= x <= period``."""
@@ -112,14 +130,17 @@ class NodeAvailability:
         """Raw tables for the inlined busy-window kernel.
 
         ``(instants, slack_before_instant, slack_per_period, period,
-        gap_ends, slack_through)`` -- everything needed to compute
-        ``advance(instant, demand)`` without a method call; see
+        gap_ends, slack_through, eval_order)`` -- everything needed to
+        compute ``advance(instant, demand)`` without a method call; see
         :func:`repro.analysis.fps.seeded_busy_window`.  Empty-pattern
         nodes (no busy intervals) return ``gap_ends = None``.
+        ``eval_order`` lists instant indices with the longest initial
+        busy run first -- the order that makes the kernel's incremental
+        per-instant bound prune best.
         """
         if not self.busy:
             return (self._critical_instants, None, self.period,
-                    self.period, None, None)
+                    self.period, None, None, self._instant_eval_order)
         return (
             self._critical_instants,
             self._instant_slack_before,
@@ -127,6 +148,7 @@ class NodeAvailability:
             self.period,
             self._gap_ends,
             self._slack_through,
+            self._instant_eval_order,
         )
 
     @property

@@ -48,7 +48,6 @@ from repro.analysis.dyn import seeded_busy_window as _dyn_busy_window
 from repro.analysis.fps import hp_tasks, seeded_busy_window as _fps_busy_window
 from repro.analysis.priorities import critical_path_priorities
 from repro.analysis.scheduler import SchedulePlan
-from repro.analysis.st_msg import static_response_times
 from repro.core.config import FlexRayConfig
 from repro.core.cost import cost_function
 from repro.errors import ConfigurationError, SchedulingError
@@ -62,20 +61,34 @@ _ScheduleArtifacts = namedtuple(
 )
 
 #: Prebound FPS task row (tier a): interferers as (name, period,
-#: is_ancestor, wcet) tuples, predecessors for the jitter update, and the
-#: interferer names whose jitters form the memo signature.
+#: is_ancestor, wcet) tuples, predecessors for the jitter update, the
+#: interferer names whose jitters form the memo signature, and
+#: ``own_sensitive`` -- whether the busy window depends on the task's
+#: own jitter at all (it enters the recurrence only through the
+#: ancestor interference reduction, so without ancestor rows the window
+#: is a pure function of the interferers' jitters and an own-jitter
+#: change alone never forces a re-evaluation).
 _FpsPlan = namedtuple(
-    "_FpsPlan", "name release wcet interferers predecessors input_names"
+    "_FpsPlan",
+    "name release wcet interferers predecessors input_names own_sensitive",
 )
 
 
 class _DynView:
-    """Per-(config, message) data of one DYN message (tier c)."""
+    """Per-(config, message) data of one DYN message (tier c).
+
+    ``own_sensitive`` mirrors :data:`_FpsPlan`: the queuing-delay
+    recurrence reads the message's own jitter only through the ancestor
+    interference reduction, so without ancestor rows the busy window is
+    a pure function of the interferers' jitters and an own-jitter change
+    alone never forces a re-evaluation (the response time
+    ``J_m + w + C_m`` is re-derived from the cached window instead).
+    """
 
     __slots__ = (
         "name", "sender", "input_names", "hp_info", "lf_info", "lower_slots",
         "sendable", "lam", "theta", "sigma", "ct", "gd_cycle", "st_bus",
-        "ms_len",
+        "ms_len", "own_sensitive",
     )
 
     def __init__(self, name, sender, input_names, hp_info, lf_info,
@@ -95,6 +108,9 @@ class _DynView:
         self.gd_cycle = gd_cycle
         self.st_bus = st_bus
         self.ms_len = ms_len
+        self.own_sensitive = any(r[2] for r in hp_info) or any(
+            r[2] for r in lf_info
+        )
 
 
 def _lru_insert(cache: OrderedDict, key, value, bound) -> None:
@@ -142,11 +158,13 @@ class AnalysisContext:
         self.max_structure_entries = max_structure_entries
         self.max_validation_entries = max_validation_entries
         #: Divergences caught by the ``warm_start="verify"`` debug mode:
-        #: sweep points where the seeded outer fix point converged to a
-        #: different (larger) fixed point than the canonical cold run.
+        #: sweep points where the certified fast path produced a
+        #: different result than the canonical cold oracle (provably
+        #: impossible -- the counter exists to let tests and debug runs
+        #: assert exactly that).
         self.warm_start_divergences = 0
-        #: Last converged solution, seeding outer warm starts
-        #: (``warm_start != "off"``) across sweep neighbours.
+        #: Last converged solution, seeding the legacy neighbour outer
+        #: warm start (``warm_start="seed"`` only).
         self._warm_state = None
         app = system.application
         self.app = app
@@ -195,6 +213,7 @@ class AnalysisContext:
                         interferers=info,
                         predecessors=tuple(g.predecessors(task.name)),
                         input_names=tuple(r[0] for r in info),
+                        own_sensitive=any(r[2] for r in info),
                     )
                 )
             self.fps_plans[node] = tuple(plans)
@@ -202,6 +221,10 @@ class AnalysisContext:
         #: The schedule depends on gd_cycle iff ST slot instances exist.
         self._st_dependent = bool(self.st_messages)
         self._period_lookup = self.period.__getitem__
+        #: Lazy ``job_key -> (activity name, instance * period)`` memo:
+        #: the static response times re-derive both per table otherwise
+        #: (the job keys of a system are invariant across the sweep).
+        self._job_base: Dict[str, tuple] = {}
 
         # --- caches for tiers (b) and (c) -----------------------------
         self._schedule_cache: OrderedDict = OrderedDict()
@@ -217,12 +240,20 @@ class AnalysisContext:
         #: of (system, configuration), so each distinct configuration is
         #: validated once.
         self._valid_cache: OrderedDict = OrderedDict()
+        #: Monotone validation floor: per (everything except the DYN
+        #: length), the smallest ``n_minislots`` that validated clean.
+        #: Growing the dynamic segment only relaxes ``validate_for``'s
+        #: checks (``pLatestTx`` rises, FrameID fits get easier, the
+        #: static checks do not involve it), so any configuration at or
+        #: above the floor is valid without re-scanning the system.
+        self._valid_floor: Dict[tuple, int] = {}
 
     # ------------------------------------------------------------------
     # cached derivations
     # ------------------------------------------------------------------
     def _ct_tables(self, config: FlexRayConfig) -> tuple:
-        """(ct per message, minislots per DYN message, largest per node)."""
+        """(ct per message, minislots per DYN message, largest frame of
+        the sender node per DYN message)."""
         key = (config.bits_per_mt, config.frame_overhead_bytes,
                config.gd_minislot)
         entry = self._ct_cache.get(key)
@@ -242,7 +273,13 @@ class AnalysisContext:
                 node = self.sender_node[m.name]
                 if minislots[m.name] > largest.get(node, 0):
                     largest[node] = minislots[m.name]
-            entry = (cts, minislots, largest)
+            #: Resolved per message: the sender node's largest DYN frame
+            #: (``_dyn_views`` reads it per view per analyse call).
+            largest_of_sender = {
+                m.name: largest[self.sender_node[m.name]]
+                for m in self.dyn_messages
+            }
+            entry = (cts, minislots, largest_of_sender)
             _lru_insert(self._ct_cache, key, entry, self.max_structure_entries)
         return entry
 
@@ -276,20 +313,66 @@ class AnalysisContext:
 
     def _validate(self, config: FlexRayConfig):
         """Memoised ``config.validate_for(system)``: the failure message,
-        or ``None`` when the configuration is legal."""
+        or ``None`` when the configuration is legal.
+
+        Two layers: an exact per-configuration memo, and the monotone
+        validation floor -- a DYN-length sweep full-validates its first
+        legal point and clears every longer sibling in O(1).
+        """
         key = config.cache_key()
         failure = self._valid_cache.get(key, False)
-        if failure is False:
+        if failure is not False:
+            return failure
+        # The floor key is everything except the DYN length, derived
+        # from the configuration directly (not by slicing ``cache_key``,
+        # whose layout belongs to ``repro.core.config``).
+        n = config.n_minislots
+        floor_key = (
+            config.static_key(),
+            tuple(sorted(config.frame_ids.items())),
+        )
+        floor = self._valid_floor.get(floor_key)
+        if floor is not None and n >= floor:
+            failure = None
+        else:
             try:
                 config.validate_for(self.system)
             except ConfigurationError as exc:
                 failure = f"configuration invalid: {exc}"
             else:
                 failure = None
-            _lru_insert(
-                self._valid_cache, key, failure, self.max_validation_entries
-            )
+                if floor is None or n < floor:
+                    self._valid_floor[floor_key] = n
+        _lru_insert(
+            self._valid_cache, key, failure, self.max_validation_entries
+        )
         return failure
+
+    def _static_wcrt(self, table) -> Dict[str, int]:
+        """Static response times of *table*, with job bases memoised.
+
+        Identical to
+        :func:`repro.analysis.st_msg.static_response_times`, but the
+        ``job_key -> (name, instance * period)`` decomposition is cached
+        on the context -- the job keys of a system never change across
+        the sweep, only the placements do.
+        """
+        bases = self._job_base
+        period = self.period
+        wcrt: Dict[str, int] = {}
+        wcrt_get = wcrt.get
+        for entries in (table.tasks, table.messages):
+            for key, entry in entries.items():
+                nb = bases.get(key)
+                if nb is None:
+                    name, instance = key.rsplit("#", 1)
+                    nb = (name, int(instance) * period[name])
+                    bases[key] = nb
+                name, base = nb
+                v = entry.finish - base
+                cur = wcrt_get(name, 0)
+                wcrt[name] = v if v > cur else cur
+        return wcrt
 
     def _schedule_artifacts(self, config: FlexRayConfig) -> _ScheduleArtifacts:
         """Tier (b): replay-or-fetch the static schedule and its derivates."""
@@ -308,9 +391,7 @@ class AnalysisContext:
                 availability=None,
             )
         else:
-            static_wcrt = static_response_times(
-                self.app, table, self._period_lookup
-            )
+            static_wcrt = self._static_wcrt(table)
             availability = {
                 node: NodeAvailability(
                     wrap_busy_intervals(
@@ -418,7 +499,7 @@ class AnalysisContext:
     def _dyn_views(self, config: FlexRayConfig) -> List[_DynView]:
         """Per-configuration DYN message views (tier c + scalars)."""
         structure = self._dyn_structure(config)
-        cts, _, largest = self._ct_tables(config)
+        cts, _, largest_of_sender = self._ct_tables(config)
         n_minislots = config.n_minislots
         gd_cycle = config.gd_cycle
         st_bus = config.st_bus
@@ -426,7 +507,7 @@ class AnalysisContext:
         views = []
         for m in self.dyn_messages:
             f, hp_info, lf_info, lower_slots, input_names = structure[m.name]
-            p_latest = n_minislots - largest[self.sender_node[m.name]] + 1
+            p_latest = n_minislots - largest_of_sender[m.name] + 1
             lam = p_latest - 1
             views.append(
                 _DynView(
@@ -498,9 +579,10 @@ class AnalysisContext:
 
         Bit-identical to :func:`repro.analysis.holistic.analyse_system`
         run without a context; see the module docstring for what is
-        shared between calls.  With ``options.warm_start="seed"`` the
-        outer fix point is seeded from the previous neighbouring
-        solution instead (opt-in; see
+        shared between calls.  ``options.warm_start`` selects the fix
+        point trajectory: the certified fast path (default), the fully
+        cold oracle, the legacy neighbour seeding, or the verify
+        cross-check (see
         :class:`~repro.analysis.holistic.AnalysisOptions`).
         """
         from repro.analysis.holistic import AnalysisResult, _infeasible
@@ -525,10 +607,28 @@ class AnalysisContext:
         dyn_views = self._dyn_views(config)
 
         # --- holistic fix point ---------------------------------------
-        if options.warm_start == "off":
-            # The default: no sweep-key bookkeeping on the hot path.
+        mode = options.warm_start
+        if mode == "certified":
+            # The default: the certified trajectory, no sweep-key
+            # bookkeeping on the hot path.
             wcrt, converged = self._fix_point(config, arts, dyn_views, cap)
-        else:
+        elif mode == "off":
+            # The fully cold oracle the certified path is checked
+            # against: no inner seeds, no instant pruning.
+            wcrt, converged = self._fix_point(
+                config, arts, dyn_views, cap, certified=False
+            )
+        elif mode == "verify":
+            # Certified fast path cross-checked against the cold oracle.
+            fast_wcrt, fast_converged = self._fix_point(
+                config, arts, dyn_views, cap
+            )
+            wcrt, converged = self._fix_point(
+                config, arts, dyn_views, cap, certified=False
+            )
+            if (fast_wcrt, fast_converged) != (wcrt, converged):
+                self.warm_start_divergences += 1
+        else:  # "seed": legacy neighbour seeding, opt-in and uncertified
             sweep_key = self._sweep_key(config)
             prev = self._warm_state
             seed_wcrt = (
@@ -536,21 +636,9 @@ class AnalysisContext:
                 if prev is not None and prev[0] == sweep_key and prev[2]
                 else None
             )
-            if seed_wcrt is None:
-                wcrt, converged = self._fix_point(config, arts, dyn_views, cap)
-            elif options.warm_start == "seed":
-                wcrt, converged = self._fix_point(
-                    config, arts, dyn_views, cap, seed_wcrt=seed_wcrt
-                )
-            else:  # "verify": seeded run cross-checked against cold
-                warm_wcrt, warm_converged = self._fix_point(
-                    config, arts, dyn_views, cap, seed_wcrt=seed_wcrt
-                )
-                wcrt, converged = self._fix_point(
-                    config, arts, dyn_views, cap
-                )
-                if (warm_wcrt, warm_converged) != (wcrt, converged):
-                    self.warm_start_divergences += 1
+            wcrt, converged = self._fix_point(
+                config, arts, dyn_views, cap, seed_wcrt=seed_wcrt
+            )
             self._warm_state = (sweep_key, wcrt, converged)
 
         cost = cost_function(self.app, wcrt)
@@ -580,23 +668,31 @@ class AnalysisContext:
         dyn_views: List[_DynView],
         cap: int,
         seed_wcrt: Dict[str, int] = None,
+        certified: bool = True,
     ) -> Tuple[Dict[str, int], bool]:
         """The holistic Kleene iteration; returns ``(wcrt, converged)``.
 
-        Without ``seed_wcrt`` this is the canonical cold trajectory.
-        Its jitters grow monotonically across passes, which certifies
-        the *inner* warm starts: each busy-window recurrence is seeded
-        with its own previous converged demand/window -- a lower bound
-        of the new least fixed point, so the seeded recurrence provably
-        converges to exactly the cold value (see
-        :func:`repro.analysis.fps.seeded_busy_window`).
+        With ``certified=True`` and no ``seed_wcrt`` this is the default
+        fast path: the outer state starts from the configuration's own
+        static-only state (the bottom element, a provable lower bound of
+        the least fixed point), its jitters grow monotonically across
+        passes, and that monotonicity certifies the *inner* warm starts
+        -- each busy-window recurrence is seeded with its own previous
+        converged demand/window, a lower bound of the new least fixed
+        point, so the seeded recurrence provably converges to exactly
+        the cold value (see :func:`repro.analysis.fps.seeded_busy_window`,
+        whose incremental per-instant bound is also enabled here).
+
+        ``certified=False`` is the fully cold oracle the fast path is
+        verified against: same bottom start, but no inner seeds and no
+        instant pruning.
 
         With ``seed_wcrt`` the outer state starts from a neighbouring
         configuration's solution instead.  That trajectory is not
         monotone, so the certification argument does not apply: inner
         warm starts are disabled, and the result may be a fixed point
-        above the least one (which is why outer seeding is opt-in and
-        guarded by the ``"verify"`` mode).
+        above the least one (which is why neighbour seeding is opt-in
+        behind ``warm_start="seed"``).
         """
         options = self.options
         fill_strategy = options.dyn_fill_strategy
@@ -607,7 +703,8 @@ class AnalysisContext:
         wcrt: Dict[str, int] = dict(arts.static_wcrt)
         jitters: Dict[str, int] = {}
         inner_seeds: Dict[str, object] = {}
-        use_inner = seed_wcrt is None
+        use_inner = certified and seed_wcrt is None
+        prune = certified
         if seed_wcrt is not None:
             for name, value in seed_wcrt.items():
                 if name not in wcrt:
@@ -627,11 +724,20 @@ class AnalysisContext:
         dirty_add = dirty.add
         last_own: Dict[str, int] = {}
         last_out: Dict[str, Tuple[int, bool]] = {}
+        fps_items = [
+            (plan, availability[node])
+            for node in nodes
+            for plan in fps_plans[node]
+        ]
         converged = True
         for _ in range(options.max_holistic_iterations):
             changed = False
 
-            # DYN messages: jitter inherited from the sender task.
+            # DYN messages: jitter inherited from the sender task.  The
+            # memo caches the busy *window* (a pure function of the
+            # interferers' jitters -- plus the own jitter only when
+            # ancestor rows exist), so an own-jitter change alone just
+            # re-derives R_m = J_m + w + C_m from the cached window.
             for view in dyn_views:
                 name = view.name
                 j_m = wcrt_get(view.sender, 0)
@@ -640,8 +746,14 @@ class AnalysisContext:
                     changed = True
                     for dep in deps_get(name, ()):
                         dirty_add(dep)
-                if name not in dirty and last_own.get(name) == j_m:
-                    value, ok = last_out[name]
+                cached = (
+                    last_out.get(name)
+                    if name not in dirty
+                    and (not view.own_sensitive or last_own.get(name) == j_m)
+                    else None
+                )
+                if cached is not None:
+                    w, ok = cached
                 else:
                     if view.sendable:
                         w, ok, final = _dyn_busy_window(
@@ -663,59 +775,67 @@ class AnalysisContext:
                         )
                         if use_inner:
                             inner_seeds[name] = final
-                        value = j_m + w + view.ct
-                        if value > cap:
-                            value = cap
                     else:
                         # The frame can never be sent: certain miss.
-                        value, ok = cap, False
+                        w, ok = None, False
                     dirty.discard(name)
                     last_own[name] = j_m
-                    last_out[name] = (value, ok)
+                    last_out[name] = (w, ok)
+                if w is None:
+                    value = cap
+                else:
+                    value = j_m + w + view.ct
+                    if value > cap:
+                        value = cap
                 converged = converged and ok
                 if wcrt_get(name) != value:
                     wcrt[name] = value
                     changed = True
 
             # FPS tasks: jitter = worst finish of any predecessor.
-            for node in nodes:
-                node_availability = availability[node]
-                for plan in fps_plans[node]:
-                    name = plan.name
-                    j_i = plan.release
-                    for pred in plan.predecessors:
-                        v = wcrt_get(pred, 0)
-                        if v > j_i:
-                            j_i = v
-                    if jitters_get(name, 0) != j_i:
-                        jitters[name] = j_i
-                        changed = True
-                        for dep in deps_get(name, ()):
-                            dirty_add(dep)
-                    if name not in dirty and last_own.get(name) == j_i:
-                        window_value, ok = last_out[name]
-                    else:
-                        window_value, ok, demands = _fps_busy_window(
-                            plan.wcet,
-                            plan.interferers,
-                            node_availability,
-                            jitters,
-                            cap,
-                            j_i,
-                            seeds_get(name) if use_inner else None,
-                        )
-                        if use_inner:
-                            inner_seeds[name] = demands
-                        dirty.discard(name)
-                        last_own[name] = j_i
-                        last_out[name] = (window_value, ok)
-                    converged = converged and ok
-                    r_i = j_i + window_value
-                    if r_i > cap:
-                        r_i = cap
-                    if wcrt_get(name) != r_i:
-                        wcrt[name] = r_i
-                        changed = True
+            for plan, node_availability in fps_items:
+                name = plan.name
+                j_i = plan.release
+                for pred in plan.predecessors:
+                    v = wcrt_get(pred, 0)
+                    if v > j_i:
+                        j_i = v
+                if jitters_get(name, 0) != j_i:
+                    jitters[name] = j_i
+                    changed = True
+                    for dep in deps_get(name, ()):
+                        dirty_add(dep)
+                cached = (
+                    last_out.get(name)
+                    if name not in dirty
+                    and (not plan.own_sensitive or last_own.get(name) == j_i)
+                    else None
+                )
+                if cached is not None:
+                    window_value, ok = cached
+                else:
+                    window_value, ok, demands = _fps_busy_window(
+                        plan.wcet,
+                        plan.interferers,
+                        node_availability,
+                        jitters,
+                        cap,
+                        j_i,
+                        seeds_get(name) if use_inner else None,
+                        prune,
+                    )
+                    if use_inner:
+                        inner_seeds[name] = demands
+                    dirty.discard(name)
+                    last_own[name] = j_i
+                    last_out[name] = (window_value, ok)
+                converged = converged and ok
+                r_i = j_i + window_value
+                if r_i > cap:
+                    r_i = cap
+                if wcrt_get(name) != r_i:
+                    wcrt[name] = r_i
+                    changed = True
 
             if not changed:
                 break

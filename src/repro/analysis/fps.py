@@ -139,6 +139,28 @@ def fps_task_busy_window(
     return WcrtResult(value=value, converged=converged)
 
 
+def interferer_rows(
+    info: Sequence[Tuple[str, int, bool, int]],
+    jitters: Mapping[str, int],
+    own_jitter: int,
+) -> List[Tuple[int, int, int]]:
+    """Fully-resolved ``(period, wcet, jitter)`` rows for one maximisation.
+
+    The release jitters are constant for the duration of one busy-window
+    maximisation, so the name lookups and the ancestor offset are
+    resolved once per call instead of once per fix-point iteration.
+    Ancestors get the *negative* offset jitter ``own_jitter - period``;
+    with the unified count ``ceil(s / period) if s > 0 else 0`` for
+    ``s = window + jitter`` this reproduces
+    :func:`interference_count` exactly for both interferer kinds.
+    """
+    jitters_get = jitters.get
+    return [
+        (p, c_j, own_jitter - p if is_ancestor else jitters_get(name, 0))
+        for name, p, is_ancestor, c_j in info
+    ]
+
+
 def prepped_busy_window(
     wcet: int,
     info: Sequence[Tuple[str, int, bool, int]],
@@ -146,26 +168,22 @@ def prepped_busy_window(
     jitters: Mapping[str, int],
     cap: int,
     own_jitter: int = 0,
+    prune: bool = True,
 ) -> Tuple[int, bool]:
     """Worst busy window over all critical instants, from prebound rows.
 
     Hot-path variant of :func:`fps_task_busy_window` used by the
     incremental analysis engine: the interferer rows come from
     :func:`interferer_info` (cached per system) instead of being derived
-    per call.  Returns ``(value, converged)``.
+    per call.  ``prune`` enables the incremental per-instant bound (see
+    :func:`seeded_busy_window`); ``prune=False`` is the unpruned
+    reference path the pruning equivalence tests compare against.
+    Returns ``(value, converged)``.
     """
-    worst = 0
-    converged = True
-    for t0 in availability.critical_instants():
-        window, ok, _ = _busy_window_at(
-            wcet, info, availability, jitters, cap, t0, own_jitter
-        )
-        if window >= cap:
-            return cap, False
-        if window > worst:
-            worst = window
-        converged = converged and ok
-    return worst, converged
+    value, converged, _ = seeded_busy_window(
+        wcet, info, availability, jitters, cap, own_jitter, None, prune
+    )
+    return value, converged
 
 
 def seeded_busy_window(
@@ -176,6 +194,7 @@ def seeded_busy_window(
     cap: int,
     own_jitter: int,
     seeds: Optional[Sequence[Optional[int]]] = None,
+    prune: bool = True,
 ) -> Tuple[int, bool, List[Optional[int]]]:
     """:func:`prepped_busy_window` with per-instant fix-point warm starts.
 
@@ -192,12 +211,31 @@ def seeded_busy_window(
     an iteration-limit exit restarts that instant cold, so the returned
     ``(value, converged)`` pair always equals the cold computation.
 
+    ``prune`` enables the **incremental per-instant bound** of the
+    third-generation kernel.  Let ``W`` be the worst window found so
+    far and ``D_W = wcet + I(W)`` one interference evaluation at ``W``
+    (shared by every remaining instant).  The window map of instant t,
+    ``phi_t(w) = advance(t, wcet + I(w)) - t``, is monotone, so
+    ``phi_t(W) <= W`` makes ``[0, W]`` closed under ``phi_t`` and pins
+    the instant's least fixed point below ``W`` -- the instant cannot
+    beat the current worst and is skipped after a single table-driven
+    ``advance``.  Skipped instants provably never reach the cap (their
+    trajectory stays below ``W < cap``), and an activation-count guard
+    (skip only while ``N(W) + 2 <= MAX_FIXPOINT_ITERATIONS``, with
+    ``N(W)`` the total interferer activations inside ``W``) certifies
+    they would have converged within the iteration limit, so the
+    ``(value, converged)`` pair is bit-identical to the unpruned path.
+    Instants are visited longest-initial-busy-run first (the
+    availability's precomputed evaluation order) to grow ``W`` -- and
+    with it the prune rate -- as early as possible; the maximisation is
+    order-independent.
+
     Returns ``(value, converged, demands)`` where ``demands[k]`` is the
     converged demand at instant k -- the certified seed for the next call
-    under larger jitters (``None`` for instants not reached because an
-    earlier instant already hit the cap).
+    under larger jitters (``None`` for instants that were pruned or not
+    reached because an earlier instant already hit the cap).
     """
-    (instants, before, slack, period, gap_ends, through) = (
+    (instants, before, slack, period, gap_ends, through, eval_order) = (
         availability.instant_advance_tables()
     )
     n_instants = len(instants)
@@ -205,16 +243,42 @@ def seeded_busy_window(
     worst = 0
     converged = True
     n_seeds = len(seeds) if seeds is not None else 0
-    jitters_get = jitters.get
+    rows = interferer_rows(info, jitters, own_jitter)
     # The common case inlines the whole demand recurrence (no ``advance``
     # calls): every t0 is a critical instant, whose pattern-slack offset
     # is precomputed on the availability.  Degenerate patterns (fully
     # idle node, zero slack) and warm-start fallbacks take the generic
     # ``_busy_window_at`` path instead; results are identical.
     fast = gap_ends is not None and slack > 0 and wcet > 0
-    for idx in range(n_instants):
+    # Per-instant bound state; recomputed lazily whenever ``worst`` grows.
+    bound_demand = -1
+    bound_activations = 0
+    for idx in eval_order if prune else range(n_instants):
         t0 = instants[idx]
         seed = seeds[idx] if idx < n_seeds else None
+        if prune and worst > 0:
+            if bound_demand < 0:
+                bound_demand = wcet
+                bound_activations = 0
+                for p, c_j, jit in rows:
+                    s = worst + jit
+                    if s > 0:
+                        count = -(-s // p)
+                        bound_demand += count * c_j
+                        bound_activations += count
+            if bound_activations + 2 <= MAX_FIXPOINT_ITERATIONS:
+                if fast:
+                    whole, rem = divmod(before[idx] + bound_demand - 1, slack)
+                    k = bisect_left(through, rem + 1)
+                    w_bound = (
+                        whole * period + gap_ends[k] - (through[k] - rem - 1)
+                        - t0
+                    )
+                else:
+                    end = availability.advance(t0, bound_demand)
+                    w_bound = cap if end is None else end - t0
+                if w_bound <= worst:
+                    continue
         result = None
         if fast:
             seeded = seed is not None and seed > wcet
@@ -231,60 +295,54 @@ def seeded_busy_window(
                     result = (cap, False, demand)
                     break
                 new_demand = wcet
-                for name, p, is_ancestor, c_j in info:
-                    if is_ancestor:
-                        s = window + own_jitter - p
-                        count = -(-s // p) if s > 0 else 0
-                    else:
-                        count = -(-(window + jitters_get(name, 0)) // p)
-                    new_demand += count * c_j
+                for p, c_j, jit in rows:
+                    s = window + jit
+                    if s > 0:
+                        new_demand += -(-s // p) * c_j
                 if new_demand == demand:
                     result = (window, True, demand)
                     break
                 if seeded and new_demand < demand:
                     # Uncertified seed: replay this instant cold.
-                    result = _busy_window_at(
-                        wcet, info, availability, jitters, cap, t0, own_jitter
-                    )
+                    result = _busy_window_at(wcet, rows, availability, cap, t0)
                     break
                 demand = new_demand
             if result is None:
                 result = (
-                    _busy_window_at(
-                        wcet, info, availability, jitters, cap, t0, own_jitter
-                    )
+                    _busy_window_at(wcet, rows, availability, cap, t0)
                     if seeded
                     else (window, False, demand)
                 )
         else:
-            result = _busy_window_at(
-                wcet, info, availability, jitters, cap, t0, own_jitter, seed
-            )
+            result = _busy_window_at(wcet, rows, availability, cap, t0, seed)
         window, ok, demand = result
         demands[idx] = demand
         if window >= cap:
             return cap, False, demands
         if window > worst:
             worst = window
+            bound_demand = -1
         converged = converged and ok
     return worst, converged, demands
 
 
 def _busy_window_at(
     wcet: int,
-    info: Sequence[Tuple[str, int, bool, int]],
+    rows: Sequence[Tuple[int, int, int]],
     availability: NodeAvailability,
-    jitters: Mapping[str, int],
     cap: int,
     t0: int,
-    own_jitter: int,
     seed: Optional[int] = None,
 ) -> Tuple[int, bool, int]:
+    """One instant's demand recurrence over resolved interferer rows.
+
+    Generic-``advance`` fallback of :func:`seeded_busy_window`; ``rows``
+    come from :func:`interferer_rows`.
+    """
     seeded = seed is not None and seed > wcet
     demand = seed if seeded else wcet
     window = 0
     advance = availability.advance
-    jitters_get = jitters.get
     for _ in range(MAX_FIXPOINT_ITERATIONS):
         end = advance(t0, demand)
         if end is None:
@@ -293,29 +351,22 @@ def _busy_window_at(
         if window >= cap:
             return cap, False, demand
         new_demand = wcet
-        for name, period, is_ancestor, c_j in info:
-            if is_ancestor:
-                slack = window + own_jitter - period
-                count = -(-slack // period) if slack > 0 else 0
-            else:
-                count = -(-(window + jitters_get(name, 0)) // period)
-            new_demand += count * c_j
+        for p, c_j, jit in rows:
+            s = window + jit
+            if s > 0:
+                new_demand += -(-s // p) * c_j
         if new_demand == demand:
             return window, True, demand
         if seeded and new_demand < demand:
             # The seed overshot the least fixed point (it was not a
             # certified lower bound): replay this instant cold so the
             # result stays bit-identical to an unseeded run.
-            return _busy_window_at(
-                wcet, info, availability, jitters, cap, t0, own_jitter
-            )
+            return _busy_window_at(wcet, rows, availability, cap, t0)
         demand = new_demand
     if seeded:
         # The truncated value is trajectory-dependent; only the cold
         # trajectory's truncation is the canonical result.
-        return _busy_window_at(
-            wcet, info, availability, jitters, cap, t0, own_jitter
-        )
+        return _busy_window_at(wcet, rows, availability, cap, t0)
     return window, False, demand
 
 

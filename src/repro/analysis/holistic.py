@@ -29,39 +29,60 @@ from repro.model.system import System
 
 
 #: Legal values of :attr:`AnalysisOptions.warm_start`.
-WARM_START_MODES = ("off", "seed", "verify")
+WARM_START_MODES = ("certified", "off", "seed", "verify")
 
 
 @dataclass(frozen=True)
 class AnalysisOptions:
-    """Tunables of the holistic analysis."""
+    """Tunables of the holistic analysis.
 
+    The defaults are what every optimiser in :mod:`repro.core` uses;
+    all deviations below are opt-in and documented with their
+    determinism guarantee.
+    """
+
+    #: Static-scheduler knobs (FPS-aware placement, horizon factor);
+    #: see :class:`~repro.analysis.scheduler.ScheduleOptions`.
     schedule: ScheduleOptions = field(default_factory=ScheduleOptions)
+    #: Outer Kleene iteration limit; exceeding it flags the result as
+    #: non-converged (``converged=False``), never raises.
     max_holistic_iterations: int = 64
+    #: The divergence cap is ``cap_factor * max(hyperperiod, deadlines,
+    #: gd_cycle)`` -- larger than any deadline, so a truncated response
+    #: time still counts as a finite deadline miss in the cost function.
     cap_factor: int = 8
     #: Filled-cycle computation for DYN messages: "bound" (polynomial)
     #: or "exact" (bin-covering search; tighter, slower).
     dyn_fill_strategy: str = "bound"
-    #: Cross-configuration warm starting of the *outer* holistic fix
-    #: point (sweep neighbours seed each other's Kleene iteration):
+    #: Warm starting of the holistic fix point:
     #:
-    #: * ``"off"`` (default) -- every configuration runs the canonical
-    #:   cold trajectory.  The certified *inner* busy-window warm starts
-    #:   (:func:`repro.analysis.fps.seeded_busy_window`,
-    #:   :func:`repro.analysis.dyn.seeded_busy_window`) stay active --
-    #:   they are provably bit-identical, so there is nothing to opt out
-    #:   of.
+    #: * ``"certified"`` (default) -- the third-generation fast path.
+    #:   The *outer* Kleene iteration is seeded from the configuration's
+    #:   own static-only state (the bottom element of the lattice, hence
+    #:   a provable lower bound of the least fixed point), the *inner*
+    #:   busy-window recurrences warm-start from certified lower-bound
+    #:   seeds (:func:`repro.analysis.fps.seeded_busy_window`,
+    #:   :func:`repro.analysis.dyn.seeded_busy_window`), and the FPS
+    #:   maximisation prunes critical instants through the incremental
+    #:   per-instant bound.  Every ingredient is provably bit-identical
+    #:   to the cold reference trajectory, which is why this mode is
+    #:   default-on (and regression-locked to ``"off"`` over the full
+    #:   bench sweep, adversarial points included).
+    #: * ``"off"`` -- the fully cold oracle: no inner seeds, no instant
+    #:   pruning, no outer state.  Slowest; exists as the reference
+    #:   semantics the certified path is checked against.
     #: * ``"seed"`` -- seed the outer iteration from the previous
-    #:   neighbouring solution.  Fast, but the outer fix point is **not**
-    #:   start-independent: a seed above the least fixed point can
-    #:   converge to a strictly larger one (observed on real generated
-    #:   workloads), so results may differ from a cold run.  Opt-in
-    #:   only; never used by the library's own optimisers.
-    #: * ``"verify"`` -- debug mode: run the seeded iteration *and* the
-    #:   cold iteration, count divergences on the owning
-    #:   :class:`~repro.analysis.context.AnalysisContext`, and always
-    #:   return the cold (canonical) result.
-    warm_start: str = "off"
+    #:   *neighbouring configuration's* solution.  Fast, but the outer
+    #:   fix point is **not** start-independent: a seed above the least
+    #:   fixed point can converge to a strictly larger one (measured:
+    #:   2/64 points of the bench sweep), so results may differ from a
+    #:   cold run.  Opt-in only; never used by the library's own
+    #:   optimisers.
+    #: * ``"verify"`` -- debug mode: run the certified fast path *and*
+    #:   the cold oracle, count divergences on the owning
+    #:   :class:`~repro.analysis.context.AnalysisContext` (provably
+    #:   always 0), and return the cold result.
+    warm_start: str = "certified"
 
 
 @dataclass(frozen=True)

@@ -198,6 +198,10 @@ class SchedulePlan:
         horizon = self.horizon
         table = ScheduleTable(config, horizon)
         finish_of = table.finish_of
+        # Per-replay lookups: slot ownership and transmission times are
+        # scanned per ST job otherwise (the replay places one job per
+        # slot instance search, so these add up over a DYN sweep).
+        st_slots: Dict[str, Tuple[int, ...]] = {}
         for rec in self.order:
             job = rec.job
             asap = job.release
@@ -221,8 +225,13 @@ class SchedulePlan:
             if isinstance(job.activity, Task):
                 _schedule_task(table, system, job, asap, options)
             else:
+                node = system.sender_node(job.activity)
+                slots = st_slots.get(node)
+                if slots is None:
+                    slots = config.st_slots_of(node)
+                    st_slots[node] = slots
                 _schedule_st_message(
-                    table, system, config, job, asap, options, horizon
+                    table, config, job, asap, options, horizon, node, slots
                 )
         return table
 
@@ -292,16 +301,15 @@ def _fps_disturbance(
 
 def _schedule_st_message(
     table: ScheduleTable,
-    system: System,
     config: FlexRayConfig,
     job: Job,
     ready: int,
     options: ScheduleOptions,
     horizon: int,
+    node: str,
+    slots: Tuple[int, ...],
 ) -> None:
     message: Message = job.activity
-    node = system.sender_node(message)
-    slots = config.st_slots_of(node)
     if not slots:
         raise SchedulingError(
             f"node {node!r} sends ST message {message.name!r} but owns no static slot"

@@ -1,5 +1,26 @@
 """Bus access optimisation: configurations, cost, BBC/OBC/SA algorithms.
 
+Public entry points
+-------------------
+:func:`optimise_bbc`, :func:`optimise_obc`, :func:`optimise_sa`,
+:func:`optimise_ga`
+    The paper's bus-access optimisers.  Each runs on an
+    :class:`Evaluator` and returns an :class:`OptimisationResult` with
+    the best :class:`~repro.analysis.AnalysisResult`, the exact
+    analysis count, cache-hit accounting and the search trace.  At a
+    fixed seed every optimiser is byte-identical serial vs. parallel.
+:class:`BusOptimisationOptions`
+    The shared knob record; every field documents its default and its
+    determinism guarantee (notably ``parallel_workers``, the opt-in
+    process pool, and ``obc_chunk_size``, the chunked OBC outer loop).
+:class:`Evaluator`
+    The evaluation machinery the optimisers share: a warm
+    :class:`~repro.analysis.AnalysisContext`, an LRU result cache and
+    the parallel pool behind ``analyse_many``.
+:class:`FlexRayConfig`
+    The immutable design variable; derive neighbours with the
+    ``with_*`` helpers.
+
 Exports are resolved lazily (PEP 562): the timing-analysis layer imports
 ``repro.core.config`` while the optimisers in this package import the
 analysis layer, so eager re-exports here would create an import cycle.

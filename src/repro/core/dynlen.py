@@ -24,6 +24,28 @@ from repro.core.search import Evaluator, better, sweep_lengths
 from repro.model.system import System
 
 
+def ee_sweep_lengths(lo, hi, options, max_points: Optional[int] = None):
+    """The DYN lengths OBC/EE analyses for one static variant.
+
+    Shared between :func:`exhaustive_dyn_length` and the chunked OBC
+    prefetch (``repro.core.obc``) so the prefetched batch always equals
+    the search's candidate set.
+    """
+    if max_points is None:
+        max_points = options.ee_max_dyn_points
+    return sweep_lengths(lo, hi, max_points)
+
+
+def cf_seed_lengths(lo, hi, options):
+    """The exactly-analysed OBC/CF seed lengths (Fig. 8 lines 1-5).
+
+    Shared between :func:`curvefit_dyn_length` and the chunked OBC
+    prefetch so the prefetched batch always equals the search's first
+    exact points.
+    """
+    return spread_points(lo, hi, options.initial_cf_points)
+
+
 def exhaustive_dyn_length(
     evaluator: Evaluator,
     template: FlexRayConfig,
@@ -37,14 +59,13 @@ def exhaustive_dyn_length(
     evaluator's options (the paper analyses every gdMinislot step, which
     is the configuration ``max_points >= hi - lo + 1``).
     """
-    if max_points is None:
-        max_points = evaluator.options.ee_max_dyn_points
     best: Optional[AnalysisResult] = None
     # One batch: the sweep shares the evaluator's warm AnalysisContext
     # and fans out over the parallel pool when one is configured; the
     # first-best selection below matches the serial iteration order.
     configs = [
-        template.with_dyn_length(n) for n in sweep_lengths(lo, hi, max_points)
+        template.with_dyn_length(n)
+        for n in ee_sweep_lengths(lo, hi, evaluator.options, max_points)
     ]
     for result in evaluator.analyse_many(configs):
         if better(result, best):
@@ -87,7 +108,7 @@ def curvefit_dyn_length(
     # but keeps serial and parallel runs byte-identical -- branching on
     # ``parallel_workers`` here would make their evaluation counts and
     # traces diverge.
-    seed_lengths = spread_points(lo, hi, options.initial_cf_points)
+    seed_lengths = cf_seed_lengths(lo, hi, options)
     seed_results = evaluator.analyse_many(
         [template.with_dyn_length(n) for n in seed_lengths]
     )

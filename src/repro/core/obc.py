@@ -6,16 +6,31 @@ minimum upward, slot size from the largest-frame minimum upward in
 searches the DYN segment length with either exhaustive exploration
 (OBC/EE) or the curve-fitting heuristic (OBC/CF).  The search ends as
 soon as a schedulable configuration is found (line 7).
+
+``BusOptimisationOptions.obc_chunk_size > 1`` turns the outer loop into
+a *chunked race*: static variants are independent until the first
+schedulable hit, so a chunk's initial candidate sets (each variant's
+full EE sweep, or its CF seed points) are prefetched through one
+:meth:`~repro.core.search.Evaluator.analyse_many` batch -- fanning out
+over the parallel pool when one is configured -- before the variants
+are searched in deterministic serial order.  The first hit always
+resolves to the same variant as the serial chunked run, so fixed-seed
+runs are byte-identical serial vs. parallel.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.analysis.holistic import AnalysisResult
 from repro.core.config import FlexRayConfig
-from repro.core.dynlen import curvefit_dyn_length, exhaustive_dyn_length
+from repro.core.dynlen import (
+    cf_seed_lengths,
+    curvefit_dyn_length,
+    ee_sweep_lengths,
+    exhaustive_dyn_length,
+)
 from repro.core.frameid import assign_frame_ids
 from repro.core.result import OptimisationResult
 from repro.core.search import (
@@ -25,7 +40,6 @@ from repro.core.search import (
     dyn_segment_bounds,
     min_static_slot,
     quota_slot_assignment,
-    sweep_lengths,
 )
 from repro.errors import ConfigurationError, OptimisationError
 from repro.flexray import params
@@ -54,13 +68,16 @@ def optimise_obc(
         evaluator.close()
 
 
-def _optimise_obc(
-    system: System,
-    options: BusOptimisationOptions,
-    method: str,
-    evaluator: Evaluator,
-    start: float,
-) -> OptimisationResult:
+def _static_variants(
+    system: System, options: BusOptimisationOptions
+) -> List[Tuple[Optional[FlexRayConfig], int, int]]:
+    """The OBC outer loop's static-segment alternatives, in serial order.
+
+    Each entry is ``(template, lo, hi)``; ``lo == hi == 0`` marks the
+    no-DYN-message case whose single candidate is analysed directly.
+    Materialising the loop lets the chunked mode race whole variants
+    while keeping the exact Fig. 5/6 enumeration order.
+    """
     frame_ids = assign_frame_ids(
         system, options.bits_per_mt, options.frame_overhead_bytes
     )
@@ -72,8 +89,7 @@ def _optimise_obc(
         slot_min + params.STATIC_SLOT_STEP_MT * options.max_slot_size_steps,
         params.MAX_STATIC_SLOT_MT,
     )
-
-    best: Optional[AnalysisResult] = None
+    variants: List[Tuple[Optional[FlexRayConfig], int, int]] = []
     for n_slots in range(max(n_min, 0), n_max + 1):
         slots = quota_slot_assignment(system, n_slots) if n_slots else ()
         slot_sizes = (
@@ -85,20 +101,75 @@ def _optimise_obc(
             st_bus = n_slots * slot_size
             lo, hi = dyn_segment_bounds(system, st_bus, options)
             template = _template(
-                slots, slot_size if n_slots else 0, max(lo, 1), frame_ids, options
+                slots, slot_size if n_slots else 0, max(lo, 1), frame_ids,
+                options,
             )
             if template is None:
                 continue
-            if lo == 0 and hi == 0:
-                # No DYN messages; keep a minimal dynamic segment only when
-                # the cycle would otherwise be empty.
-                try:
-                    no_dyn = template.with_dyn_length(0)
-                except ConfigurationError:
-                    no_dyn = template
-                result = evaluator.analyse(no_dyn)
-            elif hi < lo:
+            if hi < lo and not (lo == 0 and hi == 0):
                 continue  # the static segment leaves no room for DYN frames
+            variants.append((template, lo, hi))
+        if not st_nodes:
+            break  # no static structure to vary
+    return variants
+
+
+def _no_dyn_config(template: FlexRayConfig) -> FlexRayConfig:
+    """The single candidate of a variant without DYN messages: a minimal
+    dynamic segment is kept only when the cycle would otherwise be empty."""
+    try:
+        return template.with_dyn_length(0)
+    except ConfigurationError:
+        return template
+
+
+def _prefetch_configs(
+    variant: Tuple[Optional[FlexRayConfig], int, int],
+    options: BusOptimisationOptions,
+    method: str,
+) -> List[FlexRayConfig]:
+    """The configurations a variant's search is known to analyse first.
+
+    OBC/EE analyses its whole sweep; OBC/CF starts with the exact seed
+    points; the no-DYN case has exactly one candidate.  The candidate
+    lengths come from the same helpers the searches themselves use
+    (:func:`~repro.core.dynlen.ee_sweep_lengths`,
+    :func:`~repro.core.dynlen.cf_seed_lengths`), so the prefetched
+    batch warms the evaluator's result cache with exactly what the
+    subsequent in-order search re-reads.
+    """
+    template, lo, hi = variant
+    if lo == 0 and hi == 0:
+        return [_no_dyn_config(template)]
+    if method == "curvefit":
+        lengths = cf_seed_lengths(lo, hi, options)
+    else:
+        lengths = ee_sweep_lengths(lo, hi, options)
+    return [template.with_dyn_length(n) for n in lengths]
+
+
+def _optimise_obc(
+    system: System,
+    options: BusOptimisationOptions,
+    method: str,
+    evaluator: Evaluator,
+    start: float,
+) -> OptimisationResult:
+    variants = _static_variants(system, options)
+    chunk = max(1, options.obc_chunk_size or 1)
+    best: Optional[AnalysisResult] = None
+    for base in range(0, len(variants), chunk):
+        group = variants[base : base + chunk]
+        if len(group) > 1:
+            # Race the chunk: one batch over every variant's initial
+            # candidate set, fanned out over the pool when configured.
+            prefetch: List[FlexRayConfig] = []
+            for variant in group:
+                prefetch.extend(_prefetch_configs(variant, options, method))
+            evaluator.analyse_many(prefetch)
+        for template, lo, hi in group:
+            if lo == 0 and hi == 0:
+                result = evaluator.analyse(_no_dyn_config(template))
             elif method == "curvefit":
                 result = curvefit_dyn_length(evaluator, template, lo, hi)
             else:
@@ -113,8 +184,6 @@ def _optimise_obc(
                 and best.schedulable
             ):
                 return _finish(best, evaluator, method, start)
-        if not st_nodes:
-            break  # no static structure to vary
     return _finish(best, evaluator, method, start)
 
 

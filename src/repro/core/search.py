@@ -33,7 +33,11 @@ class BusOptimisationOptions:
     stay laptop-sized, and can be raised for paper-scale experiments.
     """
 
+    #: Analysis tunables forwarded to every evaluation; the default
+    #: enables the certified warm-start fast path (bit-identical to the
+    #: cold oracle -- see :class:`~repro.analysis.holistic.AnalysisOptions`).
     analysis: AnalysisOptions = field(default_factory=AnalysisOptions)
+    #: Minislot length in macroticks (protocol default).
     gd_minislot: int = params.DEFAULT_GD_MINISLOT
     bits_per_mt: int = params.DEFAULT_BITS_PER_MT
     frame_overhead_bytes: int = params.DEFAULT_FRAME_OVERHEAD_BYTES
@@ -68,9 +72,24 @@ class BusOptimisationOptions:
     max_cache_entries: Optional[int] = 4096
     #: Opt-in parallel candidate evaluation: number of worker processes
     #: used by :meth:`Evaluator.analyse_many` (GA generations, SA
-    #: restarts, the BBC/OBC-EE sweeps).  ``None``/``1`` evaluates
-    #: serially; results and traces are identical either way.
+    #: restarts, the BBC/OBC-EE sweeps, chunked OBC prefetches).
+    #: ``None``/``1`` evaluates serially; results and traces are
+    #: identical either way (the batch order is fixed before fan-out and
+    #: the pool preserves it).
     parallel_workers: Optional[int] = None
+    #: Chunked OBC outer loop: number of static-segment variants whose
+    #: initial candidate sets (the full OBC/EE sweep, the OBC/CF seed
+    #: points) are prefetched through one :meth:`Evaluator.analyse_many`
+    #: batch before the variants are searched in order.  Static variants
+    #: are mutually independent until the first schedulable hit, so the
+    #: chunk races them through the parallel pool; the hit is then
+    #: resolved deterministically in serial variant order, making runs
+    #: byte-identical serial vs. parallel at a fixed chunk size.  The
+    #: default ``1`` is the exact Fig. 6 loop; with
+    #: ``stop_when_schedulable`` a larger chunk may evaluate (and record
+    #: in the trace) candidates of variants past the stopping one --
+    #: that is the admission price of racing the outer loop.
+    obc_chunk_size: int = 1
 
 
 #: Per-process warm context of the parallel evaluation pool workers.
@@ -102,6 +121,20 @@ class Evaluator:
     pool.  ``evaluations`` counts exact analyses only -- cache hits are
     reported in ``cache_hits`` -- so the paper's evaluation-count
     comparisons stay exact whether or not candidates are batched.
+
+    Determinism guarantees (all pinned by tests):
+
+    * :meth:`analyse` and :meth:`analyse_many` produce results
+      bit-identical to a fresh ``analyse_system`` call per
+      configuration;
+    * :meth:`analyse_many` preserves order, evaluation counts and trace
+      order whether it runs serially or on the pool
+      (``options.parallel_workers``), so fixed-seed optimiser runs are
+      byte-identical either way;
+    * a broken pool degrades to the serial path with identical results.
+
+    Call :meth:`close` (or use the owning optimiser's ``finally``) to
+    shut the pool down.
     """
 
     def __init__(self, system: System, options: BusOptimisationOptions):

@@ -153,11 +153,16 @@ class TestAdvanceBisectEquivalence:
 
     def test_instant_tables_consistent_with_advance(self):
         av = NodeAvailability([(2, 5), (8, 10)], period=12)
-        (instants, before, slack, period, gap_ends, through) = (
+        (instants, before, slack, period, gap_ends, through, eval_order) = (
             av.instant_advance_tables()
         )
         assert instants == av.critical_instants()
         assert slack == av.slack_per_period and period == av.period
+        # The evaluation order is a permutation sorted by descending
+        # initial busy-run length: instant 2 blocks for 3, instant 8 for
+        # 2, instant 0 not at all.
+        assert sorted(eval_order) == list(range(len(instants)))
+        assert [instants[i] for i in eval_order] == [2, 8, 0]
         for idx, t0 in enumerate(instants):
             for demand in range(1, 3 * period):
                 target = before[idx] + demand
@@ -170,7 +175,8 @@ class TestAdvanceBisectEquivalence:
 
     def test_idle_pattern_tables(self):
         av = NodeAvailability([], period=10)
-        instants, before, slack, period, gap_ends, through = (
+        instants, before, slack, period, gap_ends, through, eval_order = (
             av.instant_advance_tables()
         )
         assert gap_ends is None and instants == [0]
+        assert eval_order == (0,)

@@ -1,0 +1,26 @@
+"""Documentation stays live: stale module pointers fail tier-1.
+
+``benchmarks/check_docs.py`` verifies every backticked ``repro.*``
+dotted name, backticked repo path and relative markdown link in the
+documentation set (top-level README, docs/, benchmarks/README).  This
+test wires it into the default pytest run, so renaming a module or a
+public function without updating the architecture docs breaks the
+build -- the docs are part of the API surface.
+"""
+
+import pytest
+
+from benchmarks.check_docs import DOC_FILES, REPO_ROOT, check_all
+
+
+pytestmark = pytest.mark.docs
+
+
+def test_documentation_set_is_complete():
+    missing = [name for name in DOC_FILES if not (REPO_ROOT / name).exists()]
+    assert not missing, f"documentation files missing: {missing}"
+
+
+def test_no_stale_pointers_in_docs():
+    problems = check_all()
+    assert not problems, "stale documentation pointers:\n" + "\n".join(problems)

@@ -27,6 +27,11 @@ class TestExamples:
         assert "Worst-case response times" in out
         assert "observed" in out
 
+    def test_api_tour(self):
+        """The doctest-style API tour must stay in sync with the API."""
+        out = run_example("api_tour.py")
+        assert "0 failures" in out
+
     def test_bus_trace(self):
         out = run_example("bus_trace.py")
         assert "dyn_tx_start" in out

@@ -207,6 +207,29 @@ class TestGAPopulationDedup:
         assert len(population) == 8
 
 
+class TestStaticWcrtMemo:
+    def test_context_static_wcrt_equals_public_function(self):
+        """`AnalysisContext._static_wcrt` (job-base memoised) must stay
+        locked to the public `static_response_times` it reimplements --
+        checked across a sweep so the memo is exercised warm."""
+        from repro.analysis import static_response_times
+
+        system = paper_suite(3, count=1, seed=23)[0]
+        options = BusOptimisationOptions()
+        slot = min_static_slot(system, options)
+        lo, hi = dyn_segment_bounds(
+            system, len(system.st_sender_nodes()) * slot, options
+        )
+        context = AnalysisContext(system)
+        for n in sweep_lengths(lo, hi, 8):
+            config = basic_configuration(system, n, options)
+            arts = context._schedule_artifacts(config)
+            assert arts.table is not None
+            assert context._static_wcrt(arts.table) == static_response_times(
+                system.application, arts.table
+            )
+
+
 class TestConfigKeys:
     def test_static_key_is_prefix_of_cache_key(self):
         cfg = basic_config(

@@ -1,0 +1,129 @@
+"""Chunked parallel OBC outer loop (BusOptimisationOptions.obc_chunk_size).
+
+Static-segment variants are independent until the first schedulable hit,
+so a chunk's initial candidate sets can race through one
+``Evaluator.analyse_many`` batch.  The guarantees pinned here:
+
+* ``obc_chunk_size=1`` is byte-identical to the pre-chunking loop (it
+  *is* the pre-chunking loop -- no prefetch happens);
+* at a fixed chunk size, serial and parallel runs are byte-identical
+  (evaluations, cache hits, trace, result);
+* chunking never changes the *outcome*: the first-hit resolution scans
+  variants in serial order, so the best configuration and its cost
+  equal the unchunked run's -- only the evaluation count may grow
+  (prefetched candidates of variants past the stopping one);
+* for OBC/EE without early stopping, chunking is a pure batching
+  transformation: even the trace is identical.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import optimise_obc
+from repro.core.obc import _static_variants
+from repro.core.search import BusOptimisationOptions
+from repro.synth import paper_suite
+
+
+def _small_options(**kw):
+    return BusOptimisationOptions(
+        ee_max_dyn_points=32,
+        cf_candidates=64,
+        max_extra_static_slots=1,
+        max_slot_size_steps=2,
+        **kw,
+    )
+
+
+def _outcome(result):
+    cfg = result.config
+    return (
+        result.cost,
+        result.schedulable,
+        result.evaluations,
+        result.cache_hits,
+        None if cfg is None else cfg.cache_key(),
+        result.trace,
+    )
+
+
+def _best_key(result):
+    cfg = result.config
+    return (
+        None if cfg is None else cfg.cache_key(),
+        result.cost,
+        result.schedulable,
+    )
+
+
+@pytest.fixture(scope="module")
+def system():
+    return paper_suite(3, count=1, seed=23)[0]
+
+
+class TestChunkedOBC:
+    def test_variant_enumeration_matches_serial_loop(self, system):
+        options = _small_options()
+        variants = _static_variants(system, options)
+        assert variants, "workload must produce static variants"
+        # Serial order: slot count outer, slot size inner, both ascending.
+        keys = [
+            (v[0].n_static_slots, v[0].gd_static_slot) for v in variants
+        ]
+        assert keys == sorted(keys)
+
+    @pytest.mark.parametrize("method", ["exhaustive", "curvefit"])
+    def test_chunked_same_best_as_unchunked(self, system, method):
+        base = optimise_obc(system, _small_options(), method)
+        for chunk in (2, 3, 100):
+            chunked = optimise_obc(
+                system, _small_options(obc_chunk_size=chunk), method
+            )
+            assert _best_key(chunked) == _best_key(base), (
+                f"chunk={chunk} changed the {method} outcome"
+            )
+            # The racing chunk may analyse more, never fewer, candidates.
+            assert chunked.evaluations >= base.evaluations
+
+    @pytest.mark.parametrize("method", ["exhaustive", "curvefit"])
+    def test_chunked_serial_vs_parallel_byte_identical(self, system, method):
+        serial = optimise_obc(
+            system, _small_options(obc_chunk_size=3), method
+        )
+        parallel = optimise_obc(
+            system,
+            _small_options(obc_chunk_size=3, parallel_workers=2),
+            method,
+        )
+        assert _outcome(serial) == _outcome(parallel)
+
+    def test_ee_without_early_stop_chunking_is_pure_batching(self, system):
+        """No early exit -> every variant is searched either way, and the
+        prefetch enumerates exactly the serial candidate order: the
+        exact-evaluation count and the trace must match.  The only
+        accounting difference is *where* results come from -- the
+        per-variant search re-reads every prefetched result from the
+        evaluator's cache, so the chunked run reports exactly one cache
+        hit per exact analysis."""
+        plain = optimise_obc(
+            system, _small_options(stop_when_schedulable=False), "exhaustive"
+        )
+        chunked = optimise_obc(
+            system,
+            _small_options(stop_when_schedulable=False, obc_chunk_size=4),
+            "exhaustive",
+        )
+        assert chunked.evaluations == plain.evaluations
+        assert chunked.trace == plain.trace
+        assert _best_key(chunked) == _best_key(plain)
+        assert chunked.cache_hits == plain.cache_hits + plain.evaluations
+
+    def test_chunk_size_one_is_default_and_legacy(self, system):
+        options = _small_options()
+        assert options.obc_chunk_size == 1
+        explicit = optimise_obc(
+            system, dataclasses.replace(options, obc_chunk_size=1), "curvefit"
+        )
+        default = optimise_obc(system, options, "curvefit")
+        assert _outcome(explicit) == _outcome(default)

@@ -2,16 +2,20 @@
 
 Three layers, three guarantees:
 
-* the *inner* busy-window warm starts (always on) are certified lower
-  -bound seeding -- bit-identical to cold by construction, fuzzed here
-  against uncertified seeds to exercise the runtime guards;
-* ``warm_start="off"`` (the default outer mode) runs the canonical cold
-  trajectory -- equal to fresh contexts over the Fig. 7 sweep;
-* ``warm_start="verify"`` cross-checks the seeded outer iteration
-  against the cold one: on the adversarial OBC/EE sweep it must both
-  *count* the known divergences (the outer fix point is provably not
-  start-independent -- that is why ``"seed"`` is opt-in) and still
-  return bit-identical results.
+* the *inner* busy-window warm starts are certified lower-bound seeding
+  -- bit-identical to cold by construction, fuzzed here against
+  uncertified seeds to exercise the runtime guards;
+* ``warm_start="certified"`` (the default) seeds the outer iteration
+  from the configuration's own static-only state -- a provable lower
+  bound of the least fixed point -- so it is locked byte-identical to
+  the fully cold ``"off"`` oracle, *including* on the adversarial
+  64-point sweep where neighbour seeding is known to diverge (the
+  retirement regression for the 2/64 counterexample);
+* ``warm_start="seed"`` (legacy neighbour seeding, opt-in) still
+  diverges on that sweep -- the pinned finding that the outer fix point
+  is not start-independent, and the reason certified seeds come from
+  the configuration's own lower bound rather than a neighbour's fixed
+  point.
 """
 
 import random
@@ -203,9 +207,10 @@ class TestInnerWarmStartKernels:
 
 
 class TestOuterWarmStartModes:
-    def test_default_off_equals_fresh_contexts_fig7_sweep(self):
+    def test_default_certified_equals_fresh_contexts_fig7_sweep(self):
         from benchmarks.bench_fig7_dyn_length_sweep import build_system
 
+        assert AnalysisOptions().warm_start == "certified"
         system = build_system()
         configs = _sweep(system, points=12)
         warm = AnalysisContext(system)
@@ -213,14 +218,19 @@ class TestOuterWarmStartModes:
             fresh = AnalysisContext(system).analyse(config)
             assert _signature(warm.analyse(config)) == _signature(fresh)
 
-    def test_seed_and_verify_agree_with_cold_on_fig7_sweep(self):
+    def test_all_modes_agree_with_cold_on_fig7_sweep(self):
         """The Fig. 7 workload warm-starts cleanly in every mode."""
         from benchmarks.bench_fig7_dyn_length_sweep import build_system
 
         system = build_system()
         configs = _sweep(system, points=12)
-        cold = [AnalysisContext(system).analyse(c) for c in configs]
-        for mode in ("seed", "verify"):
+        cold = [
+            AnalysisContext(
+                system, AnalysisOptions(warm_start="off")
+            ).analyse(c)
+            for c in configs
+        ]
+        for mode in ("certified", "seed", "verify"):
             ctx = AnalysisContext(system, AnalysisOptions(warm_start=mode))
             got = [ctx.analyse(c) for c in configs]
             assert [_signature(r) for r in got] == [
@@ -228,24 +238,43 @@ class TestOuterWarmStartModes:
             ]
             assert ctx.warm_start_divergences == 0
 
-    def test_verify_counts_divergence_and_stays_cold(self):
-        """The adversarial sweep: divergences counted, results cold."""
+    def test_certified_locked_to_cold_on_adversarial_sweep(self):
+        """Retirement regression for the 2/64 divergence counterexample.
+
+        PR 2 measured that seeding the outer fix point from a
+        *neighbour's* solution converges to a strictly larger fixed
+        point on 2 of the 64 sweep points of this workload.  The
+        certified warm start seeds from the configuration's own
+        static-only lower bound instead, so it is provably -- and here
+        byte-identically, across the full 64-point sweep -- equal to
+        the cold oracle, which is why it ships default-on.
+        """
         system = paper_suite(
             ADVERSARIAL["n_nodes"], count=ADVERSARIAL["count"],
             seed=ADVERSARIAL["seed"],
         )[0]
         configs = _sweep(system, points=ADVERSARIAL["points"])
-        cold = [AnalysisContext(system).analyse(c) for c in configs]
+        cold_ctx = AnalysisContext(system, AnalysisOptions(warm_start="off"))
+        cold = [cold_ctx.analyse(c) for c in configs]
 
+        certified_ctx = AnalysisContext(system)  # the default mode
+        certified = [certified_ctx.analyse(c) for c in configs]
+        assert [_signature(r) for r in certified] == [
+            _signature(r) for r in cold
+        ]
+
+        # "verify" runs both trajectories itself and must count zero
+        # divergences -- the cross-check mode the default is shipped
+        # with.
         ctx = AnalysisContext(system, AnalysisOptions(warm_start="verify"))
         verified = [ctx.analyse(c) for c in configs]
         assert [_signature(r) for r in verified] == [
             _signature(r) for r in cold
         ]
-        assert ctx.warm_start_divergences > 0
+        assert ctx.warm_start_divergences == 0
 
-        # ... and "seed" mode really does diverge there, which is the
-        # documented reason it is opt-in and off by default.
+        # ... while legacy "seed" mode really does diverge there, which
+        # is the documented reason neighbour seeding stays opt-in.
         ctx_seed = AnalysisContext(system, AnalysisOptions(warm_start="seed"))
         seeded = [ctx_seed.analyse(c) for c in configs]
         assert [_signature(r) for r in seeded] != [
@@ -256,7 +285,7 @@ class TestOuterWarmStartModes:
         """Changing the FrameID assignment invalidates the seed state."""
         system = paper_suite(3, count=1, seed=23)[0]
         configs = _sweep(system, points=4)
-        ctx = AnalysisContext(system, AnalysisOptions(warm_start="verify"))
+        ctx = AnalysisContext(system, AnalysisOptions(warm_start="seed"))
         for config in configs:
             ctx.analyse(config)
         # A different FrameID permutation is not a sweep neighbour: the

@@ -14,16 +14,25 @@ hottest loop (up to 1024 exact analyses per static-segment variant):
   schedule per cycle length, gap-walking ``advance`` and cold-started
   busy-window recurrences -- pinned here so later speedups in the
   library cannot silently flatter the comparison.
+* ``pr2_warm`` -- the PR 2 engine, pinned: retimable schedule plan,
+  bisecting ``advance``, certified inner warm starts, dirty tracking.
+* ``pr3_warm`` -- the PR 3 engine, pinned: ``pr2_warm`` plus the
+  incremental per-instant bound and the third-generation hoists, but
+  no pattern-level dominance tables.
 * ``cold``     -- the current engine with a fresh ``AnalysisContext``
   per candidate (per-system invariants rebuilt each time).
 * ``warm``     -- one shared ``AnalysisContext`` across the sweep (the
-  configuration every optimiser now uses through ``Evaluator``): adds
-  the retimable schedule plan, the bisecting ``advance`` and the
-  certified busy-window warm starts on top of ``pr1_warm``.
+  configuration every optimiser now uses through ``Evaluator``).
 * ``parallel`` -- warm context + the opt-in process pool
   (``BusOptimisationOptions.parallel_workers``).  Reported but not
   asserted: wall-clock gains require >1 CPU, while determinism is
   asserted everywhere.
+
+A second, **pure-DYN** scenario (TT graphs collapsed onto single nodes,
+so the whole sweep shares one schedule-cache entry) measures the
+pattern-level dominance tables against the pinned PR 3 path -- the
+workload where their per-pattern construction amortises across every
+candidate (see ``run_pure_dyn``).
 
 Emits ``benchmarks/results/BENCH_incremental_analysis.json``.  The quick
 smoke mode (default) finishes in well under 30 s; set
@@ -656,7 +665,7 @@ def _pr2_fps_seeded_busy_window(
     wcet, info, availability, jitters, cap, own_jitter, seeds=None
 ):
     """PR 2 ``fps.seeded_busy_window``: certified seeds, no pruning."""
-    (instants, before, slack, period, gap_ends, through, _order) = (
+    (instants, before, slack, period, gap_ends, through, _order, _dom) = (
         availability.instant_advance_tables()
     )
     n_instants = len(instants)
@@ -1022,6 +1031,301 @@ class Pr2WarmReference:
 
 
 # ----------------------------------------------------------------------
+# Reference: the PR 3 warm path, pinned.  Everything PR 2 had, plus the
+# incremental per-instant bound, hoisted interferer rows, the
+# own-jitter-insensitive window memo, per-replay lookup hoisting and the
+# monotone validation floor -- but **no pattern-level dominance**: every
+# maximisation re-checks every critical instant (one table-driven
+# ``advance`` per instant once the bound is active) instead of eliding
+# pattern-dominated instants once per availability.  The dominance
+# cache layer is measured against this.
+# ----------------------------------------------------------------------
+
+
+def _pr3_busy_window_at(wcet, rows, availability, cap, t0, seed=None):
+    """PR 3 ``fps._busy_window_at``, pinned verbatim."""
+    seeded = seed is not None and seed > wcet
+    demand = seed if seeded else wcet
+    window = 0
+    advance = availability.advance
+    for _ in range(MAX_FIXPOINT_ITERATIONS):
+        end = advance(t0, demand)
+        if end is None:
+            return cap, False, demand
+        window = end - t0
+        if window >= cap:
+            return cap, False, demand
+        new_demand = wcet
+        for p, c_j, jit in rows:
+            s = window + jit
+            if s > 0:
+                new_demand += -(-s // p) * c_j
+        if new_demand == demand:
+            return window, True, demand
+        if seeded and new_demand < demand:
+            return _pr3_busy_window_at(wcet, rows, availability, cap, t0)
+        demand = new_demand
+    if seeded:
+        return _pr3_busy_window_at(wcet, rows, availability, cap, t0)
+    return window, False, demand
+
+
+def _pr3_fps_seeded_busy_window(
+    wcet, info, availability, jitters, cap, own_jitter, seeds=None
+):
+    """PR 3 ``fps.seeded_busy_window``: per-instant bound, no dominance."""
+    from repro.analysis.fps import interferer_rows
+
+    (instants, before, slack, period, gap_ends, through, eval_order, _dom) = (
+        availability.instant_advance_tables()
+    )
+    n_instants = len(instants)
+    demands = [None] * n_instants
+    worst = 0
+    converged = True
+    n_seeds = len(seeds) if seeds is not None else 0
+    rows = interferer_rows(info, jitters, own_jitter)
+    fast = gap_ends is not None and slack > 0 and wcet > 0
+    bound_demand = -1
+    bound_activations = 0
+    for idx in eval_order:
+        t0 = instants[idx]
+        seed = seeds[idx] if idx < n_seeds else None
+        if worst > 0:
+            if bound_demand < 0:
+                bound_demand = wcet
+                bound_activations = 0
+                for p, c_j, jit in rows:
+                    s = worst + jit
+                    if s > 0:
+                        count = -(-s // p)
+                        bound_demand += count * c_j
+                        bound_activations += count
+            if bound_activations + 2 <= MAX_FIXPOINT_ITERATIONS:
+                if fast:
+                    whole, rem = divmod(before[idx] + bound_demand - 1, slack)
+                    k = _bisect_left(through, rem + 1)
+                    w_bound = (
+                        whole * period + gap_ends[k] - (through[k] - rem - 1)
+                        - t0
+                    )
+                else:
+                    end = availability.advance(t0, bound_demand)
+                    w_bound = cap if end is None else end - t0
+                if w_bound <= worst:
+                    continue
+        result = None
+        if fast:
+            seeded = seed is not None and seed > wcet
+            demand = seed if seeded else wcet
+            window = 0
+            offset = before[idx]
+            for _ in range(MAX_FIXPOINT_ITERATIONS):
+                whole, rem = divmod(offset + demand - 1, slack)
+                k = _bisect_left(through, rem + 1)
+                window = (
+                    whole * period + gap_ends[k] - (through[k] - rem - 1) - t0
+                )
+                if window >= cap:
+                    result = (cap, False, demand)
+                    break
+                new_demand = wcet
+                for p, c_j, jit in rows:
+                    s = window + jit
+                    if s > 0:
+                        new_demand += -(-s // p) * c_j
+                if new_demand == demand:
+                    result = (window, True, demand)
+                    break
+                if seeded and new_demand < demand:
+                    result = _pr3_busy_window_at(
+                        wcet, rows, availability, cap, t0
+                    )
+                    break
+                demand = new_demand
+            if result is None:
+                result = (
+                    _pr3_busy_window_at(wcet, rows, availability, cap, t0)
+                    if seeded
+                    else (window, False, demand)
+                )
+        else:
+            result = _pr3_busy_window_at(
+                wcet, rows, availability, cap, t0, seed
+            )
+        window, ok, demand = result
+        demands[idx] = demand
+        if window >= cap:
+            return cap, False, demands
+        if window > worst:
+            worst = window
+            bound_demand = -1
+        converged = converged and ok
+    return worst, converged, demands
+
+
+class Pr3WarmReference:
+    """The PR 3 incremental engine's warm path, frozen for comparison.
+
+    Reuses the live context's validation memo, schedule cache and
+    per-configuration structure (identical in PR 3) but pins PR 3's FPS
+    maximisation: the incremental per-instant bound re-derived inside
+    every call, with no pattern-level dominance tables.  The DYN kernel
+    is the live ``repro.analysis.dyn.seeded_busy_window`` -- this PR
+    left it untouched; re-pin it here if a later PR changes it.
+    """
+
+    def __init__(self, system):
+        from repro.analysis.context import AnalysisContext as _Ctx
+
+        self.system = system
+        self.options = AnalysisOptions()
+        self.inner = _Ctx(system, self.options)
+
+    def analyse(self, config):
+        from repro.analysis.dyn import seeded_busy_window as _dyn_seeded
+        from repro.analysis.holistic import _infeasible
+        from repro.core.cost import cost_function as _cost
+
+        inner = self.inner
+        options = self.options
+        failure = inner._validate(config)
+        if failure is not None:
+            return _infeasible(config, failure)
+        arts = inner._schedule_artifacts(config)
+        if arts.failure is not None:
+            return _infeasible(config, arts.failure)
+        table = (
+            arts.table
+            if arts.table.config is config
+            else arts.table.retime_for(config)
+        )
+
+        cap_base = inner._cap_base
+        gd_cycle = config.gd_cycle
+        cap = options.cap_factor * (
+            cap_base if cap_base > gd_cycle else gd_cycle
+        )
+        fill_strategy = options.dyn_fill_strategy
+        dyn_views = inner._dyn_views(config)
+        availability = arts.availability
+        fps_plans = inner.fps_plans
+
+        wcrt = dict(arts.static_wcrt)
+        jitters = {}
+        inner_seeds = {}
+        wcrt_get = wcrt.get
+        jitters_get = jitters.get
+        seeds_get = inner_seeds.get
+        dependents = inner._dependents(config)
+        deps_get = dependents.get
+        dirty = set()
+        dirty_add = dirty.add
+        last_own = {}
+        last_out = {}
+        fps_items = [
+            (plan, availability[node])
+            for node in self.system.nodes
+            for plan in fps_plans[node]
+        ]
+        converged = True
+        for _ in range(options.max_holistic_iterations):
+            changed = False
+            for view in dyn_views:
+                name = view.name
+                j_m = wcrt_get(view.sender, 0)
+                if jitters_get(name, 0) != j_m:
+                    jitters[name] = j_m
+                    changed = True
+                    for dep in deps_get(name, ()):
+                        dirty_add(dep)
+                cached = (
+                    last_out.get(name)
+                    if name not in dirty
+                    and (not view.own_sensitive or last_own.get(name) == j_m)
+                    else None
+                )
+                if cached is not None:
+                    w, ok = cached
+                else:
+                    if view.sendable:
+                        w, ok, final = _dyn_seeded(
+                            view.hp_info, view.lf_info, view.lower_slots,
+                            view.lam, view.theta, view.sigma, view.ct,
+                            view.gd_cycle, view.st_bus, view.ms_len,
+                            jitters, cap, j_m, fill_strategy,
+                            seeds_get(name),
+                        )
+                        inner_seeds[name] = final
+                    else:
+                        w, ok = None, False
+                    dirty.discard(name)
+                    last_own[name] = j_m
+                    last_out[name] = (w, ok)
+                if w is None:
+                    value = cap
+                else:
+                    value = j_m + w + view.ct
+                    if value > cap:
+                        value = cap
+                converged = converged and ok
+                if wcrt_get(name) != value:
+                    wcrt[name] = value
+                    changed = True
+            for plan, node_availability in fps_items:
+                name = plan.name
+                j_i = plan.release
+                for pred in plan.predecessors:
+                    v = wcrt_get(pred, 0)
+                    if v > j_i:
+                        j_i = v
+                if jitters_get(name, 0) != j_i:
+                    jitters[name] = j_i
+                    changed = True
+                    for dep in deps_get(name, ()):
+                        dirty_add(dep)
+                cached = (
+                    last_out.get(name)
+                    if name not in dirty
+                    and (not plan.own_sensitive or last_own.get(name) == j_i)
+                    else None
+                )
+                if cached is not None:
+                    window_value, ok = cached
+                else:
+                    window_value, ok, demands = _pr3_fps_seeded_busy_window(
+                        plan.wcet, plan.interferers, node_availability,
+                        jitters, cap, j_i, seeds_get(name),
+                    )
+                    inner_seeds[name] = demands
+                    dirty.discard(name)
+                    last_own[name] = j_i
+                    last_out[name] = (window_value, ok)
+                converged = converged and ok
+                r_i = j_i + window_value
+                if r_i > cap:
+                    r_i = cap
+                if wcrt_get(name) != r_i:
+                    wcrt[name] = r_i
+                    changed = True
+            if not changed:
+                break
+        else:
+            converged = False
+
+        cost = _cost(self.system.application, wcrt)
+        return AnalysisResult(
+            config=config,
+            feasible=True,
+            schedulable=cost.schedulable and converged,
+            converged=converged,
+            cost=cost,
+            wcrt=wcrt,
+            table=table,
+        )
+
+
+# ----------------------------------------------------------------------
 # Workload: the OBC/EE DYN-length sweep on a Fig. 9 system.
 # ----------------------------------------------------------------------
 _cache = {}
@@ -1042,6 +1346,132 @@ def _sweep_configs():
         for n in sweep_lengths(lo, hi, points)
     ]
     return system, options, configs
+
+
+def _pure_dyn_system(n_nodes: int, seed: int):
+    """A Fig. 9 system with its TT graphs collapsed onto single nodes.
+
+    Every time-triggered graph keeps its SCS tasks (so the nodes retain
+    rich static busy patterns -- the raw material of the dominance
+    tables) but is remapped onto the node that already hosts most of its
+    tasks, turning its ST messages into same-node precedences.  The
+    resulting application sends **only DYN messages**, so the schedule
+    key drops ``gd_cycle`` and the whole DYN-length sweep shares one
+    schedule-cache entry -- the workload where a per-availability
+    construction amortises across every candidate.
+    """
+    import dataclasses
+    from collections import Counter
+
+    from repro.model.application import Application
+    from repro.model.graph import TaskGraph
+    from repro.model.system import System
+
+    base = paper_suite(n_nodes, count=1, seed=seed)[0]
+    graphs = []
+    for g in base.application.graphs:
+        if not any(m.is_static for m in g.messages):
+            graphs.append(g)
+            continue
+        counts = Counter(t.node for t in g.tasks)
+        target = max(sorted(counts), key=lambda n: counts[n])
+        tasks = tuple(dataclasses.replace(t, node=target) for t in g.tasks)
+        precedences = tuple(g.precedences) + tuple(
+            (m.sender, r) for m in g.messages for r in m.receivers
+        )
+        graphs.append(
+            TaskGraph(
+                name=g.name,
+                period=g.period,
+                deadline=g.deadline,
+                tasks=tasks,
+                messages=(),
+                precedences=precedences,
+            )
+        )
+    app = Application(base.application.name + "_pure_dyn", tuple(graphs))
+    return System(base.nodes, app)
+
+
+def _pure_dyn_configs():
+    n_nodes = env_int("REPRO_BENCH_DOM_NODES", 4)
+    points = env_int(
+        "REPRO_BENCH_DOM_POINTS", 192 if full_scale() else 96
+    )
+    system = _pure_dyn_system(n_nodes, seed=23)
+    assert not tuple(system.application.st_messages()), "scenario must be pure-DYN"
+    options = BusOptimisationOptions(ee_max_dyn_points=points)
+    st_nodes = system.st_sender_nodes()
+    slot = min_static_slot(system, options) if st_nodes else 0
+    lo, hi = dyn_segment_bounds(system, len(st_nodes) * slot, options)
+    configs = [
+        basic_configuration(system, n, options)
+        for n in sweep_lengths(lo, hi, points)
+    ]
+    return system, configs
+
+
+def _dominance_stats(context: AnalysisContext) -> tuple:
+    """(maximal, dominated) instant counts across the context's cached
+    availability patterns (dominance tables that were actually built)."""
+    maximal = dominated = 0
+    for entry in context._schedule_cache.values():
+        if entry.availability is None:
+            continue
+        for availability in entry.availability.values():
+            dom = availability.instant_advance_tables().dominance
+            if dom is not None:
+                maximal += len(dom.maximal_order)
+                dominated += len(dom.dominated_order)
+    return maximal, dominated
+
+
+def run_pure_dyn():
+    """Time the dominance kernel against the pinned PR 3 path on the
+    pure-DYN sweep; cached across test functions."""
+    if "pure_dyn" in _cache:
+        return _cache["pure_dyn"]
+    system, configs = _pure_dyn_configs()
+
+    warm_ctx_holder = []
+
+    def _make_warm():
+        ctx = AnalysisContext(system)  # default: dominance="on"
+        warm_ctx_holder.append(ctx)
+        return ctx.analyse
+
+    timed = _time_interleaved(
+        {
+            "pr3_warm": lambda: Pr3WarmReference(system).analyse,
+            "warm": _make_warm,
+        },
+        configs,
+    )
+    pr3_s, pr3_results = timed["pr3_warm"]
+    warm_s, warm_results = timed["warm"]
+
+    # Correctness: the dominance path against the dominance-off oracle,
+    # and the "verify" cross-check counting divergences in-line.
+    off_ctx = AnalysisContext(system, AnalysisOptions(dominance="off"))
+    off_results = [off_ctx.analyse(c) for c in configs]
+    verify_ctx = AnalysisContext(system, AnalysisOptions(dominance="verify"))
+    for c in configs:
+        verify_ctx.analyse(c)
+
+    out = {
+        "system": system,
+        "configs": configs,
+        "seconds": {"pr3_warm": pr3_s, "warm": warm_s},
+        "results": {
+            "pr3_warm": pr3_results,
+            "warm": warm_results,
+            "off": off_results,
+        },
+        "divergences": verify_ctx.dominance_divergences,
+        "dominance_stats": _dominance_stats(warm_ctx_holder[0]),
+    }
+    _cache["pure_dyn"] = out
+    return out
 
 
 def _signature(result: AnalysisResult) -> tuple:
@@ -1078,28 +1508,68 @@ def _time_best(make_analyse, configs, repeats=3):
     return best_s, results
 
 
+def _time_interleaved(makes, configs, repeats=6):
+    """Best-of-*repeats* per mode, with the modes interleaved per round.
+
+    Timing the modes back-to-back in blocks lets slow host drift (CPU
+    governor ramps, co-tenant load) land entirely on whichever mode owns
+    the slow window, which is exactly what a few-percent ratio assertion
+    cannot afford.  Interleaving samples every mode in every epoch, so
+    the per-mode best is taken over comparable conditions.  Noise on a
+    shared host only ever *inflates* a sample, so the best-of floor
+    converges to the true cost as rounds accumulate -- six rounds keep
+    the few-percent ratios stable on a loaded 1-CPU container.  Returns
+    ``{mode: (seconds, first run's results)}``.
+    """
+    best = {key: None for key in makes}
+    results = {key: None for key in makes}
+    for _ in range(max(1, repeats)):
+        for key, make_analyse in makes.items():
+            analyse = make_analyse()
+            t0 = time.perf_counter()
+            out = [analyse(c) for c in configs]
+            elapsed = time.perf_counter() - t0
+            if best[key] is None or elapsed < best[key]:
+                best[key] = elapsed
+            if results[key] is None:
+                results[key] = out
+    return {key: (best[key], results[key]) for key in makes}
+
+
 def run_modes():
     """Time all modes over the sweep; cached across test functions."""
     if "modes" in _cache:
         return _cache["modes"]
     system, options, configs = _sweep_configs()
 
+    # Untimed warm-up pass: the first sweep of a fresh process runs with
+    # a cold allocator/branch-predictor (and, on busy hosts, a ramping
+    # CPU governor), which would systematically penalise whichever mode
+    # happens to be timed first.  The speedup *ratios* asserted below
+    # compare modes separated by a few percent, so burn the drift here.
+    warmup = AnalysisContext(system)
+    for c in configs:
+        warmup.analyse(c)
+
     t0 = time.perf_counter()
     seed_results = [seed_reference_analyse(system, c) for c in configs]
     seed_s = time.perf_counter() - t0
 
-    pr1_s, pr1_results = _time_best(
-        lambda: Pr1WarmReference(system).analyse, configs
+    timed = _time_interleaved(
+        {
+            "pr1_warm": lambda: Pr1WarmReference(system).analyse,
+            "pr2_warm": lambda: Pr2WarmReference(system).analyse,
+            "pr3_warm": lambda: Pr3WarmReference(system).analyse,
+            "cold": lambda: (lambda c: analyse_system(system, c)),
+            "warm": lambda: AnalysisContext(system).analyse,
+        },
+        configs,
     )
-    pr2_s, pr2_results = _time_best(
-        lambda: Pr2WarmReference(system).analyse, configs
-    )
-    cold_s, cold_results = _time_best(
-        lambda: lambda c: analyse_system(system, c), configs
-    )
-    warm_s, warm_results = _time_best(
-        lambda: AnalysisContext(system).analyse, configs
-    )
+    pr1_s, pr1_results = timed["pr1_warm"]
+    pr2_s, pr2_results = timed["pr2_warm"]
+    pr3_s, pr3_results = timed["pr3_warm"]
+    cold_s, cold_results = timed["cold"]
+    warm_s, warm_results = timed["warm"]
 
     workers = env_int("REPRO_BENCH_INC_WORKERS", min(8, os.cpu_count() or 1))
     import dataclasses
@@ -1120,6 +1590,7 @@ def run_modes():
             "seed": (seed_s, seed_results),
             "pr1_warm": (pr1_s, pr1_results),
             "pr2_warm": (pr2_s, pr2_results),
+            "pr3_warm": (pr3_s, pr3_results),
             "cold": (cold_s, cold_results),
             "warm": (warm_s, warm_results),
             "parallel": (par_s, par_results),
@@ -1136,16 +1607,23 @@ def test_incremental_analysis_identical_and_fast():
 
     # Correctness first: every mode bit-identical to the seed reference.
     seed_sigs = [_signature(r) for r in results["seed"][1]]
-    for mode in ("pr1_warm", "pr2_warm", "cold", "warm", "parallel"):
+    for mode in ("pr1_warm", "pr2_warm", "pr3_warm", "cold", "warm",
+                 "parallel"):
         sigs = [_signature(r) for r in results[mode][1]]
         assert sigs == seed_sigs, f"{mode} diverged from the seed reference"
 
     seed_s = results["seed"][0]
     pr1_s = results["pr1_warm"][0]
     pr2_s = results["pr2_warm"][0]
+    pr3_s = results["pr3_warm"][0]
     warm_s = results["warm"][0]
     cold_s = results["cold"][0]
     par_s = results["parallel"][0]
+    pure_dyn = run_pure_dyn()
+    pd_n = len(pure_dyn["configs"])
+    pd_pr3_s = pure_dyn["seconds"]["pr3_warm"]
+    pd_warm_s = pure_dyn["seconds"]["warm"]
+    pd_maximal, pd_dominated = pure_dyn["dominance_stats"]
     payload = {
         "workload": {
             "sweep_points": n,
@@ -1157,6 +1635,7 @@ def test_incremental_analysis_identical_and_fast():
             "seed_behaviour": round(seed_s, 4),
             "pr1_warm": round(pr1_s, 4),
             "pr2_warm": round(pr2_s, 4),
+            "pr3_warm": round(pr3_s, 4),
             "cold_context": round(cold_s, 4),
             "warm_context": round(warm_s, 4),
             "parallel": round(par_s, 4),
@@ -1165,6 +1644,7 @@ def test_incremental_analysis_identical_and_fast():
             "seed_behaviour": round(n / seed_s, 2),
             "pr1_warm": round(n / pr1_s, 2),
             "pr2_warm": round(n / pr2_s, 2),
+            "pr3_warm": round(n / pr3_s, 2),
             "cold_context": round(n / cold_s, 2),
             "warm_context": round(n / warm_s, 2),
             "parallel": round(n / par_s, 2),
@@ -1172,12 +1652,28 @@ def test_incremental_analysis_identical_and_fast():
         "speedup_vs_seed": {
             "pr1_warm": round(seed_s / pr1_s, 2),
             "pr2_warm": round(seed_s / pr2_s, 2),
+            "pr3_warm": round(seed_s / pr3_s, 2),
             "cold_context": round(seed_s / cold_s, 2),
             "warm_context": round(seed_s / warm_s, 2),
             "parallel": round(seed_s / par_s, 2),
         },
         "warm_vs_pr1_warm": round(pr1_s / warm_s, 2),
         "warm_vs_pr2_warm": round(pr2_s / warm_s, 2),
+        "warm_vs_pr3_warm": round(pr3_s / warm_s, 2),
+        # The dominance scenario: a pure-DYN sweep (no ST messages, one
+        # shared schedule-cache entry) where the pattern-level tables
+        # amortise across every candidate.
+        "pure_dyn": {
+            "sweep_points": pd_n,
+            "seconds": {
+                "pr3_warm": round(pd_pr3_s, 4),
+                "warm_context": round(pd_warm_s, 4),
+            },
+            "warm_vs_pr3_warm": round(pd_pr3_s / pd_warm_s, 2),
+            "dominated_instants": pd_dominated,
+            "maximal_instants": pd_maximal,
+            "dominance_verify_divergences": pure_dyn["divergences"],
+        },
     }
     report_json("BENCH_incremental_analysis", payload)
     report(
@@ -1195,6 +1691,7 @@ def test_incremental_analysis_identical_and_fast():
                 ("seed", "seed_behaviour"),
                 ("pr1_warm", "pr1_warm"),
                 ("pr2_warm", "pr2_warm"),
+                ("pr3_warm", "pr3_warm"),
                 ("cold", "cold_context"),
                 ("warm", "warm_context"),
                 ("parallel", "parallel"),
@@ -1208,6 +1705,12 @@ def test_incremental_analysis_identical_and_fast():
             f"warm vs PR 2 warm path: {pr2_s / warm_s:.2f}x "
             "(FPS instant pruning + hoisted interferer rows + monotone "
             "validation floor)",
+            f"warm vs PR 3 warm path: {pr3_s / warm_s:.2f}x on this "
+            "ST-heavy sweep (fresh schedule per cycle length)",
+            f"pure-DYN sweep ({pd_n} points, one shared schedule): warm vs "
+            f"PR 3 warm path {pd_pr3_s / pd_warm_s:.2f}x -- pattern-level "
+            f"dominance elides {pd_dominated}/{pd_maximal + pd_dominated} "
+            "instants once per availability",
         ],
     )
 
@@ -1222,12 +1725,42 @@ def test_incremental_analysis_identical_and_fast():
     assert pr1_s / warm_s >= 2.0, (
         f"warm context only {pr1_s / warm_s:.2f}x faster than the PR 1 warm path"
     )
-    # PR 3's claim: the third-generation kernel (dominance-pruned FPS
-    # instants via the incremental per-instant bound, hoisted interferer
-    # rows, per-replay lookup hoisting, monotone validation floor) beats
-    # the pinned PR 2 warm path >= 1.3x on the same sweep.
+    # PR 3's claim: the third-generation kernel (incremental per-instant
+    # bound, hoisted interferer rows, per-replay lookup hoisting,
+    # monotone validation floor) beats the pinned PR 2 warm path
+    # >= 1.3x on the same sweep.
     assert pr2_s / warm_s >= 1.3, (
         f"warm context only {pr2_s / warm_s:.2f}x faster than the PR 2 warm path"
+    )
+    # PR 4's no-regression claim: lazily-built dominance tables must not
+    # cost anything measurable on this ST-heavy sweep, where every cycle
+    # length gets a fresh schedule (and hence fresh availability
+    # patterns whose construction is barely amortised).
+    assert pr3_s / warm_s >= 0.97, (
+        f"dominance tables regressed the ST-heavy sweep: warm is "
+        f"{pr3_s / warm_s:.2f}x of the PR 3 warm path"
+    )
+
+
+def test_dominance_amortises_on_pure_dyn_sweep():
+    """PR 4's claim: on a pure-DYN sweep (one shared schedule, so one
+    dominance construction for the whole sweep) the dominance kernel
+    beats the pinned PR 3 warm path >= 1.1x, bit-identically."""
+    pure_dyn = run_pure_dyn()
+    off_sigs = [_signature(r) for r in pure_dyn["results"]["off"]]
+    for mode in ("pr3_warm", "warm"):
+        sigs = [_signature(r) for r in pure_dyn["results"][mode]]
+        assert sigs == off_sigs, f"{mode} diverged from the dominance-off oracle"
+    assert pure_dyn["divergences"] == 0, (
+        "dominance='verify' caught divergences on the pure-DYN sweep"
+    )
+    maximal, dominated = pure_dyn["dominance_stats"]
+    assert dominated > 0, "scenario exercises no dominated instants"
+    pr3_s = pure_dyn["seconds"]["pr3_warm"]
+    warm_s = pure_dyn["seconds"]["warm"]
+    assert pr3_s / warm_s >= 1.1, (
+        f"dominance kernel only {pr3_s / warm_s:.2f}x faster than the "
+        "PR 3 warm path on the pure-DYN sweep"
     )
 
 
@@ -1282,5 +1815,6 @@ def test_optimisers_identical_serial_vs_parallel():
 
 if __name__ == "__main__":
     test_incremental_analysis_identical_and_fast()
+    test_dominance_amortises_on_pure_dyn_sweep()
     test_optimisers_identical_serial_vs_parallel()
     print("bench_incremental_analysis: all checks passed")

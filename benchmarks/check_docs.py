@@ -2,13 +2,19 @@
 
 The architecture documents under ``docs/`` point into the codebase with
 backticked dotted names (```repro.analysis.fps.seeded_busy_window```),
-backticked repo paths (```src/repro/analysis/context.py```) and relative
-markdown links.  Stale pointers are the classic way architecture docs
-rot, so this checker verifies, for every documentation file:
+backticked repo paths (```src/repro/analysis/context.py```),
+backticked ``module:symbol`` pointers (```benchmarks/_report.py:report```
+or ```repro.analysis.fps:seeded_busy_window```) and relative markdown
+links.  Stale pointers are the classic way architecture docs rot, so
+this checker verifies, for every documentation file:
 
 * every backticked ``repro.*`` dotted name imports (module) or resolves
   (module attribute, class attribute one level deep);
 * every backticked token that looks like a repo path exists;
+* every backticked ``module:symbol`` pointer resolves its symbol --
+  dotted modules through import + ``getattr``, ``*.py`` paths through a
+  (side-effect-free) AST scan for the named top-level function, class,
+  assignment or ``Class.attribute``;
 * every relative markdown link resolves, and a ``#anchor`` fragment
   matches a heading slug of the target document.
 
@@ -18,6 +24,7 @@ Run directly (``python benchmarks/check_docs.py``) for a report, or let
 
 from __future__ import annotations
 
+import ast
 import importlib
 import re
 import sys
@@ -36,6 +43,13 @@ DOC_FILES = (
 
 _DOTTED = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+)`")
 _PATHISH = re.compile(r"`([A-Za-z0-9_./-]+/[A-Za-z0-9_.-]+\.(?:py|md|json|ini|txt))`")
+#: ``module:symbol`` pointers: the module half is either a ``*.py`` repo
+#: path or a dotted module name; the symbol half is a dotted attribute
+#: chain (``function``, ``Class``, ``Class.method``).
+_MOD_SYMBOL = re.compile(
+    r"`([A-Za-z0-9_./-]+\.py|[A-Za-z_][\w.]*):"
+    r"([A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*)`"
+)
 _LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
 _HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
 
@@ -66,11 +80,88 @@ def _check_dotted(name: str) -> str:
     return "no importable module prefix"
 
 
+def _ast_symbols(source_path: Path) -> dict:
+    """Top-level names defined by a Python file, without importing it.
+
+    Maps each top-level function/class/assignment name to the set of
+    one-level attribute names it defines (methods and class-body
+    assignments for classes, empty otherwise) -- enough to resolve
+    ``symbol`` and ``Class.attribute`` pointers into scripts that are
+    not importable as modules (or whose import would run a benchmark).
+    """
+    tree = ast.parse(source_path.read_text(encoding="utf-8"))
+    symbols: dict = {}
+
+    def _targets(node):
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                if isinstance(t, ast.Name):
+                    yield t.id
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            yield node.target.id
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            symbols[node.name] = set()
+        elif isinstance(node, ast.ClassDef):
+            members = set()
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    members.add(sub.name)
+                else:
+                    members.update(_targets(sub))
+            symbols[node.name] = members
+        else:
+            for name in _targets(node):
+                symbols[name] = set()
+    return symbols
+
+
+def _check_mod_symbol(module: str, symbol: str, doc_dir: Path) -> str:
+    """Empty string when ``module:symbol`` resolves; the reason otherwise.
+
+    ``module`` is a ``*.py`` path (relative to the repo root, to
+    ``src/``, or to the document's directory; resolved by AST scan) or a
+    dotted module name (resolved by import + attribute chain).
+    """
+    if module.endswith(".py"):
+        for base in (REPO_ROOT, REPO_ROOT / "src", doc_dir):
+            candidate = base / module
+            if candidate.exists():
+                break
+        else:
+            return f"file {module!r} does not exist"
+        try:
+            symbols = _ast_symbols(candidate)
+        except SyntaxError as exc:  # pragma: no cover - repo code parses
+            return f"cannot parse {module!r}: {exc}"
+        top, _, attr = symbol.partition(".")
+        if top not in symbols:
+            return f"{module!r} defines no top-level {top!r}"
+        if attr and attr not in symbols[top]:
+            return f"{module}:{top} has no attribute {attr!r}"
+        return ""
+    return _check_dotted(f"{module}.{symbol}")
+
+
 def check_file(path: Path) -> List[str]:
     """Problems found in one documentation file (empty = clean)."""
     problems: List[str] = []
-    rel = path.relative_to(REPO_ROOT)
+    try:
+        rel = path.relative_to(REPO_ROOT)
+    except ValueError:
+        rel = path
     text = path.read_text(encoding="utf-8")
+
+    for match in _MOD_SYMBOL.finditer(text):
+        reason = _check_mod_symbol(match.group(1), match.group(2), path.parent)
+        if reason:
+            problems.append(
+                f"{rel}: stale symbol pointer "
+                f"`{match.group(1)}:{match.group(2)}` ({reason})"
+            )
 
     for match in _DOTTED.finditer(text):
         reason = _check_dotted(match.group(1))

@@ -68,6 +68,29 @@ speedup:
 ... ]
 True
 
+**Dominance tables.**  The FPS maximisation elides *pattern-level
+dominated* critical instants: instants whose delivered-slack function
+another instant dominates pointwise can never produce the worst busy
+window (docs/ANALYSIS.md has the proof).  The tables are a property of
+the ``NodeAvailability`` pattern alone -- built lazily, cached on the
+pattern, togglable per analysis via ``AnalysisOptions.dominance``
+(``"on"`` default, ``"off"`` oracle, ``"verify"`` cross-check):
+
+>>> AnalysisOptions().dominance
+'on'
+>>> from repro.analysis import NodeAvailability
+>>> av = NodeAvailability([(0, 4), (6, 8), (9, 10)], period=12)
+>>> dom = av.dominance_tables()
+>>> instants = av.critical_instants()
+>>> [instants[i] for i in dom.maximal_order]  # longest block survives
+[0]
+>>> sorted(dom.maximal_order + dom.dominated_order) == list(
+...     range(len(instants))
+... )
+True
+>>> all(dom.witness[i] in dom.maximal_order for i in dom.dominated_order)
+True
+
 **Optimisation.**  The optimisers run on an ``Evaluator`` owning the
 warm context, an LRU result cache and (opt-in) a process pool.  Fixed
 options give byte-identical outcomes however the work is scheduled --

@@ -21,12 +21,16 @@ Public entry points
 The busy-window kernels (:func:`fps_task_busy_window`,
 :func:`dyn_message_busy_window`), the static scheduler
 (:func:`build_schedule`, :class:`SchedulePlan`) and the availability
-primitive (:class:`NodeAvailability`) are exported for direct use in
-tests, benchmarks and tooling; the math behind them is derived in
+primitive (:class:`NodeAvailability`, whose lazily-built
+:class:`DominanceTables` let the FPS maximisation elide pattern-level
+dominated critical instants) are exported for direct use in tests,
+benchmarks and tooling; the math behind them is derived in
 ``docs/ANALYSIS.md``.
 """
 
 from repro.analysis.availability import (
+    DominanceTables,
+    InstantTables,
     NodeAvailability,
     merge_intervals,
     wrap_busy_intervals,
@@ -75,7 +79,9 @@ __all__ = [
     "ancestor_sets",
     "BusLoad",
     "SlackEntry",
+    "DominanceTables",
     "DynInterference",
+    "InstantTables",
     "NodeAvailability",
     "SchedulePlan",
     "ScheduleOptions",

@@ -5,14 +5,107 @@ of the paper).  The static schedule of a node defines a periodic pattern
 of busy intervals over the hyper-period; this module answers "starting at
 time t0, when has the node delivered x macroticks of slack?" -- the
 primitive the FPS response-time analysis is built on.
+
+Beyond the point queries, each :class:`NodeAvailability` lazily builds
+two per-pattern index structures for the busy-window maximisation of
+:func:`repro.analysis.fps.seeded_busy_window`: the prefix-sum
+:class:`InstantTables` that turn ``advance`` into a ``divmod`` plus a
+bisect, and the pattern-level :class:`DominanceTables` that elide
+critical instants whose delivered-slack function another instant
+dominates pointwise (``docs/ANALYSIS.md`` proves the elision exact).
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import List, Optional, Sequence, Tuple
+from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.errors import AnalysisError
+
+#: Work budget of the dominance construction, as a multiple of the
+#: pattern size ``n_instants + n_boundaries``.  Each staircase
+#: comparison step costs one unit; once the budget is exhausted the
+#: remaining instants are kept as maximal unconditionally (keeping an
+#: instant is always safe -- only *eliding* one needs a proof), so the
+#: construction is certifiably near-linear in the pattern size while the
+#: pruning stays exact.  In practice the sweep never comes close: the
+#: budget exists to bound adversarial patterns, not measured ones.
+DOMINANCE_BUDGET_FACTOR = 64
+
+#: Number of dominance-enabled maximisations a pattern must serve before
+#: the dominance tables are built.  Construction is a per-pattern cost
+#: that only pays off when many maximisations reuse it: an ST-heavy
+#: sweep gives every configuration a fresh schedule -- and hence fresh
+#: availability patterns that each serve only one fix point -- so even
+#: building "lazily on first use" costs more than the elision saves
+#: there (measured ~0.8x vs. the PR 3 path on the bench sweep).  A
+#: pure-DYN sweep reuses one pattern across the whole sweep, sails past
+#: the threshold during its first configurations and amortises the
+#: construction to nothing.  Until the threshold is crossed the kernel
+#: simply runs with the per-instant bound alone -- results are identical
+#: either way, so the threshold is a pure cost knob, never a semantic
+#: one.  :meth:`NodeAvailability.dominance_tables` bypasses it (a direct
+#: request is an explicit demand for the tables).
+DOMINANCE_LAZY_THRESHOLD = 64
+
+
+class DominanceTables(NamedTuple):
+    """Pattern-level dominance preorder over critical instants.
+
+    Instant *t* is *dominated* by instant *u* when t's delivered-slack
+    function is pointwise at least u's (``available_in(t, t+w) >=
+    available_in(u, u+w)`` for every window ``w``): every demand is then
+    served from *t* no later than from *u*, so t's busy-window fixed
+    point can never exceed u's and t can be elided from the FPS
+    maximisation (see ``docs/ANALYSIS.md``, "Pattern-level dominance").
+    A property of the availability pattern alone -- built lazily once
+    per :class:`NodeAvailability` and amortised across every busy-window
+    maximisation that reuses the schedule.
+    """
+
+    #: Maximal (non-dominated) instant indices, in the availability's
+    #: evaluation order (longest initial busy run first) -- the set the
+    #: pruned maximisation iterates.
+    maximal_order: Tuple[int, ...]
+    #: Dominated instant indices, same order -- evaluated only in the
+    #: rare near-cap regime where the activation-count guard of
+    #: :func:`repro.analysis.fps.seeded_busy_window` cannot certify
+    #: their convergence flag.
+    dominated_order: Tuple[int, ...]
+    #: Per instant index: the index of a dominating instant, or ``-1``
+    #: for maximal instants.  The witness is what makes elision
+    #: auditable -- tests check the pointwise inequality against it.
+    witness: Tuple[int, ...]
+
+
+class InstantTables(NamedTuple):
+    """Raw per-instant tables of the inlined busy-window kernel.
+
+    Everything :func:`repro.analysis.fps.seeded_busy_window` needs to
+    compute ``advance(instant, demand)`` without a method call.
+    Empty-pattern nodes (no busy intervals) have ``slack_before``,
+    ``gap_ends`` and ``slack_through`` set to ``None``.  ``dominance``
+    is ``None`` until the lazily-built dominance tables are requested
+    through :meth:`NodeAvailability.instant_advance_tables`.
+    """
+
+    #: Candidate busy-window origins: time 0 plus every busy start.
+    instants: List[int]
+    #: Pattern slack before each instant (``None`` for idle nodes).
+    slack_before: Optional[List[int]]
+    #: Available macroticks per period.
+    slack_per_period: int
+    #: Length of the repeating pattern.
+    period: int
+    #: End of gap k (``None`` for idle nodes).
+    gap_ends: Optional[List[int]]
+    #: Pattern slack through gap k, inclusive (``None`` for idle nodes).
+    slack_through: Optional[List[int]]
+    #: Instant indices, longest initial busy run first -- the order that
+    #: makes the kernel's incremental per-instant bound prune best.
+    eval_order: Tuple[int, ...]
+    #: Lazily-built :class:`DominanceTables`, or ``None``.
+    dominance: Optional[DominanceTables]
 
 
 def merge_intervals(intervals: Sequence[Tuple[int, int]]) -> List[Tuple[int, int]]:
@@ -117,6 +210,26 @@ class NodeAvailability:
                 key=lambda i: (-_initial_block(self._critical_instants[i]), i),
             )
         )
+        #: Dominance-enabled maximisations served so far; the dominance
+        #: tables are built once this crosses the amortisation threshold
+        #: (see :data:`DOMINANCE_LAZY_THRESHOLD`).
+        self._dominance_requests = 0
+        if not merged:
+            self._tables = InstantTables(
+                self._critical_instants, None, period, period, None, None,
+                self._instant_eval_order, None,
+            )
+        else:
+            self._tables = InstantTables(
+                self._critical_instants,
+                self._instant_slack_before,
+                period - self._busy_per_period,
+                period,
+                self._gap_ends,
+                self._slack_through,
+                self._instant_eval_order,
+                None,
+            )
 
     def _slack_before(self, x: int) -> int:
         """Pattern slack in ``[0, x)`` for ``0 <= x <= period``."""
@@ -126,29 +239,180 @@ class NodeAvailability:
         end = self._gap_ends[i]
         return self._slack_through[i] - (end - min(end, x))
 
-    def instant_advance_tables(self) -> tuple:
-        """Raw tables for the inlined busy-window kernel.
+    def instant_advance_tables(self, dominance: bool = False) -> InstantTables:
+        """Tables for the inlined busy-window kernel, as :class:`InstantTables`.
 
-        ``(instants, slack_before_instant, slack_per_period, period,
-        gap_ends, slack_through, eval_order)`` -- everything needed to
-        compute ``advance(instant, demand)`` without a method call; see
-        :func:`repro.analysis.fps.seeded_busy_window`.  Empty-pattern
-        nodes (no busy intervals) return ``gap_ends = None``.
-        ``eval_order`` lists instant indices with the longest initial
-        busy run first -- the order that makes the kernel's incremental
-        per-instant bound prune best.
+        With ``dominance=True`` the pattern-level
+        :class:`DominanceTables` are built -- once the pattern has
+        served :data:`DOMINANCE_LAZY_THRESHOLD` dominance-enabled
+        maximisations -- and cached (the ``dominance`` field stays
+        ``None`` until then).  The two-stage laziness is deliberate:
+        availability patterns are also constructed on paths that run
+        only a handful of maximisations per pattern (the FPS-aware
+        placement heuristic, ST-heavy sweeps where every configuration
+        gets a fresh schedule), and those must not pay a construction
+        they cannot amortise.  See
+        :func:`repro.analysis.fps.seeded_busy_window` for the consumer.
         """
-        if not self.busy:
-            return (self._critical_instants, None, self.period,
-                    self.period, None, None, self._instant_eval_order)
-        return (
-            self._critical_instants,
-            self._instant_slack_before,
-            self.period - self._busy_per_period,
-            self.period,
-            self._gap_ends,
-            self._slack_through,
-            self._instant_eval_order,
+        if dominance and self._tables.dominance is None:
+            self._dominance_requests += 1
+            if self._dominance_requests > DOMINANCE_LAZY_THRESHOLD:
+                self._tables = self._tables._replace(
+                    dominance=self._build_dominance_tables()
+                )
+        return self._tables
+
+    def dominance_tables(self) -> DominanceTables:
+        """The pattern-level dominance preorder over critical instants.
+
+        Built lazily on first call and cached on the availability, so
+        every busy-window maximisation against this pattern shares one
+        construction.  ``maximal_order + dominated_order`` is a
+        permutation of all instant indices and every dominated instant
+        carries a dominating ``witness`` -- the elision-safety argument
+        is in ``docs/ANALYSIS.md``.
+
+        Unlike the kernel's :meth:`instant_advance_tables` path, a
+        direct call builds immediately (no amortisation threshold).
+
+        >>> av = NodeAvailability([(0, 4), (6, 7)], period=10)
+        >>> dom = av.dominance_tables()
+        >>> [av.critical_instants()[i] for i in dom.maximal_order]
+        [0]
+        >>> sorted(dom.maximal_order + dom.dominated_order)
+        [0, 1, 2]
+        """
+        if self._tables.dominance is None:
+            self._tables = self._tables._replace(
+                dominance=self._build_dominance_tables()
+            )
+        return self._tables.dominance
+
+    def _build_dominance_tables(self) -> DominanceTables:
+        """Construct the dominance preorder in near-linear time.
+
+        Every instant's delivered-slack function is a shift of the one
+        periodic cumulative-slack staircase ``F`` (prefix sums
+        ``_gap_ends``/``_slack_through``):
+
+            S_t(w) = F_ext(t + w) - F_ext(t)
+
+        so "t dominated by u" (``S_t >= S_u`` pointwise) reduces to the
+        difference staircase ``w -> F_ext(t+w) - F_ext(u+w)`` attaining
+        its minimum at ``w = 0``.  The difference is piecewise linear
+        with breakpoints only where ``t+w`` or ``u+w`` crosses a busy
+        boundary, and periodic in ``w`` with period ``period`` -- so one
+        monotone two-pointer merge of the two instants' precomputed
+        relative-boundary lists decides a pair in O(gaps) staircase
+        evaluations instead of a pointwise function comparison.
+
+        The sweep visits instants by descending *effective* initial
+        busy-run length (wrap-aware): a dominator's initial block is
+        necessarily at least as long as the dominated instant's, so
+        candidate dominators always precede their targets and only
+        current maximal instants are ever tested.  Total work is
+        bounded by :data:`DOMINANCE_BUDGET_FACTOR` times the pattern
+        size; on budget exhaustion the remaining instants are kept
+        (pruning degrades, correctness cannot).
+        """
+        instants = self._critical_instants
+        n = len(instants)
+        witness = [-1] * n
+        eval_order = self._instant_eval_order
+        if n <= 1 or not self.busy:
+            return DominanceTables(eval_order, (), tuple(witness))
+        period = self.period
+        slack = period - self._busy_per_period
+
+        # Effective (wrap-aware) initial busy-run length per instant:
+        # a run ending at the period boundary continues into the next
+        # period's leading busy interval.  Dominance requires the
+        # dominator's run to be at least as long, which is what makes
+        # the descending sweep below sound.
+        end_of_run = dict(self.busy)
+        lead = self.busy[0]
+
+        def _effective_block(t: int) -> int:
+            end = end_of_run.get(t)
+            if end is None:
+                return 0
+            length = end - t
+            if end == period and lead[0] == 0:
+                length += lead[1]
+            return length
+
+        blocks = [_effective_block(t) for t in instants]
+        order = sorted(range(n), key=lambda i: (-blocks[i], i))
+
+        # Staircase breakpoints (busy boundaries folded into [0, period))
+        # and, per instant, the same boundaries as offsets relative to
+        # the instant -- two sorted runs, concatenated in order.
+        bounds = sorted({b for s, e in self.busy for b in (s, e % period)})
+        rel: List[List[int]] = []
+        for t in instants:
+            k = bisect_left(bounds, t)
+            rel.append(
+                [b - t for b in bounds[k:]]
+                + [b - t + period for b in bounds[:k]]
+            )
+
+        slack_before = self._slack_before
+        before = self._instant_slack_before
+        budget = DOMINANCE_BUDGET_FACTOR * (n + len(bounds) + 1)
+
+        def _dominated_by(t_idx: int, u_idx: int) -> bool:
+            """True when instant u's staircase pointwise dominates t's."""
+            nonlocal budget
+            t = instants[t_idx]
+            u = instants[u_idx]
+            base = before[t_idx] - before[u_idx]
+            a = rel[t_idx]
+            b = rel[u_idx]
+            ia = ib = 0
+            la = len(a)
+            lb = len(b)
+            while ia < la or ib < lb:
+                if ib >= lb or (ia < la and a[ia] <= b[ib]):
+                    w = a[ia]
+                    ia += 1
+                    if ib < lb and b[ib] == w:
+                        ib += 1
+                else:
+                    w = b[ib]
+                    ib += 1
+                budget -= 1
+                tx = t + w
+                ux = u + w
+                d_t = (
+                    slack_before(tx - period) + slack
+                    if tx >= period
+                    else slack_before(tx)
+                )
+                d_u = (
+                    slack_before(ux - period) + slack
+                    if ux >= period
+                    else slack_before(ux)
+                )
+                if d_t - d_u < base:
+                    return False
+            return True
+
+        maximal = [order[0]]
+        for i in order[1:]:
+            if budget > 0:
+                for u in maximal:
+                    if _dominated_by(i, u):
+                        witness[i] = u
+                        break
+                    if budget <= 0:
+                        break
+            if witness[i] < 0:
+                maximal.append(i)
+        maximal_set = set(maximal)
+        return DominanceTables(
+            tuple(i for i in eval_order if i in maximal_set),
+            tuple(i for i in eval_order if i not in maximal_set),
+            tuple(witness),
         )
 
     @property

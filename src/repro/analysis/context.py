@@ -143,6 +143,7 @@ class AnalysisContext:
     ):
         from repro.analysis.holistic import (
             AnalysisOptions,
+            DOMINANCE_MODES,
             WARM_START_MODES,
             analysis_cap_base,
         )
@@ -154,6 +155,11 @@ class AnalysisContext:
                 f"unknown warm_start mode {self.options.warm_start!r}; "
                 f"choose from {WARM_START_MODES}"
             )
+        if self.options.dominance not in DOMINANCE_MODES:
+            raise ConfigurationError(
+                f"unknown dominance mode {self.options.dominance!r}; "
+                f"choose from {DOMINANCE_MODES}"
+            )
         self.max_schedule_entries = max_schedule_entries
         self.max_structure_entries = max_structure_entries
         self.max_validation_entries = max_validation_entries
@@ -163,6 +169,12 @@ class AnalysisContext:
         #: impossible -- the counter exists to let tests and debug runs
         #: assert exactly that).
         self.warm_start_divergences = 0
+        #: Divergences caught by the ``dominance="verify"`` debug mode:
+        #: FPS maximisations where the dominance-elided instant set
+        #: produced a different (value, converged) pair than the full
+        #: maximisation (provably impossible -- same contract as
+        #: :attr:`warm_start_divergences`).
+        self.dominance_divergences = 0
         #: Last converged solution, seeding the legacy neighbour outer
         #: warm start (``warm_start="seed"`` only).
         self._warm_state = None
@@ -705,6 +717,15 @@ class AnalysisContext:
         inner_seeds: Dict[str, object] = {}
         use_inner = certified and seed_wcrt is None
         prune = certified
+        # Pattern-level dominance (cache layer 3, riding layer 2's
+        # NodeAvailability objects): the elided
+        # instant sets live on the cached NodeAvailability objects, so
+        # they ride the per-static-segment schedule cache -- a pure-DYN
+        # sweep builds them once for the whole sweep.  The cold oracle
+        # (``certified=False``) disables dominance along with every
+        # other accelerator, whatever the option says.
+        dominance = certified and options.dominance == "on"
+        dominance_verify = certified and options.dominance == "verify"
         if seed_wcrt is not None:
             for name, value in seed_wcrt.items():
                 if name not in wcrt:
@@ -823,7 +844,27 @@ class AnalysisContext:
                         j_i,
                         seeds_get(name) if use_inner else None,
                         prune,
+                        dominance,
                     )
+                    if dominance_verify:
+                        # Force-build the tables (bypassing the lazy
+                        # amortisation threshold): verify must actually
+                        # run both ways from the first maximisation, not
+                        # compare the full path with itself.
+                        node_availability.dominance_tables()
+                        elided, elided_ok, _ = _fps_busy_window(
+                            plan.wcet,
+                            plan.interferers,
+                            node_availability,
+                            jitters,
+                            cap,
+                            j_i,
+                            seeds_get(name) if use_inner else None,
+                            prune,
+                            True,
+                        )
+                        if (elided, elided_ok) != (window_value, ok):
+                            self.dominance_divergences += 1
                     if use_inner:
                         inner_seeds[name] = demands
                     dirty.discard(name)

@@ -31,6 +31,9 @@ from repro.model.system import System
 #: Legal values of :attr:`AnalysisOptions.warm_start`.
 WARM_START_MODES = ("certified", "off", "seed", "verify")
 
+#: Legal values of :attr:`AnalysisOptions.dominance`.
+DOMINANCE_MODES = ("on", "off", "verify")
+
 
 @dataclass(frozen=True)
 class AnalysisOptions:
@@ -83,6 +86,32 @@ class AnalysisOptions:
     #:   :class:`~repro.analysis.context.AnalysisContext` (provably
     #:   always 0), and return the cold result.
     warm_start: str = "certified"
+    #: Pattern-level dominance elision of FPS critical instants
+    #: (the engine's newest cache layer; see ``docs/ANALYSIS.md``):
+    #:
+    #: * ``"on"`` (default) -- the FPS maximisation iterates only the
+    #:   availability pattern's *maximal* instants; dominated instants
+    #:   are elided against a cached per-pattern witness table
+    #:   (:meth:`repro.analysis.availability.NodeAvailability.dominance_tables`,
+    #:   built lazily on first maximisation).  Provably bit-identical to
+    #:   ``"off"``: elision is value- and cap-exact by pointwise
+    #:   dominance of the window maps, and the convergence flag is
+    #:   certified by the same activation-count guard as the
+    #:   per-instant bound (with an automatic no-dominance replay in
+    #:   the near-cap regime where the guard cannot certify it).
+    #: * ``"off"`` -- every critical instant is evaluated (modulo the
+    #:   per-instant bound, which ``warm_start`` controls); the oracle
+    #:   the dominance path is fuzzed and regression-locked against.
+    #: * ``"verify"`` -- debug mode: run every FPS maximisation both
+    #:   ways, count divergences on the owning
+    #:   :class:`~repro.analysis.context.AnalysisContext`
+    #:   (``dominance_divergences``, provably always 0), and return the
+    #:   full-maximisation result.
+    #:
+    #: ``warm_start="off"`` (the fully cold oracle) disables dominance
+    #: along with every other certified accelerator, whatever this
+    #: field says.
+    dominance: str = "on"
 
 
 @dataclass(frozen=True)

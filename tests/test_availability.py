@@ -153,9 +153,10 @@ class TestAdvanceBisectEquivalence:
 
     def test_instant_tables_consistent_with_advance(self):
         av = NodeAvailability([(2, 5), (8, 10)], period=12)
-        (instants, before, slack, period, gap_ends, through, eval_order) = (
-            av.instant_advance_tables()
-        )
+        tables = av.instant_advance_tables()
+        (instants, before, slack, period, gap_ends, through, eval_order,
+         dominance) = tables
+        assert dominance is None  # lazily built, not requested here
         assert instants == av.critical_instants()
         assert slack == av.slack_per_period and period == av.period
         # The evaluation order is a permutation sorted by descending
@@ -175,8 +176,22 @@ class TestAdvanceBisectEquivalence:
 
     def test_idle_pattern_tables(self):
         av = NodeAvailability([], period=10)
-        instants, before, slack, period, gap_ends, through, eval_order = (
-            av.instant_advance_tables()
-        )
-        assert gap_ends is None and instants == [0]
-        assert eval_order == (0,)
+        tables = av.instant_advance_tables()
+        assert tables.gap_ends is None and tables.instants == [0]
+        assert tables.eval_order == (0,)
+
+    def test_tables_are_a_named_tuple(self):
+        """The kernel tables are an :class:`InstantTables` -- positional
+        layout stable for the inlined kernels, names for everyone else."""
+        from repro.analysis.availability import InstantTables
+
+        av = NodeAvailability([(2, 5)], period=10)
+        tables = av.instant_advance_tables()
+        assert isinstance(tables, InstantTables)
+        assert tables.instants == tables[0]
+        assert tables.eval_order == tables[6]
+        assert tables.dominance is None
+        # A direct request builds and caches the tables in place.
+        dom = av.dominance_tables()
+        assert dom is not None
+        assert av.instant_advance_tables().dominance is dom

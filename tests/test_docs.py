@@ -1,16 +1,17 @@
 """Documentation stays live: stale module pointers fail tier-1.
 
 ``benchmarks/check_docs.py`` verifies every backticked ``repro.*``
-dotted name, backticked repo path and relative markdown link in the
-documentation set (top-level README, docs/, benchmarks/README).  This
-test wires it into the default pytest run, so renaming a module or a
-public function without updating the architecture docs breaks the
-build -- the docs are part of the API surface.
+dotted name, backticked repo path, backticked ``module:symbol`` pointer
+and relative markdown link in the documentation set (top-level README,
+docs/, benchmarks/README).  This test wires it into the default pytest
+run, so renaming a module or a public function without updating the
+architecture docs breaks the build -- the docs are part of the API
+surface.
 """
 
 import pytest
 
-from benchmarks.check_docs import DOC_FILES, REPO_ROOT, check_all
+from benchmarks.check_docs import DOC_FILES, REPO_ROOT, check_all, check_file
 
 
 pytestmark = pytest.mark.docs
@@ -24,3 +25,50 @@ def test_documentation_set_is_complete():
 def test_no_stale_pointers_in_docs():
     problems = check_all()
     assert not problems, "stale documentation pointers:\n" + "\n".join(problems)
+
+
+class TestModuleSymbolPointers:
+    """The ``module:symbol`` form is validated, not just the module."""
+
+    def _problems(self, tmp_path, text):
+        doc = tmp_path / "doc.md"
+        doc.write_text(text, encoding="utf-8")
+        return check_file(doc)
+
+    def test_live_pointers_pass(self, tmp_path):
+        text = (
+            "Report via `benchmarks/_report.py:report` and "
+            "`benchmarks/check_docs.py:check_file`; the kernel is "
+            "`repro.analysis.fps:seeded_busy_window`, the surface "
+            "`repro.analysis.availability:NodeAvailability.dominance_tables` "
+            "and the constant `benchmarks/check_docs.py:DOC_FILES`.\n"
+        )
+        assert self._problems(tmp_path, text) == []
+
+    def test_stale_symbol_is_caught(self, tmp_path):
+        problems = self._problems(
+            tmp_path, "see `benchmarks/_report.py:reprot_typo`\n"
+        )
+        assert len(problems) == 1
+        assert "reprot_typo" in problems[0]
+
+    def test_stale_dotted_symbol_is_caught(self, tmp_path):
+        problems = self._problems(
+            tmp_path, "see `repro.analysis.fps:sedeed_busy_window`\n"
+        )
+        assert len(problems) == 1
+        assert "sedeed_busy_window" in problems[0]
+
+    def test_stale_class_attribute_is_caught(self, tmp_path):
+        good = self._problems(
+            tmp_path,
+            "see `benchmarks/check_docs.py:Testish`"
+            "`benchmarks/bench_incremental_analysis.py:Pr3WarmReference.analyse`\n",
+        )
+        # Only the first pointer (missing class) is stale.
+        assert len(good) == 1 and "Testish" in good[0]
+
+    def test_missing_file_is_caught(self, tmp_path):
+        problems = self._problems(tmp_path, "see `no/such/file.py:thing`\n")
+        assert len(problems) == 1
+        assert "does not exist" in problems[0]

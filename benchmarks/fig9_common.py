@@ -8,6 +8,11 @@ the row schema, the option presets and the table/JSON formatting defined
 here, so a sharded paper-scale run and the quick pytest run produce
 comparable artifacts.
 
+The optimisers are dispatched by registry name through the campaign
+layer (:mod:`repro.core.campaign`): one system is a one-row campaign,
+a shard is a many-row campaign with (optionally) a checkpoint directory
+making interrupted paper-scale runs resumable.
+
 Rows are plain JSON-serialisable dicts; unschedulable runs carry
 ``cost = Infinity`` (Python's ``json`` reads/writes it natively).
 """
@@ -15,13 +20,20 @@ Rows are plain JSON-serialisable dicts; unschedulable runs carry
 from __future__ import annotations
 
 import math
-import time
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
-from repro.core import SAOptions, optimise_bbc, optimise_obc, optimise_sa
+from repro.core.campaign import campaign_matrix, run_campaign
+from repro.core.sa import SAOptions
 from repro.core.search import BusOptimisationOptions
 
+#: Row keys (the paper's labels) -> registry strategy names.
 ALGORITHMS = ("BBC", "OBC/CF", "OBC/EE", "SA")
+STRATEGY_NAMES = {
+    "BBC": "bbc",
+    "OBC/CF": "obc-cf",
+    "OBC/EE": "obc-ee",
+    "SA": "sa",
+}
 
 
 def bench_options(
@@ -45,29 +57,53 @@ def sa_options(full: bool = False) -> SAOptions:
     return SAOptions(iterations=3000 if full else 220, seed=7)
 
 
+def fig9_strategies(sa_opts: SAOptions):
+    """The Fig. 9 strategy axis of a campaign matrix."""
+    return [
+        STRATEGY_NAMES["BBC"],
+        STRATEGY_NAMES["OBC/CF"],
+        STRATEGY_NAMES["OBC/EE"],
+        (STRATEGY_NAMES["SA"], sa_opts),
+    ]
+
+
+def result_cell(result) -> dict:
+    """One algorithm's cell of a benchmark row."""
+    return {
+        "cost": result.cost,
+        "schedulable": result.schedulable,
+        "evaluations": result.evaluations,
+        "cache_hits": result.cache_hits,
+        "seconds": result.elapsed_seconds,
+    }
+
+
 def run_system(
     system,
     options: BusOptimisationOptions,
     sa_opts: SAOptions,
+    checkpoint_dir: Optional[str] = None,
+    system_id: Optional[str] = None,
 ) -> Dict[str, dict]:
-    """One row body: all four optimisers on *system*, timed."""
-    row: Dict[str, dict] = {}
-    for name, runner in (
-        ("BBC", lambda s: optimise_bbc(s, options)),
-        ("OBC/CF", lambda s: optimise_obc(s, options, "curvefit")),
-        ("OBC/EE", lambda s: optimise_obc(s, options, "exhaustive")),
-        ("SA", lambda s: optimise_sa(s, options, sa_opts)),
-    ):
-        t0 = time.perf_counter()
-        result = runner(system)
-        row[name] = {
-            "cost": result.cost,
-            "schedulable": result.schedulable,
-            "evaluations": result.evaluations,
-            "cache_hits": result.cache_hits,
-            "seconds": time.perf_counter() - t0,
-        }
-    return row
+    """One row body: the four-optimiser campaign on *system*.
+
+    Checkpointing requires an explicit ``system_id``: the id is the
+    checkpoint-file stem, so a defaulted id shared by several systems
+    would make their checkpoints collide.
+    """
+    if checkpoint_dir is not None and system_id is None:
+        raise ValueError(
+            "run_system: checkpoint_dir requires an explicit system_id "
+            "(checkpoints are keyed by it)"
+        )
+    system_id = system_id or "system"
+    systems = {system_id: system}
+    jobs = campaign_matrix(systems, fig9_strategies(sa_opts), bus=options)
+    report = run_campaign(systems, jobs, checkpoint_dir=checkpoint_dir)
+    return {
+        name: result_cell(report.result_for(system_id, STRATEGY_NAMES[name]))
+        for name in ALGORITHMS
+    }
 
 
 def deviation(entry: dict, algorithm: str):

@@ -2,17 +2,20 @@
 
 Runs one shard of the 25-systems-per-class benchmark (see
 :mod:`repro.synth.sharding`): regenerates exactly its own slice of the
-suite, drives the four optimisers over it -- every optimiser already
-batches its candidate evaluations through ``Evaluator.analyse_many``,
-so ``--workers`` fans each system's sweeps out over a process pool --
-and writes one self-describing JSON file for the aggregator.
+suite and drives the four optimisers over it as one *campaign*
+(:mod:`repro.core.campaign`) -- every job dispatches by registry name,
+candidate evaluations batch through ``Evaluator.analyse_many`` (so
+``--workers`` fans each system's sweeps out over a process pool), and
+``--checkpoint`` persists every finished job's full result JSON so an
+interrupted shard resumes where it stopped instead of re-optimising.
+Afterwards one self-describing JSON file is written for the aggregator.
 
 Usage (from the repository root)::
 
     PYTHONPATH=src python -m benchmarks.fig9_shard \
         --shard 0 --num-shards 8 [--count 25] [--min-nodes 2] \
         [--max-nodes 7] [--seed 23] [--workers N] [--full] \
-        [--out-dir benchmarks/results/fig9_shards]
+        [--checkpoint] [--out-dir benchmarks/results/fig9_shards]
 
 Launch one process per shard (on one host or many); shards are fully
 independent.  Afterwards merge with ``benchmarks.fig9_aggregate``.
@@ -25,10 +28,18 @@ import json
 import os
 import time
 
+from repro.core.campaign import campaign_matrix, run_campaign
 from repro.synth.sharding import shard_plan
 
 from benchmarks._report import RESULTS_DIR
-from benchmarks.fig9_common import bench_options, run_system, sa_options
+from benchmarks.fig9_common import (
+    ALGORITHMS,
+    STRATEGY_NAMES,
+    bench_options,
+    fig9_strategies,
+    result_cell,
+    sa_options,
+)
 
 DEFAULT_OUT_DIR = os.path.join(RESULTS_DIR, "fig9_shards")
 
@@ -49,8 +60,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="parallel evaluation processes per optimiser run")
     parser.add_argument("--full", action="store_true",
                         help="paper-exact optimiser budgets (hours per shard)")
+    parser.add_argument("--checkpoint", action="store_true",
+                        help="persist per-job results under the out dir and "
+                             "resume an interrupted shard from them")
     parser.add_argument("--out-dir", default=DEFAULT_OUT_DIR)
     return parser
+
+
+def _system_id(entry) -> str:
+    return f"n{entry.n_nodes}_i{entry.index}"
 
 
 def run_shard(args) -> str:
@@ -68,20 +86,48 @@ def run_shard(args) -> str:
     options = bench_options(args.full, parallel_workers=args.workers)
     sa_opts = sa_options(args.full)
 
-    rows = []
-    t0 = time.perf_counter()
+    entries = []
+    systems = {}
     for entry, system in spec.systems():
-        row = {"n_nodes": entry.n_nodes, "index": entry.index}
-        row.update(run_system(system, options, sa_opts))
-        rows.append(row)
-        done = len(rows)
+        entries.append(entry)
+        systems[_system_id(entry)] = system
+    jobs = campaign_matrix(systems, fig9_strategies(sa_opts), bus=options)
+
+    checkpoint_dir = None
+    if args.checkpoint:
+        checkpoint_dir = os.path.join(
+            args.out_dir, f"checkpoints_shard_{spec.shard}"
+        )
+
+    t0 = time.perf_counter()
+    done = {"jobs": 0}
+
+    def progress(job, result, resumed) -> None:
+        done["jobs"] += 1
+        state = "resumed" if resumed else "ran"
         print(
             f"[shard {spec.shard}/{spec.num_shards}] "
-            f"{done}/{len(spec.entries)} systems "
-            f"(last: {entry.n_nodes} nodes #{entry.index}, "
+            f"{done['jobs']}/{len(jobs)} jobs ({state} {job.job_id}, "
             f"{time.perf_counter() - t0:.1f}s elapsed)",
             flush=True,
         )
+
+    report = run_campaign(
+        systems, jobs, checkpoint_dir=checkpoint_dir, progress=progress
+    )
+
+    rows = []
+    for entry in entries:
+        row = {"n_nodes": entry.n_nodes, "index": entry.index}
+        row.update(
+            {
+                name: result_cell(
+                    report.result_for(_system_id(entry), STRATEGY_NAMES[name])
+                )
+                for name in ALGORITHMS
+            }
+        )
+        rows.append(row)
 
     payload = {
         "suite": {
@@ -93,6 +139,7 @@ def run_shard(args) -> str:
         "shard": spec.shard,
         "num_shards": spec.num_shards,
         "rows": rows,
+        "resumed_jobs": len(report.resumed),
         "elapsed_seconds": round(time.perf_counter() - t0, 2),
     }
     os.makedirs(args.out_dir, exist_ok=True)

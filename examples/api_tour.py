@@ -10,13 +10,16 @@ guarantees:
 1. one-off analysis -- ``repro.analysis.analyse_system``;
 2. repeated analysis -- ``repro.analysis.AnalysisContext`` (the
    incremental engine: bit-identical to one-off, just faster);
-3. optimisation -- ``repro.core.optimise_obc`` on a shared
-   ``Evaluator``, serial or parallel, chunked or not, always
-   byte-identical at a fixed seed.
+3. optimisation -- the strategy registry (``repro.core.optimise``
+   dispatches any registered strategy by name) on the unified search
+   runtime, serial or parallel, chunked or not, always byte-identical
+   at a fixed seed;
+4. campaigns -- declarative (system x strategy) job matrices with
+   JSON-persisted results and resumable checkpoints.
 
 >>> from repro.synth import paper_suite
 >>> from repro.analysis import AnalysisContext, AnalysisOptions, analyse_system
->>> from repro.core import optimise_obc
+>>> from repro.core import optimise, optimise_obc
 >>> from repro.core.bbc import basic_configuration
 >>> from repro.core.search import (
 ...     BusOptimisationOptions,
@@ -91,34 +94,71 @@ True
 >>> all(dom.witness[i] in dom.maximal_order for i in dom.dominated_order)
 True
 
-**Optimisation.**  The optimisers run on an ``Evaluator`` owning the
-warm context, an LRU result cache and (opt-in) a process pool.  Fixed
-options give byte-identical outcomes however the work is scheduled --
-here: the chunked OBC outer loop must find the same optimum as the
-serial one.
+**Optimisation.**  Every strategy -- BBC, OBC/CF, OBC/EE, SA, GA --
+is a proposal generator executed by the unified search runtime
+(``repro.core.runtime.SearchDriver``): the driver owns candidate
+evaluation (batched through the ``Evaluator``'s warm context, LRU
+result cache and opt-in process pool), budgets, trace recording and
+deterministic best-selection.  Strategies dispatch by registry name:
 
+>>> from repro.core import available_strategies
+>>> [n for n in available_strategies()
+...  if n in ("bbc", "obc-cf", "obc-ee", "sa", "ga")]
+['bbc', 'ga', 'obc-cf', 'obc-ee', 'sa']
 >>> small = BusOptimisationOptions(
 ...     ee_max_dyn_points=24, max_extra_static_slots=1, max_slot_size_steps=1
 ... )
->>> serial = optimise_obc(system, small, method="exhaustive")
+>>> from repro.core import StrategyOptions
+>>> by_name = optimise(system, "obc-ee", StrategyOptions(bus=small))
+>>> direct = optimise_obc(system, small, method="exhaustive")
+>>> by_name.trace == direct.trace
+True
+
+Fixed options give byte-identical outcomes however the work is
+scheduled -- here: the chunked OBC outer loop must find the same
+optimum as the serial one.
+
 >>> import dataclasses
 >>> chunked = optimise_obc(
 ...     system,
 ...     dataclasses.replace(small, obc_chunk_size=3),
 ...     method="exhaustive",
 ... )
->>> serial.best.config.cache_key() == chunked.best.config.cache_key()
+>>> direct.best.config.cache_key() == chunked.best.config.cache_key()
 True
->>> serial.best.cost.value == chunked.best.cost.value
+>>> direct.best.cost.value == chunked.best.cost.value
 True
 
 ``OptimisationResult`` carries the audit trail the paper's experiment
 tables are built from: exact analysis count, cache hits and the search
 trace.
 
->>> serial.evaluations > 0
+>>> direct.evaluations > 0
 True
->>> len(serial.trace) == serial.evaluations
+>>> len(direct.trace) == direct.evaluations
+True
+
+**Campaigns.**  A campaign is a (system x strategy x options) job
+matrix run through the registry, with every job's full result
+persisted as schema-versioned JSON when a checkpoint directory is
+given -- re-running the same campaign resumes from those files.
+
+>>> import tempfile
+>>> from repro.core import campaign_matrix, run_campaign
+>>> systems = {"s0": system}
+>>> jobs = campaign_matrix(
+...     systems, ["bbc", "obc-cf"], bus=small
+... )
+>>> [j.job_id for j in jobs]
+['s0__bbc', 's0__obc-cf']
+>>> with tempfile.TemporaryDirectory() as ckpt:
+...     cold = run_campaign(systems, jobs, checkpoint_dir=ckpt)
+...     warm = run_campaign(systems, jobs, checkpoint_dir=ckpt)
+>>> len(cold.executed), len(cold.resumed)
+(2, 0)
+>>> len(warm.executed), len(warm.resumed)
+(0, 2)
+>>> warm.result_for("s0", "bbc").trace == cold.result_for("s0", "bbc").trace
 True
 """
 

@@ -4,37 +4,51 @@ Subcommands
 -----------
 generate   write a synthetic Section 7 system to JSON
 analyse    run the holistic analysis of a system under a configuration
-optimise   run a bus-access optimiser (bbc / obc-cf / obc-ee / sa / ga)
+optimise   run a registered search strategy (bbc / obc-cf / obc-ee / sa / ga)
+campaign   run a (system x strategy) job matrix with resumable checkpoints
 simulate   run the discrete-event simulator and print the trace
 show       render a system or configuration as text/Gantt
+
+``optimise`` and ``campaign`` dispatch by strategy *name* through
+:mod:`repro.core.strategies`, so a strategy registered by third-party
+code is immediately available on the command line.  Both always release
+the evaluator's process pool, even on error paths: every run goes
+through the :class:`~repro.core.runtime.SearchDriver`, which holds the
+evaluator as a context manager.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
 from repro.analysis.holistic import analyse_system
 from repro.casestudy.cruise_control import cruise_controller
-from repro.core.bbc import optimise_bbc
-from repro.core.ga import GAOptions, optimise_ga
-from repro.core.obc import optimise_obc
-from repro.core.sa import SAOptions, optimise_sa
+from repro.core.campaign import campaign_matrix, run_campaign
+from repro.core.ga import GAOptions
+from repro.core.sa import SAOptions
+from repro.core.search import BusOptimisationOptions
+from repro.core.strategies import (
+    available_strategies,
+    get_strategy,
+    optimise,
+)
 from repro.errors import ReproError
 from repro.flexray.simulator import SimulationOptions, simulate
 from repro.io.serialization import (
     config_to_dict,
     load_config,
     load_system,
+    result_to_dict,
     save_config,
+    save_result,
     save_system,
 )
 from repro.synth.taskgraph_gen import GeneratorConfig, generate_system
 from repro.viz.gantt import render_bus_trace, render_cycle, render_schedule
-
-OPTIMISERS = ("bbc", "obc-cf", "obc-ee", "sa", "ga")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,10 +77,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_opt = sub.add_parser("optimise", help="search for a bus configuration")
     p_opt.add_argument("system", help="system JSON path")
-    p_opt.add_argument("--algorithm", choices=OPTIMISERS, default="obc-cf")
+    p_opt.add_argument(
+        "--algorithm", choices=available_strategies(), default="obc-cf"
+    )
     p_opt.add_argument("--output", help="write the best configuration JSON here")
-    p_opt.add_argument("--sa-iterations", type=int, default=400)
-    p_opt.add_argument("--seed", type=int, default=2007)
+    p_opt.add_argument(
+        "--result-output", help="write the full result JSON (trace included) here"
+    )
+    _add_runtime_arguments(p_opt)
+
+    p_camp = sub.add_parser(
+        "campaign", help="run a (system x strategy) job matrix"
+    )
+    p_camp.add_argument(
+        "systems", nargs="+", help="system JSON paths (ids = file stems)"
+    )
+    p_camp.add_argument(
+        "--strategies",
+        default="bbc,obc-cf",
+        help="comma-separated strategy names (default: bbc,obc-cf)",
+    )
+    p_camp.add_argument(
+        "--checkpoint-dir",
+        help="persist per-job results here and resume finished jobs",
+    )
+    p_camp.add_argument(
+        "--output", help="write the campaign summary JSON here"
+    )
+    _add_runtime_arguments(p_camp)
 
     p_sim = sub.add_parser("simulate", help="discrete-event simulation")
     p_sim.add_argument("system", help="system JSON path")
@@ -77,6 +115,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_show = sub.add_parser("show", help="describe a system or configuration")
     p_show.add_argument("path", help="system or configuration JSON path")
     return parser
+
+
+def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    """Search-runtime knobs shared by ``optimise`` and ``campaign``."""
+    parser.add_argument("--sa-iterations", type=int, default=400,
+                        help="SA annealing budget (sa strategy only)")
+    parser.add_argument("--seed", type=int, default=2007,
+                        help="SA/GA random seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel candidate-evaluation processes (default: serial; "
+        "results are byte-identical either way)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="OBC outer-loop chunk: static variants raced per "
+        "analyse_many batch (default 1 = exact Fig. 6 loop)",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="wall-clock budget per run, enforced at batch boundaries",
+    )
+    parser.add_argument(
+        "--max-evaluations",
+        type=int,
+        default=None,
+        help="exact-analysis budget per run, enforced at batch boundaries",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -99,6 +171,8 @@ def _dispatch(args) -> int:
         return _cmd_analyse(args)
     if args.command == "optimise":
         return _cmd_optimise(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     if args.command == "show":
@@ -162,28 +236,98 @@ def _cmd_analyse(args) -> int:
     return 0 if result.schedulable else 1
 
 
+def _runtime_bus_options(args) -> Optional[BusOptimisationOptions]:
+    """Evaluator options from the shared runtime flags (None = defaults)."""
+    if args.workers is None and args.chunk_size is None:
+        return None
+    return BusOptimisationOptions(
+        parallel_workers=args.workers,
+        obc_chunk_size=args.chunk_size if args.chunk_size is not None else 1,
+    )
+
+
+def _strategy_options(args, name: str):
+    """Build the named strategy's option record from the CLI flags.
+
+    SA/GA get their dedicated flags; every other strategy (including
+    third-party registrations) gets its registered ``options_type``
+    with the shared runtime knobs.
+    """
+    base = dict(
+        bus=_runtime_bus_options(args),
+        max_seconds=args.max_seconds,
+        max_evaluations=args.max_evaluations,
+    )
+    if name == "sa":
+        return SAOptions(
+            iterations=args.sa_iterations, seed=args.seed, **base
+        )
+    if name == "ga":
+        return GAOptions(seed=args.seed, **base)
+    return get_strategy(name).options_type(**base)
+
+
 def _cmd_optimise(args) -> int:
     system = load_system(args.system)
-    if args.algorithm == "bbc":
-        result = optimise_bbc(system)
-    elif args.algorithm == "obc-cf":
-        result = optimise_obc(system, method="curvefit")
-    elif args.algorithm == "obc-ee":
-        result = optimise_obc(system, method="exhaustive")
-    elif args.algorithm == "sa":
-        result = optimise_sa(
-            system,
-            sa_options=SAOptions(iterations=args.sa_iterations, seed=args.seed),
-        )
-    else:
-        result = optimise_ga(system, ga_options=GAOptions(seed=args.seed))
+    result = optimise(
+        system, args.algorithm, _strategy_options(args, args.algorithm)
+    )
     print(result.describe())
+    if args.result_output:
+        save_result(result, args.result_output)
+        print(f"wrote full result to {args.result_output}")
     if result.config is not None and args.output:
         save_config(result.config, args.output)
         print(f"wrote best configuration to {args.output}")
     if result.config is not None and not args.output:
         print(json.dumps(config_to_dict(result.config), indent=2, sort_keys=True))
     return 0 if result.schedulable else 1
+
+
+def _cmd_campaign(args) -> int:
+    systems = {}
+    for path in args.systems:
+        system_id = os.path.splitext(os.path.basename(path))[0]
+        if system_id in systems:
+            print(f"error: duplicate system id {system_id!r}", file=sys.stderr)
+            return 2
+        systems[system_id] = load_system(path)
+    strategies = [
+        (name, _strategy_options(args, name))
+        for name in args.strategies.split(",")
+        if name
+    ]
+    jobs = campaign_matrix(systems, strategies)
+
+    def progress(job, result, resumed) -> None:
+        state = "resumed" if resumed else "ran"
+        print(f"[{state}] {job.job_id}: {result.describe()}")
+
+    report = run_campaign(
+        systems,
+        jobs,
+        checkpoint_dir=args.checkpoint_dir,
+        progress=progress,
+    )
+    schedulable = sum(r.schedulable for r in report.results.values())
+    print(
+        f"campaign: {len(jobs)} jobs ({len(report.resumed)} resumed), "
+        f"{schedulable} schedulable, {report.elapsed_seconds:.2f}s"
+    )
+    if args.output:
+        payload = {
+            "jobs": {
+                job.job_id: result_to_dict(report.results[job.job_id])
+                for job in jobs
+            },
+            "resumed": list(report.resumed),
+            "elapsed_seconds": report.elapsed_seconds,
+        }
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote campaign summary to {args.output}")
+    return 0 if schedulable == len(jobs) else 1
 
 
 def _cmd_simulate(args) -> int:

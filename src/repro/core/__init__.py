@@ -1,22 +1,39 @@
-"""Bus access optimisation: configurations, cost, BBC/OBC/SA algorithms.
+"""Bus access optimisation: configurations, cost, and the search runtime.
 
 Public entry points
 -------------------
+:func:`optimise`
+    The unified entry point: dispatch any registered strategy by name
+    (``"bbc"``, ``"obc-cf"``, ``"obc-ee"``, ``"sa"``, ``"ga"``, plus
+    anything added via :func:`register_strategy`) through the search
+    runtime.  ``optimise(system, "sa", SAOptions(seed=7))``.
 :func:`optimise_bbc`, :func:`optimise_obc`, :func:`optimise_sa`,
 :func:`optimise_ga`
-    The paper's bus-access optimisers.  Each runs on an
-    :class:`Evaluator` and returns an :class:`OptimisationResult` with
-    the best :class:`~repro.analysis.AnalysisResult`, the exact
-    analysis count, cache-hit accounting and the search trace.  At a
-    fixed seed every optimiser is byte-identical serial vs. parallel.
+    The paper's bus-access optimisers, as direct calls.  Every one is a
+    proposal strategy executed by the
+    :class:`~repro.core.runtime.SearchDriver` (evaluation, budgets,
+    trace, deterministic selection) and returns an
+    :class:`OptimisationResult` with the best
+    :class:`~repro.analysis.AnalysisResult`, the exact analysis count,
+    cache-hit accounting and the search trace.  At a fixed seed every
+    strategy is byte-identical serial vs. parallel.
+:func:`campaign_matrix` / :func:`run_campaign`
+    The campaign layer: declarative (system x strategy x options) job
+    matrices with JSON-persisted results and resumable checkpoints.
+:class:`StrategyOptions`
+    Common base of the per-strategy option records (:class:`SAOptions`,
+    :class:`GAOptions`); carries the evaluator knobs (``bus``) and the
+    driver budgets (``max_seconds`` / ``max_evaluations``).
 :class:`BusOptimisationOptions`
-    The shared knob record; every field documents its default and its
-    determinism guarantee (notably ``parallel_workers``, the opt-in
-    process pool, and ``obc_chunk_size``, the chunked OBC outer loop).
+    The shared evaluator/analysis knob record; every field documents
+    its default and its determinism guarantee (notably
+    ``parallel_workers``, the opt-in process pool, and
+    ``obc_chunk_size``, the chunked OBC outer loop).
 :class:`Evaluator`
-    The evaluation machinery the optimisers share: a warm
+    The evaluation machinery behind the driver: a warm
     :class:`~repro.analysis.AnalysisContext`, an LRU result cache and
-    the parallel pool behind ``analyse_many``.
+    the parallel pool behind ``analyse_many``.  A context manager --
+    the pool is released on every exit path.
 :class:`FlexRayConfig`
     The immutable design variable; derive neighbours with the
     ``with_*`` helpers.
@@ -31,6 +48,9 @@ from typing import TYPE_CHECKING
 
 _EXPORTS = {
     "BusOptimisationOptions": "repro.core.search",
+    "CampaignJob": "repro.core.campaign",
+    "CampaignReport": "repro.core.campaign",
+    "CandidateBatch": "repro.core.runtime",
     "CostBreakdown": "repro.core.cost",
     "Evaluator": "repro.core.search",
     "FlexRayConfig": "repro.core.config",
@@ -40,22 +60,32 @@ _EXPORTS = {
     "MappingOptions": "repro.core.mapping",
     "MappingResult": "repro.core.mapping",
     "SAOptions": "repro.core.sa",
+    "SearchDriver": "repro.core.runtime",
     "SearchPoint": "repro.core.result",
+    "SearchStrategy": "repro.core.runtime",
+    "StrategyOptions": "repro.core.strategies",
+    "StrategySpec": "repro.core.strategies",
     "assign_frame_ids": "repro.core.frameid",
+    "available_strategies": "repro.core.strategies",
     "basic_configuration": "repro.core.bbc",
+    "campaign_matrix": "repro.core.campaign",
     "cost_function": "repro.core.cost",
     "curvefit_dyn_length": "repro.core.dynlen",
     "dyn_segment_bounds": "repro.core.search",
     "exhaustive_dyn_length": "repro.core.dynlen",
+    "get_strategy": "repro.core.strategies",
     "message_criticalities": "repro.core.frameid",
     "min_static_slot": "repro.core.search",
+    "optimise": "repro.core.strategies",
     "optimise_bbc": "repro.core.bbc",
     "optimise_ga": "repro.core.ga",
     "optimise_mapping": "repro.core.mapping",
     "optimise_obc": "repro.core.obc",
     "optimise_sa": "repro.core.sa",
     "quota_slot_assignment": "repro.core.search",
+    "register_strategy": "repro.core.strategies",
     "remap_task": "repro.core.mapping",
+    "run_campaign": "repro.core.campaign",
     "spread_points": "repro.core.curvefit",
     "sweep_lengths": "repro.core.search",
 }
@@ -78,6 +108,12 @@ def __dir__():
 
 if TYPE_CHECKING:  # pragma: no cover - static typing aid only
     from repro.core.bbc import basic_configuration, optimise_bbc
+    from repro.core.campaign import (
+        CampaignJob,
+        CampaignReport,
+        campaign_matrix,
+        run_campaign,
+    )
     from repro.core.config import FlexRayConfig
     from repro.core.cost import CostBreakdown, cost_function
     from repro.core.curvefit import NewtonInterpolator, spread_points
@@ -87,6 +123,7 @@ if TYPE_CHECKING:  # pragma: no cover - static typing aid only
     from repro.core.mapping import MappingOptions, MappingResult, optimise_mapping
     from repro.core.obc import optimise_obc
     from repro.core.result import OptimisationResult, SearchPoint
+    from repro.core.runtime import CandidateBatch, SearchDriver, SearchStrategy
     from repro.core.sa import SAOptions, optimise_sa
     from repro.core.search import (
         BusOptimisationOptions,
@@ -95,4 +132,12 @@ if TYPE_CHECKING:  # pragma: no cover - static typing aid only
         min_static_slot,
         quota_slot_assignment,
         sweep_lengths,
+    )
+    from repro.core.strategies import (
+        StrategyOptions,
+        StrategySpec,
+        available_strategies,
+        get_strategy,
+        optimise,
+        register_strategy,
     )

@@ -4,25 +4,33 @@ The BBC derives a bus cycle from the application's minimal bandwidth
 needs: unique criticality-ordered FrameIDs, one static slot per
 ST-sending node, the slot just large enough for the biggest ST frame,
 and a sweep over the legal DYN segment lengths keeping the best cost.
+
+The whole sweep is one :class:`~repro.core.runtime.CandidateBatch`:
+BBC proposes every candidate up front, the
+:class:`~repro.core.runtime.SearchDriver` evaluates the batch (on the
+parallel pool when configured) and its default deterministic selection
+-- lowest cost, first occurrence, infeasible discarded -- is exactly
+the Fig. 5 outcome.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Optional
-
-from repro.analysis.holistic import AnalysisResult
 from repro.core.config import FlexRayConfig
 from repro.core.frameid import assign_frame_ids
 from repro.core.result import OptimisationResult
+from repro.core.runtime import (
+    CandidateBatch,
+    Proposals,
+    SearchDriver,
+    SearchStrategy,
+)
 from repro.core.search import (
     BusOptimisationOptions,
-    Evaluator,
-    better,
     dyn_segment_bounds,
     min_static_slot,
     sweep_lengths,
 )
+from repro.core.strategies import StrategyOptions, StrategySpec
 from repro.model.system import System
 
 
@@ -53,43 +61,47 @@ def basic_configuration(
     )
 
 
-def optimise_bbc(
-    system: System, options: BusOptimisationOptions = None
-) -> OptimisationResult:
-    """Run the BBC algorithm (Fig. 5) and return the best configuration."""
-    options = options or BusOptimisationOptions()
-    start = time.perf_counter()
-    evaluator = Evaluator(system, options)
+class BBCStrategy(SearchStrategy):
+    """The Fig. 5 sweep as a single-batch proposal strategy."""
 
-    try:
+    algorithm = "BBC"
+
+    def proposals(self, system: System) -> Proposals:
+        bus = self.options.bus_options()
         st_nodes = system.st_sender_nodes()
-        slot = min_static_slot(system, options) if st_nodes else 0
+        slot = min_static_slot(system, bus) if st_nodes else 0
         st_bus = len(st_nodes) * slot
-        lo, hi = dyn_segment_bounds(system, st_bus, options)
-        best: Optional[AnalysisResult] = None
+        lo, hi = dyn_segment_bounds(system, st_bus, bus)
         if lo == 0 and hi == 0:
             # No DYN messages: the cycle is purely static.
-            best = evaluator.analyse(basic_configuration(system, 0, options))
+            yield CandidateBatch((basic_configuration(system, 0, bus),))
         else:
             # The whole sweep shares one static segment, so the warm
             # context reuses one schedule; batching also lets the
             # parallel pool fan the candidates out when configured.
-            configs = [
-                basic_configuration(system, n_minislots, options)
-                for n_minislots in sweep_lengths(lo, hi, options.max_dyn_points)
-            ]
-            for result in evaluator.analyse_many(configs):
-                if better(result, best):
-                    best = result
-        if best is not None and not best.feasible:
-            best = None
-        return OptimisationResult(
-            algorithm="BBC",
-            best=best,
-            evaluations=evaluator.evaluations,
-            elapsed_seconds=time.perf_counter() - start,
-            trace=tuple(evaluator.trace),
-            cache_hits=evaluator.cache_hits,
-        )
-    finally:
-        evaluator.close()
+            yield CandidateBatch(
+                tuple(
+                    basic_configuration(system, n_minislots, bus)
+                    for n_minislots in sweep_lengths(lo, hi, bus.max_dyn_points)
+                )
+            )
+        return None  # driver default selection == Fig. 5's keep-the-best
+
+
+def _run_bbc(system: System, options: StrategyOptions) -> OptimisationResult:
+    return SearchDriver(system, BBCStrategy(options)).run()
+
+
+STRATEGY_SPEC = StrategySpec(
+    name="bbc",
+    summary="Basic Bus Configuration: minimal static segment, DYN sweep",
+    options_type=StrategyOptions,
+    runner=_run_bbc,
+)
+
+
+def optimise_bbc(
+    system: System, options: BusOptimisationOptions = None
+) -> OptimisationResult:
+    """Run the BBC algorithm (Fig. 5) and return the best configuration."""
+    return _run_bbc(system, StrategyOptions(bus=options))

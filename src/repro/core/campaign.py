@@ -1,0 +1,312 @@
+"""Campaign orchestration: declarative job matrices over the registry.
+
+A *campaign* is a (system x strategy x options) job matrix executed
+through the unified search runtime: every job dispatches by strategy
+name (:mod:`repro.core.strategies`), runs on its own
+:class:`~repro.core.runtime.SearchDriver` (so evaluator pools are
+always released, even when a job raises), and -- when a checkpoint
+directory is given -- persists its full
+:class:`~repro.core.result.OptimisationResult` (trace included) as
+schema-versioned JSON through :mod:`repro.io.serialization`.
+
+Checkpoints make campaigns *resumable*: re-running the same campaign
+over the same directory loads finished jobs from disk instead of
+re-optimising, so an interrupted paper-scale sweep (the Fig. 9 shard
+workers, ``benchmarks/fig9_shard.py``, ride this layer) continues where
+it stopped.  Every checkpoint records fingerprints of the job's
+strategy options and system, so a *redefined* job -- same id, but new
+budgets, a different suite seed, an edited system JSON -- is detected
+and re-run instead of silently answered with the stale result.  A
+checkpoint that does not match its job *identity* (foreign file under
+the same name) raises :class:`~repro.errors.CampaignError`; a
+half-written or unreadable checkpoint is discarded and the job re-run.
+
+::
+
+    from repro.core.campaign import campaign_matrix, run_campaign
+    jobs = campaign_matrix(systems, ["bbc", ("sa", SAOptions(seed=7))])
+    report = run_campaign(systems, jobs, checkpoint_dir="out/checkpoints")
+    report.result_for("cruise", "bbc").describe()
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, replace
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.core.result import OptimisationResult
+from repro.core.strategies import (
+    StrategyOptions,
+    get_strategy,
+    optimise,
+)
+from repro.errors import CampaignError, SerializationError
+from repro.io.serialization import (
+    result_from_dict,
+    result_to_dict,
+    system_to_dict,
+)
+from repro.model.system import System
+
+#: A strategy reference in a matrix: a registry name, or (name, options).
+StrategyRef = Union[str, Tuple[str, Optional[StrategyOptions]]]
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One (system, strategy, options) cell of a campaign matrix."""
+
+    job_id: str
+    system_id: str
+    strategy: str
+    options: Optional[StrategyOptions] = None
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Outcome of :func:`run_campaign`.
+
+    ``executed`` lists jobs that actually ran this time; ``resumed``
+    lists jobs answered from checkpoints.  Their union, in job order,
+    is the whole campaign.
+    """
+
+    results: Mapping[str, OptimisationResult]
+    executed: Tuple[str, ...]
+    resumed: Tuple[str, ...]
+    checkpoint_dir: Optional[str]
+    elapsed_seconds: float
+
+    def result_for(self, system_id: str, strategy: str) -> OptimisationResult:
+        """The result of the (system, strategy) cell; raises when absent."""
+        job_id = job_id_for(system_id, strategy)
+        try:
+            return self.results[job_id]
+        except KeyError:
+            raise CampaignError(
+                f"campaign has no job {job_id!r}"
+            ) from None
+
+
+def job_id_for(system_id: str, strategy: str) -> str:
+    """The deterministic checkpoint-file stem of a matrix cell."""
+    return f"{system_id}__{strategy}"
+
+
+def _check_identifier(kind: str, value: str) -> str:
+    if not value or any(c in value for c in "/\\") or value != value.strip():
+        raise CampaignError(f"illegal {kind} {value!r} (must be file-safe)")
+    return value
+
+
+def campaign_matrix(
+    systems: Union[Mapping[str, System], Iterable[str]],
+    strategies: Iterable[StrategyRef],
+    bus=None,
+) -> Tuple[CampaignJob, ...]:
+    """The cross product of systems and strategies as a job tuple.
+
+    ``systems`` is a ``{system_id: System}`` mapping (or just the ids);
+    ``strategies`` mixes bare registry names and ``(name, options)``
+    pairs.  ``bus`` optionally overrides the evaluator options of every
+    job (:meth:`StrategyOptions.with_bus`), so one preset -- e.g. the
+    Fig. 9 laptop budgets with ``parallel_workers`` -- applies across
+    the whole matrix.  Every referenced strategy must be registered;
+    unknown names fail here, not mid-campaign.
+    """
+    system_ids = list(systems)
+    normalised: List[Tuple[str, Optional[StrategyOptions]]] = []
+    for ref in strategies:
+        name, options = ref if isinstance(ref, tuple) else (ref, None)
+        spec = get_strategy(name)  # raises on unknown names
+        if options is None:
+            options = spec.options_type()
+        options = options.with_bus(bus)
+        normalised.append((_check_identifier("strategy name", name), options))
+    jobs = []
+    seen = set()
+    for system_id in system_ids:
+        _check_identifier("system id", system_id)
+        for name, options in normalised:
+            job_id = job_id_for(system_id, name)
+            if job_id in seen:
+                raise CampaignError(f"duplicate campaign job {job_id!r}")
+            seen.add(job_id)
+            jobs.append(
+                CampaignJob(
+                    job_id=job_id,
+                    system_id=system_id,
+                    strategy=name,
+                    options=options,
+                )
+            )
+    return tuple(jobs)
+
+
+def run_campaign(
+    systems: Mapping[str, System],
+    jobs: Iterable[CampaignJob],
+    checkpoint_dir: Optional[str] = None,
+    progress: Optional[Callable[[CampaignJob, OptimisationResult, bool], None]] = None,
+) -> CampaignReport:
+    """Execute a job matrix, resuming finished jobs from checkpoints.
+
+    Jobs run sequentially in matrix order (per-job parallelism comes
+    from each strategy's own ``parallel_workers`` pool; campaign-level
+    parallelism from sharding, see ``repro.synth.sharding``).
+    ``progress`` is called after every job with
+    ``(job, result, resumed)``.
+    """
+    start = time.perf_counter()
+    jobs = tuple(jobs)
+    if checkpoint_dir is not None:
+        os.makedirs(checkpoint_dir, exist_ok=True)
+    results: Dict[str, OptimisationResult] = {}
+    executed: List[str] = []
+    resumed: List[str] = []
+    for job in jobs:
+        if job.system_id not in systems:
+            raise CampaignError(
+                f"job {job.job_id!r} references unknown system "
+                f"{job.system_id!r}"
+            )
+        system = systems[job.system_id]
+        result = None
+        if checkpoint_dir is not None:
+            result = _load_checkpoint(checkpoint_dir, job, system)
+        was_resumed = result is not None
+        if was_resumed:
+            resumed.append(job.job_id)
+        else:
+            result = optimise(system, job.strategy, job.options)
+            if checkpoint_dir is not None:
+                _write_checkpoint(checkpoint_dir, job, system, result)
+            executed.append(job.job_id)
+        results[job.job_id] = result
+        if progress is not None:
+            progress(job, result, was_resumed)
+    return CampaignReport(
+        results=results,
+        executed=tuple(executed),
+        resumed=tuple(resumed),
+        checkpoint_dir=checkpoint_dir,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+# ----------------------------------------------------------------------
+# checkpoint store
+# ----------------------------------------------------------------------
+def _checkpoint_path(checkpoint_dir: str, job: CampaignJob) -> str:
+    return os.path.join(checkpoint_dir, f"{job.job_id}.json")
+
+
+def _options_fingerprint(options: Optional[StrategyOptions]) -> str:
+    """Deterministic digest of a job's *result-affecting* options.
+
+    Dataclass ``repr`` covers every field (including the nested bus and
+    analysis option records), so any knob change -- budgets, seeds,
+    sweep resolutions -- changes the fingerprint and invalidates the
+    checkpoint.  ``parallel_workers`` is normalised out first: runs are
+    pinned byte-identical serial vs. parallel, so resuming a shard on a
+    host with a different ``--workers`` must *keep* its checkpoints.
+    (``obc_chunk_size`` and ``max_cache_entries`` stay in: chunking can
+    evaluate extra candidates under early stopping, and cache evictions
+    change the evaluation accounting.)
+    """
+    if options is not None:
+        # Resolve ``bus=None`` to the explicit defaults before hashing,
+        # so "defaults implied" and "defaults spelled out with a worker
+        # count" fingerprint identically.
+        options = replace(
+            options,
+            bus=replace(options.bus_options(), parallel_workers=None),
+        )
+    return hashlib.sha256(repr(options).encode("utf-8")).hexdigest()[:16]
+
+
+def _system_fingerprint(system: System) -> str:
+    """Deterministic digest of a system's full serialized content."""
+    doc = json.dumps(system_to_dict(system), sort_keys=True)
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()[:16]
+
+
+def _job_meta(job: CampaignJob, system: System) -> dict:
+    return {
+        "job_id": job.job_id,
+        "system_id": job.system_id,
+        "strategy": job.strategy,
+        "options_fingerprint": _options_fingerprint(job.options),
+        "system_fingerprint": _system_fingerprint(system),
+    }
+
+
+def _write_checkpoint(
+    checkpoint_dir: str,
+    job: CampaignJob,
+    system: System,
+    result: OptimisationResult,
+) -> None:
+    """Atomically persist one finished job (write tmp, then rename)."""
+    payload = {
+        "job": _job_meta(job, system),
+        "result": result_to_dict(result),
+    }
+    path = _checkpoint_path(checkpoint_dir, job)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+def _load_checkpoint(
+    checkpoint_dir: str, job: CampaignJob, system: System
+) -> Optional[OptimisationResult]:
+    """A finished job's result, or None when it must (re)run.
+
+    Unreadable or half-written checkpoints are treated as absent (the
+    job re-runs and overwrites them), and so is a checkpoint whose
+    options/system *fingerprints* disagree with the job's -- the job
+    was redefined (new budgets, new seed, edited system) and the stale
+    result must not be resumed.  A *well-formed* checkpoint whose job
+    identity disagrees with the requested job is someone else's file
+    and raises instead of being silently clobbered.
+    """
+    path = _checkpoint_path(checkpoint_dir, job)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        meta = dict(payload["job"])
+        result_data = payload["result"]
+    except (json.JSONDecodeError, KeyError, TypeError, OSError):
+        return None
+    expected = _job_meta(job, system)
+    identity = ("job_id", "system_id", "strategy")
+    if {k: meta.get(k) for k in identity} != {k: expected[k] for k in identity}:
+        raise CampaignError(
+            f"checkpoint {path} belongs to job "
+            f"{ {k: meta.get(k) for k in identity} !r}, not "
+            f"{ {k: expected[k] for k in identity} !r}"
+        )
+    if meta != expected:
+        return None  # same job id, redefined content: re-run
+    try:
+        return result_from_dict(result_data)
+    except SerializationError:
+        return None

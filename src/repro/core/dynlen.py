@@ -3,12 +3,22 @@
 Two strategies, both searching ``n_minislots`` in the legal range for a
 fixed static-segment structure:
 
-* :func:`exhaustive_dyn_length` -- analyse every candidate (OBC/EE);
-* :func:`curvefit_dyn_length` -- the paper's heuristic: analyse a small
+* :func:`exhaustive_proposals` -- analyse every candidate (OBC/EE);
+* :func:`curvefit_proposals` -- the paper's heuristic: analyse a small
   seed set exactly, Newton-interpolate every activity's response time
   over the whole range, and only analyse the most promising candidates
   until a schedulable one is confirmed or Nmax rounds bring no
   improvement (OBC/CF).
+
+Both are written against the proposal protocol of
+:mod:`repro.core.runtime`: they yield
+:class:`~repro.core.runtime.CandidateBatch` objects and receive the
+evaluated results, so the OBC strategy composes them with ``yield
+from`` and the search driver owns evaluation.  The legacy entry points
+:func:`exhaustive_dyn_length` / :func:`curvefit_dyn_length` drive the
+same generators against a caller-owned
+:class:`~repro.core.search.Evaluator` -- one implementation, two
+calling conventions.
 """
 
 from __future__ import annotations
@@ -20,14 +30,20 @@ from repro.analysis.holistic import AnalysisResult
 from repro.core.config import FlexRayConfig
 from repro.core.cost import cost_function
 from repro.core.curvefit import NewtonInterpolator, spread_points
-from repro.core.search import Evaluator, better, sweep_lengths
+from repro.core.runtime import CandidateBatch, Proposals, drive_with_evaluator
+from repro.core.search import (
+    BusOptimisationOptions,
+    Evaluator,
+    better,
+    sweep_lengths,
+)
 from repro.model.system import System
 
 
 def ee_sweep_lengths(lo, hi, options, max_points: Optional[int] = None):
     """The DYN lengths OBC/EE analyses for one static variant.
 
-    Shared between :func:`exhaustive_dyn_length` and the chunked OBC
+    Shared between :func:`exhaustive_proposals` and the chunked OBC
     prefetch (``repro.core.obc``) so the prefetched batch always equals
     the search's candidate set.
     """
@@ -39,25 +55,25 @@ def ee_sweep_lengths(lo, hi, options, max_points: Optional[int] = None):
 def cf_seed_lengths(lo, hi, options):
     """The exactly-analysed OBC/CF seed lengths (Fig. 8 lines 1-5).
 
-    Shared between :func:`curvefit_dyn_length` and the chunked OBC
+    Shared between :func:`curvefit_proposals` and the chunked OBC
     prefetch so the prefetched batch always equals the search's first
     exact points.
     """
     return spread_points(lo, hi, options.initial_cf_points)
 
 
-def exhaustive_dyn_length(
-    evaluator: Evaluator,
+def exhaustive_proposals(
+    options: BusOptimisationOptions,
     template: FlexRayConfig,
     lo: int,
     hi: int,
     max_points: Optional[int] = None,
-) -> Optional[AnalysisResult]:
+) -> Proposals:
     """Best configuration over all DYN lengths in [lo, hi] (OBC/EE).
 
     ``max_points`` caps the sweep resolution; ``None`` uses the
-    evaluator's options (the paper analyses every gdMinislot step, which
-    is the configuration ``max_points >= hi - lo + 1``).
+    options' value (the paper analyses every gdMinislot step, which is
+    the configuration ``max_points >= hi - lo + 1``).
     """
     best: Optional[AnalysisResult] = None
     # One batch: the sweep shares the evaluator's warm AnalysisContext
@@ -65,25 +81,27 @@ def exhaustive_dyn_length(
     # first-best selection below matches the serial iteration order.
     configs = [
         template.with_dyn_length(n)
-        for n in ee_sweep_lengths(lo, hi, evaluator.options, max_points)
+        for n in ee_sweep_lengths(lo, hi, options, max_points)
     ]
-    for result in evaluator.analyse_many(configs):
+    if not configs:
+        return None
+    results = yield CandidateBatch(tuple(configs))
+    for result in results:
         if better(result, best):
             best = result
     return best
 
 
-def curvefit_dyn_length(
-    evaluator: Evaluator,
+def curvefit_proposals(
+    system: System,
+    options: BusOptimisationOptions,
     template: FlexRayConfig,
     lo: int,
     hi: int,
-) -> Optional[AnalysisResult]:
+) -> Proposals:
     """The curve-fitting heuristic of Fig. 8 (OBC/CF)."""
     if hi < lo:
         return None
-    options = evaluator.options
-    system = evaluator.system
 
     exact: Dict[int, AnalysisResult] = {}
     interpolators: Dict[str, NewtonInterpolator] = {}
@@ -94,23 +112,18 @@ def curvefit_dyn_length(
             for name, r in result.wcrt.items():
                 interpolators.setdefault(name, NewtonInterpolator()).add_point(n, r)
 
-    def analyse_point(n: int) -> AnalysisResult:
-        result = evaluator.analyse(template.with_dyn_length(n))
-        record_point(n, result)
-        return result
-
     # Line 1-5: seed points, analysed exactly.  The seeds are mutually
-    # independent, so they go through ``analyse_many`` as one batch: they
-    # share the evaluator's result cache and fan out over the parallel
-    # pool when one is configured.  Batching unconditionally forfeits
-    # the old stop-at-first-schedulable-seed early exit (rare: it only
-    # fired when the very first exact points were already schedulable),
-    # but keeps serial and parallel runs byte-identical -- branching on
+    # independent, so they go out as one batch: they share the
+    # evaluator's result cache and fan out over the parallel pool when
+    # one is configured.  Batching unconditionally forfeits the old
+    # stop-at-first-schedulable-seed early exit (rare: it only fired
+    # when the very first exact points were already schedulable), but
+    # keeps serial and parallel runs byte-identical -- branching on
     # ``parallel_workers`` here would make their evaluation counts and
     # traces diverge.
     seed_lengths = cf_seed_lengths(lo, hi, options)
-    seed_results = evaluator.analyse_many(
-        [template.with_dyn_length(n) for n in seed_lengths]
+    seed_results = yield CandidateBatch(
+        tuple(template.with_dyn_length(n) for n in seed_lengths)
     )
     for n, result in zip(seed_lengths, seed_results):
         record_point(n, result)
@@ -125,8 +138,14 @@ def curvefit_dyn_length(
         stale_rounds < options.cf_max_rounds
         and len(exact) < options.cf_max_points
     ):
-        scored = _score_candidates(system, evaluator, template, candidates, exact,
-                                   interpolators)
+        scored, estimates = _score_candidates(
+            system, template, candidates, exact, interpolators
+        )
+        if estimates:
+            # Estimate-only batch: the interpolated points land in the
+            # trace now, before the next exact analysis -- the legacy
+            # trace order.
+            yield CandidateBatch(estimates=tuple(estimates))
         if not scored:
             break
         cost_min, n_best = scored[0]
@@ -139,10 +158,17 @@ def curvefit_dyn_length(
             n_next = next((n for _, n in scored if n not in exact), None)
             if n_next is None:
                 break
-            analyse_point(n_next)
+            results = yield CandidateBatch(
+                (template.with_dyn_length(n_next),)
+            )
+            record_point(n_next, results[0])
         else:
             # Lines 13-17: analyse the promising interpolated point.
-            result = analyse_point(n_best)
+            results = yield CandidateBatch(
+                (template.with_dyn_length(n_best),)
+            )
+            result = results[0]
+            record_point(n_best, result)
             if result.schedulable:
                 return result
         new_best = _best_exact_cost(exact)
@@ -158,26 +184,54 @@ def curvefit_dyn_length(
     return min(feasible, key=lambda r: r.cost_value)
 
 
+def exhaustive_dyn_length(
+    evaluator: Evaluator,
+    template: FlexRayConfig,
+    lo: int,
+    hi: int,
+    max_points: Optional[int] = None,
+) -> Optional[AnalysisResult]:
+    """Drive :func:`exhaustive_proposals` on a caller-owned evaluator."""
+    return drive_with_evaluator(
+        exhaustive_proposals(evaluator.options, template, lo, hi, max_points),
+        evaluator,
+    )
+
+
+def curvefit_dyn_length(
+    evaluator: Evaluator,
+    template: FlexRayConfig,
+    lo: int,
+    hi: int,
+) -> Optional[AnalysisResult]:
+    """Drive :func:`curvefit_proposals` on a caller-owned evaluator."""
+    return drive_with_evaluator(
+        curvefit_proposals(evaluator.system, evaluator.options, template, lo, hi),
+        evaluator,
+    )
+
+
 def _best_exact_cost(exact: Dict[int, AnalysisResult]) -> float:
     return min((r.cost_value for r in exact.values()), default=math.inf)
 
 
 def _score_candidates(
     system: System,
-    evaluator: Evaluator,
     template: FlexRayConfig,
     candidates: List[int],
     exact: Dict[int, AnalysisResult],
     interpolators: Dict[str, NewtonInterpolator],
-) -> List[Tuple[float, int]]:
+) -> Tuple[List[Tuple[float, int]], List[Tuple[FlexRayConfig, float]]]:
     """Cost per candidate length: exact when analysed, else interpolated.
 
-    Returns (cost, length) pairs sorted best-first.  Candidates are
-    skipped while fewer than two exact feasible points exist (nothing to
-    interpolate from).
+    Returns ``(scored, estimates)``: (cost, length) pairs sorted
+    best-first, plus the interpolated points to record in the search
+    trace (in candidate order).  Candidates are skipped while fewer than
+    two exact feasible points exist (nothing to interpolate from).
     """
     app = system.application
     scored: List[Tuple[float, int]] = []
+    estimates: List[Tuple[FlexRayConfig, float]] = []
     can_interpolate = interpolators and min(
         len(ip) for ip in interpolators.values()
     ) >= 2
@@ -197,7 +251,7 @@ def _score_candidates(
             cost = cost_function(app, wcrt).value
         except Exception:  # missing activity: some exact run was infeasible
             continue
-        evaluator.note_estimate(template.with_dyn_length(n), cost)
+        estimates.append((template.with_dyn_length(n), cost))
         scored.append((cost, n))
     scored.sort(key=lambda pair: (pair[0], pair[1]))
-    return scored
+    return scored, estimates

@@ -6,6 +6,11 @@ only handles the static segment).  This module provides a GA over the
 *full* design space of Section 6 so it can serve as a second
 population-based reference point next to SA: tournament selection,
 structure crossover, and mutation through the SA neighbourhood moves.
+
+Each generation is one :class:`~repro.core.runtime.CandidateBatch`:
+the RNG is never consumed during evaluation, so the search driver can
+fan a generation out over the parallel pool and the population
+trajectory is byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -13,25 +18,31 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
-from repro.analysis.holistic import AnalysisResult
 from repro.core.config import FlexRayConfig
 from repro.core.result import OptimisationResult
-from repro.core.sa import _initial_config, _neighbour
-from repro.core.search import (
-    BusOptimisationOptions,
-    Evaluator,
-    better,
-    dyn_segment_bounds,
+from repro.core.runtime import (
+    CandidateBatch,
+    Proposals,
+    SearchDriver,
+    SearchStrategy,
 )
+from repro.core.sa import _initial_config, _neighbour
+from repro.core.search import BusOptimisationOptions, dyn_segment_bounds
+from repro.core.strategies import StrategyOptions, StrategySpec
 from repro.errors import ConfigurationError
 from repro.model.system import System
 
 
 @dataclass(frozen=True)
-class GAOptions:
-    """Population and budget of the genetic algorithm."""
+class GAOptions(StrategyOptions):
+    """Population and budget of the genetic algorithm.
+
+    Extends :class:`~repro.core.strategies.StrategyOptions` (evaluator
+    knobs + driver budgets); the inherited ``max_seconds`` doubles as
+    the legacy generation-loop budget.
+    """
 
     population: int = 12
     generations: int = 12
@@ -40,33 +51,30 @@ class GAOptions:
     mutation_rate: float = 0.6
     elite: int = 2
     seed: int = 2005
-    max_seconds: Optional[float] = None
 
 
-def optimise_ga(
-    system: System,
-    options: BusOptimisationOptions = None,
-    ga_options: GAOptions = None,
-) -> OptimisationResult:
-    """Evolve bus configurations; returns the best analysed individual."""
-    options = options or BusOptimisationOptions()
-    ga_options = ga_options or GAOptions()
-    start = time.perf_counter()
-    rng = random.Random(ga_options.seed)
-    evaluator = Evaluator(system, options)
+class GAStrategy(SearchStrategy):
+    """Generational evolution as a proposal strategy."""
 
-    try:
+    algorithm = "GA"
+
+    def __init__(self, options: GAOptions = None):
+        super().__init__(options if options is not None else GAOptions())
+
+    def proposals(self, system: System) -> Proposals:
+        ga_options = self.options
+        bus = ga_options.bus_options()
+        start = time.perf_counter()
+        rng = random.Random(ga_options.seed)
+
         population = _initial_population(
-            system, options, rng, ga_options.population
+            system, bus, rng, ga_options.population
         )
         # Whole generations are evaluated as one batch: the RNG is never
         # consumed during evaluation, so the parallel pool produces the
         # exact population trajectory of a serial run.
-        scored = list(zip(evaluator.analyse_many(population), population))
-        best: Optional[AnalysisResult] = None
-        for result, _ in scored:
-            if result.feasible and better(result, best):
-                best = result
+        results = yield CandidateBatch(tuple(population))
+        scored = list(zip(results, population))
 
         for _ in range(ga_options.generations):
             if (
@@ -84,29 +92,40 @@ def optimise_ga(
                 parent_b = _tournament(scored, rng, ga_options.tournament)
                 child = parent_a
                 if rng.random() < ga_options.crossover_rate:
-                    child = _crossover(system, parent_a, parent_b, options, rng)
+                    child = _crossover(system, parent_a, parent_b, bus, rng)
                 if child is None:
                     child = parent_a
                 if rng.random() < ga_options.mutation_rate:
-                    mutated = _neighbour(system, child, options, rng)
+                    mutated = _neighbour(system, child, bus, rng)
                     if mutated is not None:
                         child = mutated
                 next_gen.append(child)
-            scored = list(zip(evaluator.analyse_many(next_gen), next_gen))
-            for result, _ in scored:
-                if result.feasible and better(result, best):
-                    best = result
+            results = yield CandidateBatch(tuple(next_gen))
+            scored = list(zip(results, next_gen))
+        return None  # driver default: lowest-cost feasible individual
 
-        return OptimisationResult(
-            algorithm="GA",
-            best=best,
-            evaluations=evaluator.evaluations,
-            elapsed_seconds=time.perf_counter() - start,
-            trace=tuple(evaluator.trace),
-            cache_hits=evaluator.cache_hits,
-        )
-    finally:
-        evaluator.close()
+
+def run_ga(system: System, ga_options: GAOptions) -> OptimisationResult:
+    """Registry runner for the GA."""
+    return SearchDriver(system, GAStrategy(ga_options)).run()
+
+
+STRATEGY_SPEC = StrategySpec(
+    name="ga",
+    summary="Genetic algorithm over the full Section 6 design space",
+    options_type=GAOptions,
+    runner=run_ga,
+)
+
+
+def optimise_ga(
+    system: System,
+    options: BusOptimisationOptions = None,
+    ga_options: GAOptions = None,
+) -> OptimisationResult:
+    """Evolve bus configurations; returns the best analysed individual."""
+    ga_options = ga_options if ga_options is not None else GAOptions()
+    return run_ga(system, ga_options.with_bus(options))
 
 
 def _initial_population(

@@ -7,6 +7,13 @@ searches the DYN segment length with either exhaustive exploration
 (OBC/EE) or the curve-fitting heuristic (OBC/CF).  The search ends as
 soon as a schedulable configuration is found (line 7).
 
+The strategy is a proposal generator (:mod:`repro.core.runtime`): each
+variant's DYN search is a ``yield from`` over the
+:mod:`repro.core.dynlen` subgenerators, and the first-schedulable early
+stop is the generator returning its selection -- which takes precedence
+over the driver's default lowest-cost pick, preserving the exact Fig. 6
+semantics (the run reports the configuration that *triggered* the stop).
+
 ``BusOptimisationOptions.obc_chunk_size > 1`` turns the outer loop into
 a *chunked race*: static variants are independent until the first
 schedulable hit, so a chunk's initial candidate sets (each variant's
@@ -20,52 +27,38 @@ runs are byte-identical serial vs. parallel.
 
 from __future__ import annotations
 
-import time
 from typing import List, Optional, Tuple
 
 from repro.analysis.holistic import AnalysisResult
 from repro.core.config import FlexRayConfig
 from repro.core.dynlen import (
     cf_seed_lengths,
-    curvefit_dyn_length,
+    curvefit_proposals,
     ee_sweep_lengths,
-    exhaustive_dyn_length,
+    exhaustive_proposals,
 )
 from repro.core.frameid import assign_frame_ids
 from repro.core.result import OptimisationResult
+from repro.core.runtime import (
+    CandidateBatch,
+    Proposals,
+    SearchDriver,
+    SearchStrategy,
+)
 from repro.core.search import (
     BusOptimisationOptions,
-    Evaluator,
     better,
     dyn_segment_bounds,
     min_static_slot,
     quota_slot_assignment,
 )
+from repro.core.strategies import StrategyOptions, StrategySpec
 from repro.errors import ConfigurationError, OptimisationError
 from repro.flexray import params
 from repro.model.system import System
 
 #: Supported DYN-length search strategies.
 METHODS = ("curvefit", "exhaustive")
-
-
-def optimise_obc(
-    system: System,
-    options: BusOptimisationOptions = None,
-    method: str = "curvefit",
-) -> OptimisationResult:
-    """Run the OBC heuristic; ``method`` selects OBC/CF or OBC/EE."""
-    if method not in METHODS:
-        raise OptimisationError(
-            f"unknown DYN search method {method!r}; choose from {METHODS}"
-        )
-    options = options or BusOptimisationOptions()
-    start = time.perf_counter()
-    evaluator = Evaluator(system, options)
-    try:
-        return _optimise_obc(system, options, method, evaluator, start)
-    finally:
-        evaluator.close()
 
 
 def _static_variants(
@@ -148,43 +141,58 @@ def _prefetch_configs(
     return [template.with_dyn_length(n) for n in lengths]
 
 
-def _optimise_obc(
-    system: System,
-    options: BusOptimisationOptions,
-    method: str,
-    evaluator: Evaluator,
-    start: float,
-) -> OptimisationResult:
-    variants = _static_variants(system, options)
-    chunk = max(1, options.obc_chunk_size or 1)
-    best: Optional[AnalysisResult] = None
-    for base in range(0, len(variants), chunk):
-        group = variants[base : base + chunk]
-        if len(group) > 1:
-            # Race the chunk: one batch over every variant's initial
-            # candidate set, fanned out over the pool when configured.
-            prefetch: List[FlexRayConfig] = []
-            for variant in group:
-                prefetch.extend(_prefetch_configs(variant, options, method))
-            evaluator.analyse_many(prefetch)
-        for template, lo, hi in group:
-            if lo == 0 and hi == 0:
-                result = evaluator.analyse(_no_dyn_config(template))
-            elif method == "curvefit":
-                result = curvefit_dyn_length(evaluator, template, lo, hi)
-            else:
-                result = exhaustive_dyn_length(evaluator, template, lo, hi)
-            if result is not None and not result.feasible:
-                result = None
-            if better(result, best):
-                best = result
-            if (
-                options.stop_when_schedulable
-                and best is not None
-                and best.schedulable
-            ):
-                return _finish(best, evaluator, method, start)
-    return _finish(best, evaluator, method, start)
+class OBCStrategy(SearchStrategy):
+    """The Fig. 6 outer loop as a proposal strategy (CF or EE inner)."""
+
+    def __init__(self, options: StrategyOptions = None, method: str = "curvefit"):
+        if method not in METHODS:
+            raise OptimisationError(
+                f"unknown DYN search method {method!r}; choose from {METHODS}"
+            )
+        super().__init__(options)
+        self.method = method
+        self.algorithm = "OBC/CF" if method == "curvefit" else "OBC/EE"
+
+    def proposals(self, system: System) -> Proposals:
+        bus = self.options.bus_options()
+        method = self.method
+        variants = _static_variants(system, bus)
+        chunk = max(1, bus.obc_chunk_size or 1)
+        best: Optional[AnalysisResult] = None
+        for base in range(0, len(variants), chunk):
+            group = variants[base : base + chunk]
+            if len(group) > 1:
+                # Race the chunk: one batch over every variant's initial
+                # candidate set, fanned out over the pool when configured.
+                prefetch: List[FlexRayConfig] = []
+                for variant in group:
+                    prefetch.extend(_prefetch_configs(variant, bus, method))
+                yield CandidateBatch(tuple(prefetch))
+            for template, lo, hi in group:
+                if lo == 0 and hi == 0:
+                    results = yield CandidateBatch(
+                        (_no_dyn_config(template),)
+                    )
+                    result = results[0]
+                elif method == "curvefit":
+                    result = yield from curvefit_proposals(
+                        system, bus, template, lo, hi
+                    )
+                else:
+                    result = yield from exhaustive_proposals(
+                        bus, template, lo, hi
+                    )
+                if result is not None and not result.feasible:
+                    result = None
+                if better(result, best):
+                    best = result
+                if (
+                    bus.stop_when_schedulable
+                    and best is not None
+                    and best.schedulable
+                ):
+                    return best
+        return best
 
 
 def _template(slots, slot_size, n_minislots, frame_ids, options):
@@ -202,13 +210,35 @@ def _template(slots, slot_size, n_minislots, frame_ids, options):
         return None  # e.g. the static segment alone exceeds 16 ms
 
 
-def _finish(best, evaluator, method, start) -> OptimisationResult:
-    name = "OBC/CF" if method == "curvefit" else "OBC/EE"
-    return OptimisationResult(
-        algorithm=name,
-        best=best,
-        evaluations=evaluator.evaluations,
-        elapsed_seconds=time.perf_counter() - start,
-        trace=tuple(evaluator.trace),
-        cache_hits=evaluator.cache_hits,
-    )
+def _run_obc_cf(system: System, options: StrategyOptions) -> OptimisationResult:
+    return SearchDriver(system, OBCStrategy(options, "curvefit")).run()
+
+
+def _run_obc_ee(system: System, options: StrategyOptions) -> OptimisationResult:
+    return SearchDriver(system, OBCStrategy(options, "exhaustive")).run()
+
+
+STRATEGY_SPEC_CF = StrategySpec(
+    name="obc-cf",
+    summary="OBC with the curve-fitting DYN-length heuristic (Fig. 8)",
+    options_type=StrategyOptions,
+    runner=_run_obc_cf,
+)
+
+STRATEGY_SPEC_EE = StrategySpec(
+    name="obc-ee",
+    summary="OBC with exhaustive DYN-length exploration",
+    options_type=StrategyOptions,
+    runner=_run_obc_ee,
+)
+
+
+def optimise_obc(
+    system: System,
+    options: BusOptimisationOptions = None,
+    method: str = "curvefit",
+) -> OptimisationResult:
+    """Run the OBC heuristic; ``method`` selects OBC/CF or OBC/EE."""
+    return SearchDriver(
+        system, OBCStrategy(StrategyOptions(bus=options), method)
+    ).run()

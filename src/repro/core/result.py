@@ -33,6 +33,10 @@ class OptimisationResult:
     ``cache_hits`` counts candidate lookups the evaluator answered from
     its result cache instead of re-analysing; hits are *not* part of
     ``evaluations``, so the paper's evaluation comparisons stay exact.
+    ``stop_reason`` is ``None`` for a run that exhausted its strategy's
+    proposals and ``"budget"`` when the search driver cut the run short
+    (wall-clock or evaluation-count budget of
+    :class:`~repro.core.strategies.StrategyOptions`).
     """
 
     algorithm: str
@@ -41,6 +45,7 @@ class OptimisationResult:
     elapsed_seconds: float
     trace: Tuple[SearchPoint, ...] = field(default=())
     cache_hits: int = 0
+    stop_reason: Optional[str] = None
 
     @property
     def schedulable(self) -> bool:

@@ -1,0 +1,195 @@
+"""The unified search runtime: proposal protocol and search driver.
+
+Every bus-access optimisation strategy in this repository -- BBC,
+OBC/CF, OBC/EE, SA, GA and anything registered through
+:mod:`repro.core.strategies` -- is a *proposal generator*: it yields
+:class:`CandidateBatch` objects (configurations it wants analysed,
+plus any interpolated cost estimates to record in the trace) and
+receives the evaluated :class:`~repro.analysis.holistic.AnalysisResult`
+list back at the ``yield``.  One :class:`SearchDriver` owns everything
+around that conversation:
+
+* **evaluation** -- every batch goes through
+  :meth:`~repro.core.search.Evaluator.analyse_many`, so every strategy
+  is batch-capable and rides the result cache, the dedup-within-batch
+  logic and (when configured) the parallel process pool;
+* **trace recording** -- exact points and estimates land in the
+  evaluator's trace in proposal order, serial or parallel;
+* **budgets** -- wall-clock and evaluation-count limits
+  (:class:`~repro.core.strategies.StrategyOptions`) are enforced at
+  batch boundaries; an exhausted budget closes the generator and
+  finishes the run with ``stop_reason="budget"``;
+* **deterministic best-selection** -- the driver folds every evaluated
+  result with :func:`~repro.core.search.better` (strictly-lower cost
+  wins, first occurrence wins ties) and discards an infeasible
+  "best"; a strategy with a non-default selection rule (OBC's
+  first-schedulable-hit semantics) *returns* its chosen result from
+  the generator instead, which takes precedence;
+* **resource lifetime** -- the evaluator is used as a context manager,
+  so the parallel pool is released even when a strategy raises.
+
+Early stopping is expressed by the generator simply returning: the
+strategy sees every batch's results and encodes its own stopping rule
+(e.g. Fig. 6 line 7's stop-at-first-schedulable), while the driver
+guarantees the run also ends when a budget expires.
+
+Determinism contract: at fixed options and seeds, a run is
+byte-identical however the batches are scheduled -- serially, on the
+process pool, or re-read from a warmed cache -- because the proposal
+order is fixed before evaluation and ``analyse_many`` preserves it.
+``tests/test_legacy_equivalence.py`` pins all five built-in strategies
+byte-identical to their pre-runtime implementations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Tuple
+
+from repro.analysis.holistic import AnalysisResult
+from repro.core.config import FlexRayConfig
+from repro.core.result import OptimisationResult
+from repro.core.search import Evaluator, better
+
+#: Type of the conversation a strategy has with the driver: yields
+#: batches, receives result lists, returns an optional explicit
+#: best-selection (None delegates selection to the driver).
+Proposals = Generator[
+    "CandidateBatch", List[AnalysisResult], Optional[AnalysisResult]
+]
+
+
+@dataclass(frozen=True)
+class CandidateBatch:
+    """One round of the proposal protocol.
+
+    ``configs`` are analysed (in order, deduplicated against the
+    evaluator's cache) and their results sent back into the generator.
+    ``estimates`` are interpolated (non-exact) cost points recorded in
+    the search trace *before* the batch is evaluated -- the order the
+    curve-fitting heuristic's trace semantics require.  A batch may
+    carry only estimates (``configs == ()``); the generator then
+    receives an empty result list.
+    """
+
+    configs: Tuple[FlexRayConfig, ...] = ()
+    estimates: Tuple[Tuple[FlexRayConfig, float], ...] = ()
+
+
+class SearchStrategy:
+    """Base class of proposal strategies.
+
+    Concrete strategies set ``algorithm`` (the label reported in
+    :class:`~repro.core.result.OptimisationResult`), hold a
+    :class:`~repro.core.strategies.StrategyOptions` (sub)instance in
+    ``options``, and implement :meth:`proposals` as a generator.
+    """
+
+    #: Result label, e.g. ``"OBC/CF"``.
+    algorithm: str = "?"
+
+    def __init__(self, options=None):
+        if options is None:
+            from repro.core.strategies import StrategyOptions
+
+            options = StrategyOptions()
+        self.options = options
+
+    def proposals(self, system) -> Proposals:
+        """Yield :class:`CandidateBatch` objects for *system*.
+
+        Receives the evaluated results of each batch at the ``yield``;
+        may ``return`` an explicit best :class:`AnalysisResult` (or
+        ``None`` to accept the driver's default selection).
+        """
+        raise NotImplementedError
+
+
+def drive_with_evaluator(gen: Proposals, evaluator: Evaluator):
+    """Run a proposal generator against an existing evaluator.
+
+    The raw protocol loop without budgets or best-tracking: used by the
+    legacy per-variant search entry points
+    (:func:`repro.core.dynlen.curvefit_dyn_length`,
+    :func:`repro.core.dynlen.exhaustive_dyn_length`) that operate on a
+    caller-owned evaluator, and by :class:`SearchDriver` subgenerators
+    through ``yield from``.  Returns the generator's return value.
+    """
+    results: Optional[List[AnalysisResult]] = None
+    while True:
+        try:
+            batch = gen.send(results)
+        except StopIteration as stop:
+            return stop.value
+        for config, cost in batch.estimates:
+            evaluator.note_estimate(config, cost)
+        results = evaluator.analyse_many(list(batch.configs))
+
+
+class SearchDriver:
+    """Run one strategy over one system and package the outcome.
+
+    ``SearchDriver(system, strategy).run()`` is the single execution
+    path of every optimiser: it owns the evaluator (and releases its
+    pool via the context-manager protocol), enforces the strategy's
+    budgets, folds the default best and builds the
+    :class:`~repro.core.result.OptimisationResult`.
+    """
+
+    def __init__(self, system, strategy: SearchStrategy):
+        self.system = system
+        self.strategy = strategy
+
+    def run(self) -> OptimisationResult:
+        options = self.strategy.options
+        start = time.perf_counter()
+        best: Optional[AnalysisResult] = None
+        selected: Optional[AnalysisResult] = None
+        stop_reason: Optional[str] = None
+        with Evaluator(self.system, options.bus_options()) as evaluator:
+            gen = self.strategy.proposals(self.system)
+            results: Optional[List[AnalysisResult]] = None
+            while True:
+                try:
+                    batch = gen.send(results)
+                except StopIteration as stop:
+                    selected = stop.value
+                    break
+                if self._budget_exhausted(options, start, evaluator):
+                    gen.close()
+                    stop_reason = "budget"
+                    break
+                for config, cost in batch.estimates:
+                    evaluator.note_estimate(config, cost)
+                results = evaluator.analyse_many(list(batch.configs))
+                for result in results:
+                    if better(result, best):
+                        best = result
+            if selected is None:
+                # Default deterministic selection: lowest cost, first
+                # occurrence on ties; an infeasible best is no best.
+                if best is not None and not best.feasible:
+                    best = None
+                selected = best
+            return OptimisationResult(
+                algorithm=self.strategy.algorithm,
+                best=selected,
+                evaluations=evaluator.evaluations,
+                elapsed_seconds=time.perf_counter() - start,
+                trace=tuple(evaluator.trace),
+                cache_hits=evaluator.cache_hits,
+                stop_reason=stop_reason,
+            )
+
+    @staticmethod
+    def _budget_exhausted(options, start: float, evaluator: Evaluator) -> bool:
+        if (
+            options.max_seconds is not None
+            and time.perf_counter() - start > options.max_seconds
+        ):
+            return True
+        return (
+            options.max_evaluations is not None
+            and evaluator.evaluations >= options.max_evaluations
+        )

@@ -6,6 +6,15 @@ the assignment of slots to nodes and FrameIDs to messages" and runs it
 for hours to obtain near-optimal reference costs.  This module provides
 that baseline with an iteration/time budget so laptop runs finish; the
 budget is a parameter for paper-scale experiments.
+
+One annealing chain is inherently sequential -- every move depends on
+the previous acceptance decision -- so :class:`SAStrategy` proposes
+single-candidate batches through the search runtime and the driver's
+default lowest-cost selection reproduces the legacy outcome exactly.
+Parallelism comes from *restarts*: independent chains (each its own
+:class:`~repro.core.runtime.SearchDriver` run, hence its own evaluator
+and trace) raced across a process pool and merged in restart order, so
+parallel == serial byte-identically.
 """
 
 from __future__ import annotations
@@ -13,125 +22,86 @@ from __future__ import annotations
 import math
 import random
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.analysis.holistic import AnalysisResult
 from repro.core.bbc import basic_configuration
 from repro.core.config import FlexRayConfig
 from repro.core.result import OptimisationResult
+from repro.core.runtime import (
+    CandidateBatch,
+    Proposals,
+    SearchDriver,
+    SearchStrategy,
+)
 from repro.core.search import (
     BusOptimisationOptions,
-    Evaluator,
     better,
     dyn_segment_bounds,
     min_static_slot,
 )
+from repro.core.strategies import StrategyOptions, StrategySpec
 from repro.errors import ConfigurationError
 from repro.flexray import params
 from repro.model.system import System
 
 
 @dataclass(frozen=True)
-class SAOptions:
-    """Annealing schedule and budget."""
+class SAOptions(StrategyOptions):
+    """Annealing schedule and budget.
+
+    Extends :class:`~repro.core.strategies.StrategyOptions`, so it also
+    carries the evaluator knobs (``bus``) and the driver budgets; the
+    inherited ``max_seconds`` doubles as the legacy per-chain wall-clock
+    budget (checked inside the chain at the same point as before, so
+    fixed-seed traces are unchanged).
+    """
 
     iterations: int = 400
     seed: int = 2007
     initial_temperature: Optional[float] = None  # auto: |initial cost| or 100
     cooling: float = 0.97
     moves_per_temperature: int = 8
-    max_seconds: Optional[float] = None
     #: Number of independent annealing chains (restart *i* uses seed
     #: ``seed + i``); the best chain outcome wins.  Chains are
     #: embarrassingly parallel and run on the evaluation pool when
     #: ``BusOptimisationOptions.parallel_workers`` asks for one, with
-    #: results merged in restart order so parallel == serial.
+    #: results merged in restart order so parallel == serial.  The
+    #: driver budgets (``max_seconds`` / ``max_evaluations``) apply
+    #: *per chain* -- chains are independent driver runs, deliberately
+    #: free of cross-chain coupling so the parallel chain map stays
+    #: byte-identical to the serial one; the merged result reports
+    #: ``stop_reason="budget"`` when any chain was cut short.
     restarts: int = 1
 
 
-def optimise_sa(
-    system: System,
-    options: BusOptimisationOptions = None,
-    sa_options: SAOptions = None,
-) -> OptimisationResult:
-    """Anneal over the full design space of Section 6."""
-    options = options or BusOptimisationOptions()
-    sa_options = sa_options or SAOptions()
-    if sa_options.restarts > 1:
-        return _optimise_sa_restarts(system, options, sa_options)
-    start = time.perf_counter()
-    result = _sa_chain(system, options, sa_options, sa_options.seed)
-    return replace(result, elapsed_seconds=time.perf_counter() - start)
+class SAStrategy(SearchStrategy):
+    """One annealing chain as a proposal strategy.
 
+    ``chain_seed`` overrides the options' seed (used by the restart
+    runner to derive per-chain seeds); the driver's default selection
+    (lowest cost among feasible candidates, first occurrence) is the
+    legacy chain outcome.
+    """
 
-def _optimise_sa_restarts(
-    system: System,
-    options: BusOptimisationOptions,
-    sa_options: SAOptions,
-) -> OptimisationResult:
-    """Run independent chains and merge them deterministically."""
-    start = time.perf_counter()
-    seeds = [sa_options.seed + i for i in range(sa_options.restarts)]
-    chains: Optional[list] = None
-    workers = options.parallel_workers or 0
-    if workers > 1:
-        try:
-            from concurrent.futures import ProcessPoolExecutor
+    algorithm = "SA"
 
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                chains = list(
-                    pool.map(
-                        _sa_chain_job,
-                        [(system, options, sa_options, s) for s in seeds],
-                    )
-                )
-        except Exception:
-            chains = None  # e.g. unpicklable payload: fall back to serial
-    if chains is None:
-        chains = [_sa_chain(system, options, sa_options, s) for s in seeds]
+    def __init__(self, options: SAOptions = None, chain_seed: Optional[int] = None):
+        super().__init__(options if options is not None else SAOptions())
+        self.chain_seed = (
+            chain_seed if chain_seed is not None else self.options.seed
+        )
 
-    best: Optional[AnalysisResult] = None
-    trace = []
-    evaluations = 0
-    cache_hits = 0
-    for chain in chains:
-        evaluations += chain.evaluations
-        cache_hits += chain.cache_hits
-        trace.extend(chain.trace)
-        if chain.best is not None and better(chain.best, best):
-            best = chain.best
-    return OptimisationResult(
-        algorithm="SA",
-        best=best,
-        evaluations=evaluations,
-        elapsed_seconds=time.perf_counter() - start,
-        trace=tuple(trace),
-        cache_hits=cache_hits,
-    )
+    def proposals(self, system: System) -> Proposals:
+        sa_options = self.options
+        bus = sa_options.bus_options()
+        start = time.perf_counter()
+        rng = random.Random(self.chain_seed)
 
-
-def _sa_chain_job(args) -> OptimisationResult:
-    """Module-level wrapper so restart chains can cross process bounds."""
-    system, options, sa_options, seed = args
-    return _sa_chain(system, options, sa_options, seed)
-
-
-def _sa_chain(
-    system: System,
-    options: BusOptimisationOptions,
-    sa_options: SAOptions,
-    seed: int,
-) -> OptimisationResult:
-    """One annealing chain with its own evaluator and trace."""
-    start = time.perf_counter()
-    rng = random.Random(seed)
-    evaluator = Evaluator(system, options)
-
-    try:
-        current_cfg = _initial_config(system, options)
-        current = evaluator.analyse(current_cfg)
-        best: Optional[AnalysisResult] = current if current.feasible else None
+        current_cfg = _initial_config(system, bus)
+        results = yield CandidateBatch((current_cfg,))
+        current = results[0]
 
         temperature = sa_options.initial_temperature
         if temperature is None:
@@ -145,29 +115,104 @@ def _sa_chain(
                 and time.perf_counter() - start > sa_options.max_seconds
             ):
                 break
-            neighbour_cfg = _neighbour(system, current_cfg, options, rng)
+            neighbour_cfg = _neighbour(system, current_cfg, bus, rng)
             if neighbour_cfg is None:
                 continue
-            neighbour = evaluator.analyse(neighbour_cfg)
+            results = yield CandidateBatch((neighbour_cfg,))
+            neighbour = results[0]
             if _accept(current, neighbour, temperature, rng):
                 current_cfg, current = neighbour_cfg, neighbour
-            if neighbour.feasible and better(neighbour, best):
-                best = neighbour
             moves_left -= 1
             if moves_left <= 0:
                 temperature = max(temperature * sa_options.cooling, 1e-6)
                 moves_left = sa_options.moves_per_temperature
+        return None  # driver default: lowest-cost feasible candidate
 
-        return OptimisationResult(
-            algorithm="SA",
-            best=best,
-            evaluations=evaluator.evaluations,
-            elapsed_seconds=time.perf_counter() - start,
-            trace=tuple(evaluator.trace),
-            cache_hits=evaluator.cache_hits,
-        )
-    finally:
-        evaluator.close()
+
+def run_sa(system: System, sa_options: SAOptions) -> OptimisationResult:
+    """Registry runner: one chain, or merged restart chains."""
+    if sa_options.restarts > 1:
+        return _optimise_sa_restarts(system, sa_options)
+    return SearchDriver(system, SAStrategy(sa_options)).run()
+
+
+STRATEGY_SPEC = StrategySpec(
+    name="sa",
+    summary="Simulated annealing over the full Section 6 design space",
+    options_type=SAOptions,
+    runner=run_sa,
+)
+
+
+def optimise_sa(
+    system: System,
+    options: BusOptimisationOptions = None,
+    sa_options: SAOptions = None,
+) -> OptimisationResult:
+    """Anneal over the full design space of Section 6."""
+    sa_options = sa_options if sa_options is not None else SAOptions()
+    return run_sa(system, sa_options.with_bus(options))
+
+
+def _optimise_sa_restarts(
+    system: System, sa_options: SAOptions
+) -> OptimisationResult:
+    """Run independent chains and merge them deterministically."""
+    start = time.perf_counter()
+    seeds = [sa_options.seed + i for i in range(sa_options.restarts)]
+    chains: Optional[list] = None
+    workers = sa_options.bus_options().parallel_workers or 0
+    if workers > 1:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                chains = list(
+                    pool.map(
+                        _sa_chain_job,
+                        [(system, sa_options, s) for s in seeds],
+                    )
+                )
+        except Exception:
+            chains = None  # e.g. unpicklable payload: fall back to serial
+    if chains is None:
+        chains = [_sa_chain(system, sa_options, s) for s in seeds]
+
+    best: Optional[AnalysisResult] = None
+    trace = []
+    evaluations = 0
+    cache_hits = 0
+    stop_reason = None
+    for chain in chains:
+        evaluations += chain.evaluations
+        cache_hits += chain.cache_hits
+        trace.extend(chain.trace)
+        if chain.stop_reason is not None:
+            stop_reason = chain.stop_reason
+        if chain.best is not None and better(chain.best, best):
+            best = chain.best
+    return OptimisationResult(
+        algorithm="SA",
+        best=best,
+        evaluations=evaluations,
+        elapsed_seconds=time.perf_counter() - start,
+        trace=tuple(trace),
+        cache_hits=cache_hits,
+        stop_reason=stop_reason,
+    )
+
+
+def _sa_chain_job(args) -> OptimisationResult:
+    """Module-level wrapper so restart chains can cross process bounds."""
+    system, sa_options, seed = args
+    return _sa_chain(system, sa_options, seed)
+
+
+def _sa_chain(
+    system: System, sa_options: SAOptions, seed: int
+) -> OptimisationResult:
+    """One annealing chain: its own driver, evaluator and trace."""
+    return SearchDriver(system, SAStrategy(sa_options, chain_seed=seed)).run()
 
 
 def _initial_config(

@@ -133,8 +133,12 @@ class Evaluator:
       byte-identical either way;
     * a broken pool degrades to the serial path with identical results.
 
-    Call :meth:`close` (or use the owning optimiser's ``finally``) to
-    shut the pool down.
+    The evaluator is a context manager: ``with Evaluator(...) as ev:``
+    guarantees :meth:`close` runs (releasing the process pool) on every
+    exit path.  The search runtime
+    (:class:`~repro.core.runtime.SearchDriver`) and the campaign layer
+    always use it that way; call :meth:`close` yourself only when
+    holding an evaluator open across several runs.
     """
 
     def __init__(self, system: System, options: BusOptimisationOptions):
@@ -203,6 +207,12 @@ class Evaluator:
         if self._executor is not None:
             self._executor.shutdown()
             self._executor = None
+
+    def __enter__(self) -> "Evaluator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _record(

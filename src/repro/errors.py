@@ -42,3 +42,7 @@ class SimulationError(ReproError):
 
 class SerializationError(ReproError):
     """A system or result could not be encoded/decoded."""
+
+
+class CampaignError(ReproError):
+    """A campaign job matrix or checkpoint store is inconsistent."""

@@ -1,22 +1,34 @@
-"""JSON persistence for systems and bus configurations."""
+"""JSON persistence for systems, bus configurations and optimiser results."""
 
 from repro.io.serialization import (
+    analysis_result_from_dict,
+    analysis_result_to_dict,
     config_from_dict,
     config_to_dict,
     load_config,
+    load_result,
     load_system,
+    result_from_dict,
+    result_to_dict,
     save_config,
+    save_result,
     save_system,
     system_from_dict,
     system_to_dict,
 )
 
 __all__ = [
+    "analysis_result_from_dict",
+    "analysis_result_to_dict",
     "config_from_dict",
     "config_to_dict",
     "load_config",
+    "load_result",
     "load_system",
+    "result_from_dict",
+    "result_to_dict",
     "save_config",
+    "save_result",
     "save_system",
     "system_from_dict",
     "system_to_dict",

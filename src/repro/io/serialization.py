@@ -1,17 +1,33 @@
-"""JSON serialization of systems, configurations and analysis results.
+"""JSON serialization of systems, configurations and optimiser results.
 
 Round-trips the full application model so benchmark inputs and optimiser
 outputs can be stored, diffed and re-loaded.  The format is a plain
 nested-dict schema with a version tag; unknown versions are rejected
 rather than mis-parsed.
+
+Optimisation results (:func:`result_to_dict` / :func:`load_result`)
+carry their own ``result_schema`` version on top of the document
+version: the campaign layer (:mod:`repro.core.campaign`) persists every
+job outcome through this schema, so checkpoints written by one code
+generation are either readable by the next or rejected loudly.  Two
+deliberate lossy choices, both recorded in the schema notes below:
+
+* the schedule table of the best configuration is *not* persisted (it
+  is cheap to rebuild by re-analysing the stored configuration);
+* infinite costs (unschedulable / infeasible points) are written as
+  JSON ``Infinity``, which Python's :mod:`json` reads back natively --
+  the same convention the Fig. 9 benchmark artifacts already use.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, List
 
+from repro.analysis.holistic import AnalysisResult
 from repro.core.config import FlexRayConfig
+from repro.core.cost import CostBreakdown
+from repro.core.result import OptimisationResult, SearchPoint
 from repro.errors import SerializationError
 from repro.model.application import Application
 from repro.model.graph import TaskGraph
@@ -20,6 +36,22 @@ from repro.model.system import System
 from repro.model.task import SchedulingPolicy, Task
 
 FORMAT_VERSION = 1
+
+#: Version of the :class:`OptimisationResult` JSON schema.  Bump when
+#: the result/trace encoding changes shape; ``result_from_dict`` rejects
+#: documents written by other schema generations.
+RESULT_FORMAT_VERSION = 1
+
+#: Field order of one encoded search-trace point (kept compact because
+#: OBC/EE traces reach thousands of points per campaign job).
+TRACE_FIELDS = (
+    "n_static_slots",
+    "gd_static_slot",
+    "n_minislots",
+    "cost",
+    "schedulable",
+    "exact",
+)
 
 
 # ----------------------------------------------------------------------
@@ -87,6 +119,65 @@ def config_to_dict(config: FlexRayConfig) -> Dict[str, Any]:
         "gd_minislot": config.gd_minislot,
         "bits_per_mt": config.bits_per_mt,
         "frame_overhead_bytes": config.frame_overhead_bytes,
+    }
+
+
+def search_point_to_list(point: SearchPoint) -> List[Any]:
+    """Encode one trace point as a compact array (see ``TRACE_FIELDS``)."""
+    return [
+        point.n_static_slots,
+        point.gd_static_slot,
+        point.n_minislots,
+        point.cost,
+        point.schedulable,
+        point.exact,
+    ]
+
+
+def _cost_to_dict(cost: CostBreakdown) -> Dict[str, Any]:
+    return {
+        "value": cost.value,
+        "schedulable": cost.schedulable,
+        "misses": cost.misses,
+        "worst_violation": cost.worst_violation,
+        "total_slack": cost.total_slack,
+    }
+
+
+def analysis_result_to_dict(result: AnalysisResult) -> Dict[str, Any]:
+    """Encode an analysis outcome (without its schedule table)."""
+    return {
+        "config": config_to_dict(result.config),
+        "feasible": result.feasible,
+        "schedulable": result.schedulable,
+        "converged": result.converged,
+        "cost": None if result.cost is None else _cost_to_dict(result.cost),
+        "wcrt": dict(result.wcrt),
+        "failure": result.failure,
+    }
+
+
+def result_to_dict(result: OptimisationResult) -> Dict[str, Any]:
+    """Encode an optimiser run outcome, trace included.
+
+    The schedule table of the best configuration is dropped: rebuilding
+    it is one ``analyse_system`` call on the stored configuration,
+    while persisting it would dominate every checkpoint file.
+    """
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "optimisation_result",
+        "result_schema": RESULT_FORMAT_VERSION,
+        "algorithm": result.algorithm,
+        "evaluations": result.evaluations,
+        "cache_hits": result.cache_hits,
+        "elapsed_seconds": result.elapsed_seconds,
+        "stop_reason": result.stop_reason,
+        "best": (
+            None if result.best is None else analysis_result_to_dict(result.best)
+        ),
+        "trace_fields": list(TRACE_FIELDS),
+        "trace": [search_point_to_list(p) for p in result.trace],
     }
 
 
@@ -159,6 +250,80 @@ def config_from_dict(data: Dict[str, Any]) -> FlexRayConfig:
         raise SerializationError(f"malformed config document: {exc}") from exc
 
 
+def search_point_from_list(data: List[Any]) -> SearchPoint:
+    """Decode one trace point written by :func:`search_point_to_list`."""
+    try:
+        ns, gss, nm, cost, schedulable, exact = data
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed trace point {data!r}") from exc
+    return SearchPoint(
+        n_static_slots=ns,
+        gd_static_slot=gss,
+        n_minislots=nm,
+        cost=cost,
+        schedulable=schedulable,
+        exact=exact,
+    )
+
+
+def _cost_from_dict(data: Dict[str, Any]) -> CostBreakdown:
+    return CostBreakdown(
+        value=data["value"],
+        schedulable=data["schedulable"],
+        misses=data["misses"],
+        worst_violation=data["worst_violation"],
+        total_slack=data["total_slack"],
+    )
+
+
+def analysis_result_from_dict(data: Dict[str, Any]) -> AnalysisResult:
+    """Decode :func:`analysis_result_to_dict` output (``table`` is None)."""
+    try:
+        cost = data["cost"]
+        return AnalysisResult(
+            config=config_from_dict(data["config"]),
+            feasible=data["feasible"],
+            schedulable=data["schedulable"],
+            converged=data["converged"],
+            cost=None if cost is None else _cost_from_dict(cost),
+            wcrt=dict(data["wcrt"]),
+            table=None,
+            failure=data.get("failure"),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(
+            f"malformed analysis result document: {exc}"
+        ) from exc
+
+
+def result_from_dict(data: Dict[str, Any]) -> OptimisationResult:
+    """Decode an optimiser run outcome from :func:`result_to_dict` output."""
+    _check_version(data)
+    if data.get("kind") != "optimisation_result":
+        raise SerializationError(
+            f"not an optimisation result document (kind={data.get('kind')!r})"
+        )
+    schema = data.get("result_schema")
+    if schema != RESULT_FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported result schema {schema!r} "
+            f"(this library reads schema {RESULT_FORMAT_VERSION})"
+        )
+    try:
+        best = data["best"]
+        return OptimisationResult(
+            algorithm=data["algorithm"],
+            best=None if best is None else analysis_result_from_dict(best),
+            evaluations=data["evaluations"],
+            elapsed_seconds=data["elapsed_seconds"],
+            trace=tuple(search_point_from_list(p) for p in data["trace"]),
+            cache_hits=data.get("cache_hits", 0),
+            stop_reason=data.get("stop_reason"),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed result document: {exc}") from exc
+
+
 def _check_version(data: Dict[str, Any]) -> None:
     version = data.get("version")
     if version != FORMAT_VERSION:
@@ -193,3 +358,16 @@ def load_config(path: str) -> FlexRayConfig:
     """Read a bus configuration from a JSON file."""
     with open(path, encoding="utf-8") as fh:
         return config_from_dict(json.load(fh))
+
+
+def save_result(result: OptimisationResult, path: str) -> None:
+    """Write an optimisation result (trace included) to a JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result_to_dict(result), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_result(path: str) -> OptimisationResult:
+    """Read an optimisation result from a JSON file."""
+    with open(path, encoding="utf-8") as fh:
+        return result_from_dict(json.load(fh))

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Regenerate the pinned legacy-equivalence oracle traces.
+
+The JSON files next to this script were produced by the *pre-refactor*
+optimiser implementations (each strategy owning its private loop, PR 4
+state) and pin their fixed-seed behaviour: algorithm label, exact
+evaluation count, cache-hit count, the full search trace and the best
+configuration.  ``tests/test_legacy_equivalence.py`` asserts that the
+unified search runtime reproduces every one of them byte-identically.
+
+Do NOT regenerate these files casually -- they are the oracle.  Rerun
+this script only when a deliberate, documented behaviour change makes
+the old traces obsolete, and say so in CHANGES.md::
+
+    PYTHONPATH=src python -m tests.fixtures.gen_legacy_traces
+"""
+
+import json
+import os
+
+from repro.io.serialization import result_to_dict
+
+from tests.fixtures.legacy_cases import LEGACY_CASES
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "legacy_traces")
+
+
+def main() -> None:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    for case in LEGACY_CASES:
+        result = case.run()
+        payload = result_to_dict(result)
+        # Wall-clock is machine noise, not behaviour: zero it so the
+        # fixture diff stays meaningful across regenerations.
+        payload["elapsed_seconds"] = 0.0
+        path = os.path.join(OUT_DIR, f"{case.case_id}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(
+            f"{case.case_id}: {result.algorithm} evaluations="
+            f"{result.evaluations} trace={len(result.trace)} -> {path}"
+        )
+
+
+if __name__ == "__main__":
+    main()

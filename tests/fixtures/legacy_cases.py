@@ -1,0 +1,96 @@
+"""The fixed-seed optimiser runs pinned by the legacy-equivalence oracle.
+
+Shared between the fixture generator (``gen_legacy_traces.py``, run once
+against the pre-refactor implementations) and the equivalence test
+(``tests/test_legacy_equivalence.py``, run forever against the unified
+search runtime).  Every case must be fully deterministic: fixed seeds,
+fixed options, synthetic systems regenerated from constants.
+"""
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core import (
+    GAOptions,
+    SAOptions,
+    optimise_bbc,
+    optimise_ga,
+    optimise_obc,
+    optimise_sa,
+)
+from repro.core.result import OptimisationResult
+from repro.core.search import BusOptimisationOptions
+from repro.synth import paper_suite
+
+from tests.util import fig3_system, fig4_system
+
+
+def _small_bus(**kw) -> BusOptimisationOptions:
+    """Laptop-sized OBC budgets (mirrors the bench presets)."""
+    return BusOptimisationOptions(
+        ee_max_dyn_points=48,
+        cf_candidates=64,
+        max_extra_static_slots=1,
+        max_slot_size_steps=1,
+        **kw,
+    )
+
+
+@dataclass(frozen=True)
+class LegacyCase:
+    """One pinned optimiser run: a stable id plus a deterministic runner."""
+
+    case_id: str
+    run: Callable[[], OptimisationResult]
+
+
+LEGACY_CASES = (
+    LegacyCase("bbc_fig3", lambda: optimise_bbc(fig3_system())),
+    LegacyCase("bbc_fig4", lambda: optimise_bbc(fig4_system())),
+    LegacyCase(
+        "obc_cf_fig4",
+        lambda: optimise_obc(fig4_system(), method="curvefit"),
+    ),
+    LegacyCase(
+        "obc_cf_paper3_no_early_stop",
+        lambda: optimise_obc(
+            paper_suite(3, count=1, seed=23)[0],
+            _small_bus(stop_when_schedulable=False),
+            "curvefit",
+        ),
+    ),
+    LegacyCase(
+        "obc_ee_paper3",
+        lambda: optimise_obc(
+            paper_suite(3, count=1, seed=23)[0], _small_bus(), "exhaustive"
+        ),
+    ),
+    LegacyCase(
+        "obc_ee_paper3_chunked",
+        lambda: optimise_obc(
+            paper_suite(3, count=1, seed=23)[0],
+            _small_bus(obc_chunk_size=3),
+            "exhaustive",
+        ),
+    ),
+    LegacyCase(
+        "sa_fig4",
+        lambda: optimise_sa(
+            fig4_system(), sa_options=SAOptions(iterations=120, seed=11)
+        ),
+    ),
+    LegacyCase(
+        "sa_fig4_restarts",
+        lambda: optimise_sa(
+            fig4_system(),
+            sa_options=SAOptions(iterations=60, seed=7, restarts=2),
+        ),
+    ),
+    LegacyCase(
+        "ga_fig4",
+        lambda: optimise_ga(
+            fig4_system(),
+            ga_options=GAOptions(population=8, generations=5, seed=11),
+        ),
+    ),
+)

@@ -4,13 +4,18 @@ import json
 
 import pytest
 
+from repro.core import optimise_bbc, optimise_obc
 from repro.errors import SerializationError
 from repro.io import (
     config_from_dict,
     config_to_dict,
     load_config,
+    load_result,
     load_system,
+    result_from_dict,
+    result_to_dict,
     save_config,
+    save_result,
     save_system,
     system_from_dict,
     system_to_dict,
@@ -65,6 +70,88 @@ class TestConfigRoundTrip:
         path = str(tmp_path / "config.json")
         save_config(cfg, path)
         assert load_config(path) == cfg
+
+
+class TestResultRoundTrip:
+    def _signature(self, result):
+        best = result.best
+        return (
+            result.algorithm,
+            result.evaluations,
+            result.cache_hits,
+            result.elapsed_seconds,
+            result.stop_reason,
+            result.trace,
+            None
+            if best is None
+            else (
+                best.config,
+                best.feasible,
+                best.schedulable,
+                best.converged,
+                best.cost,
+                tuple(sorted(best.wcrt.items())),
+                best.failure,
+            ),
+        )
+
+    def test_full_result_round_trip(self):
+        result = optimise_obc(fig4_system(), method="curvefit")
+        clone = result_from_dict(result_to_dict(result))
+        assert self._signature(clone) == self._signature(result)
+        # the schedule table is deliberately not persisted
+        assert clone.best.table is None
+
+    def test_trace_with_estimates_and_infinities(self):
+        # Synthesise a trace carrying both special encodings the schema
+        # documents: interpolated (exact=False) points and the infinite
+        # costs of infeasible candidates.
+        import math
+
+        from repro.core import OptimisationResult, SearchPoint
+
+        result = OptimisationResult(
+            algorithm="TEST",
+            best=None,
+            evaluations=1,
+            elapsed_seconds=0.5,
+            trace=(
+                SearchPoint(2, 8, 10, math.inf, False, True),
+                SearchPoint(2, 8, 20, -12.5, True, False),
+            ),
+            stop_reason="budget",
+        )
+        doc = result_to_dict(result)
+        clone = result_from_dict(doc)
+        assert clone.trace == result.trace
+        assert math.isinf(clone.trace[0].cost)
+        assert clone.trace[1].exact is False
+        assert clone.stop_reason == "budget"
+        assert json.dumps(doc)  # document is JSON-encodable (Infinity)
+
+    def test_file_round_trip(self, tmp_path):
+        result = optimise_bbc(fig3_system())
+        path = str(tmp_path / "result.json")
+        save_result(result, path)
+        clone = load_result(path)
+        assert self._signature(clone) == self._signature(result)
+
+    def test_wrong_kind_rejected(self):
+        doc = config_to_dict(basic_config())
+        with pytest.raises(SerializationError, match="kind"):
+            result_from_dict(doc)
+
+    def test_wrong_result_schema_rejected(self):
+        doc = result_to_dict(optimise_bbc(fig3_system()))
+        doc["result_schema"] = 99
+        with pytest.raises(SerializationError, match="schema"):
+            result_from_dict(doc)
+
+    def test_malformed_trace_point_rejected(self):
+        doc = result_to_dict(optimise_bbc(fig3_system()))
+        doc["trace"] = [[1, 2, 3]]
+        with pytest.raises(SerializationError, match="trace point"):
+            result_from_dict(doc)
 
 
 class TestVersioning:

@@ -4,8 +4,10 @@
 DYN-length sweep through one warm :class:`AnalysisContext` -- the exact
 code path the optimisers hammer (retimable schedule plan, certified
 busy-window warm starts, dirty-tracked fix point) -- cross-checked
-against fresh cold contexts.  Designed to finish in a few seconds, so
-the perf plumbing stays covered by every tier-1 run.
+against fresh cold contexts, plus a two-strategy campaign on the
+cruise-control case study through the full search runtime (registry
+dispatch, search driver, checkpoint store).  Designed to finish in a
+few seconds, so the perf plumbing stays covered by every tier-1 run.
 """
 
 import time
@@ -13,7 +15,9 @@ import time
 import pytest
 
 from repro.analysis import AnalysisContext
+from repro.casestudy.cruise_control import cruise_controller
 from repro.core.bbc import basic_configuration
+from repro.core.campaign import campaign_matrix, run_campaign
 from repro.core.search import (
     BusOptimisationOptions,
     dyn_segment_bounds,
@@ -65,3 +69,44 @@ def test_warm_sweep_fast_and_bit_identical():
     # Loose sanity bound only -- wall-clock asserts are flaky on shared
     # machines; the real perf claims live in benchmarks/BENCH_*.json.
     assert warm_s < 10.0
+
+
+@pytest.mark.perf_smoke
+def test_cruise_control_campaign_smoke(tmp_path):
+    """A two-strategy campaign on the cruise-control case study must fit
+    in the tier-1 budget: BBC plus a budget-trimmed OBC/CF, dispatched by
+    registry name through the search driver, checkpointed, and resumed
+    instantly on the second run."""
+    system = cruise_controller()
+    systems = {"cruise": system}
+    bus = BusOptimisationOptions(
+        max_dyn_points=16,
+        initial_cf_points=3,
+        cf_candidates=64,
+        cf_max_points=10,
+        max_extra_static_slots=1,
+        max_slot_size_steps=2,
+    )
+    jobs = campaign_matrix(systems, ["bbc", "obc-cf"], bus=bus)
+
+    t0 = time.perf_counter()
+    cold = run_campaign(systems, jobs, checkpoint_dir=str(tmp_path))
+    cold_s = time.perf_counter() - t0
+
+    assert set(cold.results) == {"cruise__bbc", "cruise__obc-cf"}
+    assert len(cold.executed) == 2
+    for job in jobs:
+        result = cold.results[job.job_id]
+        assert result.evaluations > 0
+        assert result.trace
+        assert result.best is not None  # the case study is feasible
+
+    # Resuming answers every job from the checkpoint store, identically.
+    resumed = run_campaign(systems, jobs, checkpoint_dir=str(tmp_path))
+    assert len(resumed.resumed) == 2 and not resumed.executed
+    for job_id, result in cold.results.items():
+        assert resumed.results[job_id].trace == result.trace
+        assert resumed.results[job_id].cost == result.cost
+
+    # Loose wall-clock sanity bound, same rationale as above.
+    assert cold_s < 10.0

@@ -32,7 +32,12 @@ A second, **pure-DYN** scenario (TT graphs collapsed onto single nodes,
 so the whole sweep shares one schedule-cache entry) measures the
 pattern-level dominance tables against the pinned PR 3 path -- the
 workload where their per-pattern construction amortises across every
-candidate (see ``run_pure_dyn``).
+candidate (see ``run_pure_dyn``).  The same scenario times the
+``numpy_batch`` generation: one ``AnalysisContext`` with
+``AnalysisOptions(backend="numpy")`` evaluating the whole sweep through
+``analyse_batch`` as a single lockstep array fix point, asserted
+bit-identical to the Python oracle and >= 2x faster than the warm
+Python path.
 
 Emits ``benchmarks/results/BENCH_incremental_analysis.json``.  The quick
 smoke mode (default) finishes in well under 30 s; set
@@ -1395,8 +1400,11 @@ def _pure_dyn_system(n_nodes: int, seed: int):
 
 def _pure_dyn_configs():
     n_nodes = env_int("REPRO_BENCH_DOM_NODES", 4)
+    # 256 points (up from 96): wide batches are where the array backend's
+    # lockstep evaluation amortises, and the longer per-mode samples keep
+    # the asserted ratios out of scheduler-noise territory on busy hosts.
     points = env_int(
-        "REPRO_BENCH_DOM_POINTS", 192 if full_scale() else 96
+        "REPRO_BENCH_DOM_POINTS", 512 if full_scale() else 256
     )
     system = _pure_dyn_system(n_nodes, seed=23)
     assert not tuple(system.application.st_messages()), "scenario must be pure-DYN"
@@ -1440,34 +1448,61 @@ def run_pure_dyn():
         warm_ctx_holder.append(ctx)
         return ctx.analyse
 
+    def _make_numpy_batch():
+        ctx = AnalysisContext(system, AnalysisOptions(backend="numpy"))
+
+        def run(cfgs):
+            return ctx.analyse_batch(cfgs)
+
+        run.batched = True
+        return run
+
+    # Eight interleaved rounds (up from the default six): the numpy
+    # generation's asserted floor is a 2x ratio between two sub-100ms
+    # sweeps, which needs a little more best-of convergence than the
+    # few-percent pinned-reference ratios.
     timed = _time_interleaved(
         {
             "pr3_warm": lambda: Pr3WarmReference(system).analyse,
             "warm": _make_warm,
+            "numpy_batch": _make_numpy_batch,
         },
         configs,
+        repeats=8,
     )
     pr3_s, pr3_results = timed["pr3_warm"]
     warm_s, warm_results = timed["warm"]
+    numpy_s, numpy_results = timed["numpy_batch"]
 
     # Correctness: the dominance path against the dominance-off oracle,
-    # and the "verify" cross-check counting divergences in-line.
+    # and the "verify" cross-checks (dominance and backend) counting
+    # divergences in-line.
     off_ctx = AnalysisContext(system, AnalysisOptions(dominance="off"))
     off_results = [off_ctx.analyse(c) for c in configs]
     verify_ctx = AnalysisContext(system, AnalysisOptions(dominance="verify"))
     for c in configs:
         verify_ctx.analyse(c)
+    backend_verify_ctx = AnalysisContext(
+        system, AnalysisOptions(backend="verify")
+    )
+    backend_verify_ctx.analyse_batch(configs)
 
     out = {
         "system": system,
         "configs": configs,
-        "seconds": {"pr3_warm": pr3_s, "warm": warm_s},
+        "seconds": {
+            "pr3_warm": pr3_s,
+            "warm": warm_s,
+            "numpy_batch": numpy_s,
+        },
         "results": {
             "pr3_warm": pr3_results,
             "warm": warm_results,
+            "numpy_batch": numpy_results,
             "off": off_results,
         },
         "divergences": verify_ctx.dominance_divergences,
+        "backend_divergences": backend_verify_ctx.backend_divergences,
         "dominance_stats": _dominance_stats(warm_ctx_holder[0]),
     }
     _cache["pure_dyn"] = out
@@ -1520,6 +1555,12 @@ def _time_interleaved(makes, configs, repeats=6):
     converges to the true cost as rounds accumulate -- six rounds keep
     the few-percent ratios stable on a loaded 1-CPU container.  Returns
     ``{mode: (seconds, first run's results)}``.
+
+    A make may return a callable with a truthy ``batched`` attribute;
+    it is then handed the whole config list in one call (the array
+    backend's sweep protocol) instead of being mapped per config, so
+    its timing includes the one-off lowering, exactly as a campaign
+    pays it.
     """
     best = {key: None for key in makes}
     results = {key: None for key in makes}
@@ -1527,7 +1568,10 @@ def _time_interleaved(makes, configs, repeats=6):
         for key, make_analyse in makes.items():
             analyse = make_analyse()
             t0 = time.perf_counter()
-            out = [analyse(c) for c in configs]
+            if getattr(analyse, "batched", False):
+                out = analyse(configs)
+            else:
+                out = [analyse(c) for c in configs]
             elapsed = time.perf_counter() - t0
             if best[key] is None or elapsed < best[key]:
                 best[key] = elapsed
@@ -1623,6 +1667,7 @@ def test_incremental_analysis_identical_and_fast():
     pd_n = len(pure_dyn["configs"])
     pd_pr3_s = pure_dyn["seconds"]["pr3_warm"]
     pd_warm_s = pure_dyn["seconds"]["warm"]
+    pd_numpy_s = pure_dyn["seconds"]["numpy_batch"]
     pd_maximal, pd_dominated = pure_dyn["dominance_stats"]
     payload = {
         "workload": {
@@ -1668,11 +1713,14 @@ def test_incremental_analysis_identical_and_fast():
             "seconds": {
                 "pr3_warm": round(pd_pr3_s, 4),
                 "warm_context": round(pd_warm_s, 4),
+                "numpy_batch": round(pd_numpy_s, 4),
             },
             "warm_vs_pr3_warm": round(pd_pr3_s / pd_warm_s, 2),
+            "numpy_batch_vs_warm": round(pd_warm_s / pd_numpy_s, 2),
             "dominated_instants": pd_dominated,
             "maximal_instants": pd_maximal,
             "dominance_verify_divergences": pure_dyn["divergences"],
+            "backend_verify_divergences": pure_dyn["backend_divergences"],
         },
     }
     report_json("BENCH_incremental_analysis", payload)
@@ -1711,6 +1759,9 @@ def test_incremental_analysis_identical_and_fast():
             f"PR 3 warm path {pd_pr3_s / pd_warm_s:.2f}x -- pattern-level "
             f"dominance elides {pd_dominated}/{pd_maximal + pd_dominated} "
             "instants once per availability",
+            f"numpy batched backend on the pure-DYN sweep: "
+            f"{pd_warm_s / pd_numpy_s:.2f}x vs the warm Python path "
+            "(one vectorized fix point, all candidates in lockstep)",
         ],
     )
 
@@ -1761,6 +1812,36 @@ def test_dominance_amortises_on_pure_dyn_sweep():
     assert pr3_s / warm_s >= 1.1, (
         f"dominance kernel only {pr3_s / warm_s:.2f}x faster than the "
         "PR 3 warm path on the pure-DYN sweep"
+    )
+
+
+def test_array_backend_identical_and_fast():
+    """The array backend's claim: the batched numpy sweep is
+    bit-identical to the Python oracle (signatures, wcrt dicts including
+    insertion order, costs) and >= 2x faster than the warm Python path
+    -- the PR 4-generation engine -- on the pure-DYN sweep, with the
+    in-line ``backend='verify'`` cross-check reporting zero
+    divergences."""
+    pure_dyn = run_pure_dyn()
+    off_sigs = [_signature(r) for r in pure_dyn["results"]["off"]]
+    numpy_results = pure_dyn["results"]["numpy_batch"]
+    assert [_signature(r) for r in numpy_results] == off_sigs, (
+        "numpy backend diverged from the Python oracle"
+    )
+    for py_r, np_r in zip(pure_dyn["results"]["warm"], numpy_results):
+        assert py_r.wcrt == np_r.wcrt, "wcrt values diverged"
+        assert list(py_r.wcrt) == list(np_r.wcrt), (
+            "wcrt insertion order diverged"
+        )
+        assert py_r.cost == np_r.cost, "cost breakdowns diverged"
+    assert pure_dyn["backend_divergences"] == 0, (
+        "backend='verify' caught divergences on the pure-DYN sweep"
+    )
+    warm_s = pure_dyn["seconds"]["warm"]
+    numpy_s = pure_dyn["seconds"]["numpy_batch"]
+    assert warm_s / numpy_s >= 2.0, (
+        f"numpy batched sweep only {warm_s / numpy_s:.2f}x faster than "
+        "the warm Python path on the pure-DYN sweep"
     )
 
 
@@ -1816,5 +1897,6 @@ def test_optimisers_identical_serial_vs_parallel():
 if __name__ == "__main__":
     test_incremental_analysis_identical_and_fast()
     test_dominance_amortises_on_pure_dyn_sweep()
+    test_array_backend_identical_and_fast()
     test_optimisers_identical_serial_vs_parallel()
     print("bench_incremental_analysis: all checks passed")

@@ -10,11 +10,14 @@ guarantees:
 1. one-off analysis -- ``repro.analysis.analyse_system``;
 2. repeated analysis -- ``repro.analysis.AnalysisContext`` (the
    incremental engine: bit-identical to one-off, just faster);
-3. optimisation -- the strategy registry (``repro.core.optimise``
+3. backends -- ``AnalysisOptions.backend`` (the batched numpy array
+   engine, bit-identical to the Python oracle, behind the
+   ``repro[numpy]`` extra);
+4. optimisation -- the strategy registry (``repro.core.optimise``
    dispatches any registered strategy by name) on the unified search
    runtime, serial or parallel, chunked or not, always byte-identical
    at a fixed seed;
-4. campaigns -- declarative (system x strategy) job matrices with
+5. campaigns -- declarative (system x strategy) job matrices with
    JSON-persisted results and resumable checkpoints.
 
 >>> from repro.synth import paper_suite
@@ -93,6 +96,28 @@ pattern, togglable per analysis via ``AnalysisOptions.dominance``
 True
 >>> all(dom.witness[i] in dom.maximal_order for i in dom.dominated_order)
 True
+
+**Evaluation backends.**  ``AnalysisOptions.backend`` selects the
+fix-point engine: ``"python"`` (default), ``"numpy"`` -- the batched
+array backend, which lowers the system's invariants into packed int64
+arrays once and advances a whole batch of busy-window fix points in
+lockstep via ``AnalysisContext.analyse_batch`` -- or ``"verify"``,
+which runs both and counts divergences (contractually zero).  Results
+are bit-identical across backends; numpy is the optional
+``repro[numpy]`` extra, so this snippet degrades to the Python backend
+when it is absent:
+
+>>> AnalysisOptions().backend
+'python'
+>>> from repro.analysis.backend import numpy_or_none
+>>> backend = "numpy" if numpy_or_none() is not None else "python"
+>>> batched = AnalysisContext(system, AnalysisOptions(backend=backend))
+>>> [r.wcrt for r in batched.analyse_batch(sweep)] == [
+...     warm.analyse(c).wcrt for c in sweep
+... ]
+True
+>>> batched.backend_divergences
+0
 
 **Optimisation.**  Every strategy -- BBC, OBC/CF, OBC/EE, SA, GA --
 is a proposal generator executed by the unified search runtime

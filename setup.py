@@ -1,5 +1,29 @@
-"""Shim for legacy (non-PEP-517) editable installs on older setuptools."""
+"""Packaging metadata (kept in ``setup.py`` -- no pyproject in this repo).
 
-from setuptools import setup
+The library itself is pure Python; the vectorized analysis backend
+(``AnalysisOptions.backend="numpy"``) needs numpy, which is deliberately
+an *optional* extra: ``pip install repro[numpy]``.  Without it the
+package imports and analyses normally on the Python backend, and
+selecting the numpy backend raises a ``RuntimeError`` naming the extra
+(see :func:`repro.analysis.backend.require_numpy`).
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Bus Access Optimisation for FlexRay-based "
+        "Distributed Embedded Systems' (DATE 2007): holistic timing "
+        "analysis and bus configuration optimisers"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=[],
+    extras_require={
+        # The batched array backend (AnalysisOptions.backend="numpy").
+        "numpy": ["numpy>=1.22"],
+    },
+)

@@ -15,8 +15,10 @@ Public entry points
 :class:`AnalysisOptions`
     Analysis tunables; the ``warm_start`` field selects the fix-point
     trajectory (``"certified"`` default, ``"off"`` oracle, ``"seed"``
-    legacy neighbour seeding, ``"verify"`` cross-check) -- every mode's
-    determinism guarantee is documented on the field.
+    legacy neighbour seeding, ``"verify"`` cross-check) and the
+    ``backend`` field the evaluation backend (``"python"`` reference,
+    ``"numpy"`` lockstep array kernels, ``"verify"`` cross-check) --
+    every mode's determinism guarantee is documented on the field.
 
 The busy-window kernels (:func:`fps_task_busy_window`,
 :func:`dyn_message_busy_window`), the static scheduler
@@ -53,6 +55,7 @@ from repro.analysis.fps import (
 from repro.analysis.holistic import (
     AnalysisOptions,
     AnalysisResult,
+    BACKEND_MODES,
     analyse_system,
     analysis_cap,
 )
@@ -77,6 +80,7 @@ __all__ = [
     "AnalysisOptions",
     "AnalysisResult",
     "ancestor_sets",
+    "BACKEND_MODES",
     "BusLoad",
     "SlackEntry",
     "DominanceTables",

@@ -1,0 +1,75 @@
+"""Vectorized numpy kernel backend (``AnalysisOptions.backend``).
+
+The holistic pipeline spends nearly all of its time in pure integer
+arithmetic -- FPS/DYN busy-window fix points over precomputed prefix
+sums -- executed as per-candidate Python loops.  This package lowers the
+per-system invariants already computed by
+:class:`~repro.analysis.context.AnalysisContext` (interferer rows,
+``NodeAvailability`` gap/slack prefix sums, ``InstantTables``, DYN fill
+rows) into packed int64 numpy arrays once per (schedule, frame
+structure) group, then advances the busy-window fix points of a whole
+candidate batch in lockstep under convergence masks
+(:func:`repro.analysis.backend.kernels.run_group`).
+
+The contract is the repo's established one: results are bit-identical
+to the pure-Python oracle.  The ingredients:
+
+* exact integer dtypes end to end (int64, never float);
+* per-activity magnitude prebounds computed in unbounded Python
+  arithmetic at lowering time -- any activity whose worst-case
+  intermediate could leave int64 is evaluated on the Python kernels
+  instead (:data:`~repro.analysis.backend.arrays.OVERFLOW_LIMIT`);
+* the certified warm-start seeds and the per-instant pruning bound are
+  carried over as array state and array predicates, and both are
+  result-neutral by the repo's certification arguments (seeds below the
+  least fixed point converge to exactly it; uncertified seeds trigger
+  the same cold-replay detection as the Python path);
+* oracle/debug modes (``warm_start != "certified"``,
+  ``dominance="verify"``, ``dyn_fill_strategy="exact"``) fall back to
+  the Python path entirely -- their whole point is exercising the
+  reference semantics.
+
+numpy is an *optional* dependency (the ``repro[numpy]`` extra).  The
+library imports it lazily through :func:`numpy_or_none`, and
+:func:`require_numpy` turns its absence into an actionable error at
+context construction instead of a deep ImportError mid-analysis.
+"""
+
+from __future__ import annotations
+
+#: Legal values of ``AnalysisOptions.backend`` (re-exported for callers
+#: that do not want to import :mod:`repro.analysis.holistic`).
+BACKEND_MODES = ("python", "numpy", "verify")
+
+try:  # pragma: no cover - trivially one of the two branches per env
+    import numpy as _numpy
+except ImportError:  # pragma: no cover
+    _numpy = None
+
+
+def numpy_or_none():
+    """The numpy module, or ``None`` when the extra is not installed.
+
+    Kept behind a function (reading the module-level ``_numpy``) so
+    tests can simulate a numpy-less environment by monkeypatching
+    ``repro.analysis.backend._numpy`` to ``None``.
+    """
+    return _numpy
+
+
+def require_numpy():
+    """Return numpy or raise a :class:`RuntimeError` naming the extra.
+
+    Called once per :class:`~repro.analysis.context.AnalysisContext`
+    construction when ``backend`` is ``"numpy"`` or ``"verify"`` -- the
+    failure happens eagerly, at the one place the user chose the
+    backend, not deep inside an analysis.
+    """
+    np = numpy_or_none()
+    if np is None:
+        raise RuntimeError(
+            'AnalysisOptions.backend="numpy" requires numpy, which is an '
+            "optional dependency of this package; install it with "
+            "'pip install repro[numpy]' (or choose backend=\"python\")."
+        )
+    return np

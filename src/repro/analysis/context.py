@@ -143,6 +143,7 @@ class AnalysisContext:
     ):
         from repro.analysis.holistic import (
             AnalysisOptions,
+            BACKEND_MODES,
             DOMINANCE_MODES,
             WARM_START_MODES,
             analysis_cap_base,
@@ -160,6 +161,17 @@ class AnalysisContext:
                 f"unknown dominance mode {self.options.dominance!r}; "
                 f"choose from {DOMINANCE_MODES}"
             )
+        if self.options.backend not in BACKEND_MODES:
+            raise ConfigurationError(
+                f"unknown backend {self.options.backend!r}; "
+                f"choose from {BACKEND_MODES}"
+            )
+        if self.options.backend != "python":
+            # Fail at the one place the backend was chosen, not deep
+            # inside an analysis -- numpy is the ``repro[numpy]`` extra.
+            from repro.analysis.backend import require_numpy
+
+            require_numpy()
         self.max_schedule_entries = max_schedule_entries
         self.max_structure_entries = max_structure_entries
         self.max_validation_entries = max_validation_entries
@@ -175,6 +187,12 @@ class AnalysisContext:
         #: maximisation (provably impossible -- same contract as
         #: :attr:`warm_start_divergences`).
         self.dominance_divergences = 0
+        #: Divergences caught by the ``backend="verify"`` debug mode:
+        #: analyses where the numpy array backend produced a different
+        #: result than the Python oracle (contractually always 0 -- the
+        #: counter exists so tests and debug sweeps can assert exactly
+        #: that).
+        self.backend_divergences = 0
         #: Last converged solution, seeding the legacy neighbour outer
         #: warm start (``warm_start="seed"`` only).
         self._warm_state = None
@@ -252,6 +270,10 @@ class AnalysisContext:
         #: of (system, configuration), so each distinct configuration is
         #: validated once.
         self._valid_cache: OrderedDict = OrderedDict()
+        #: Lowered array plans of the numpy backend, keyed by
+        #: (schedule key, DYN structure key); rides the same LRU bound
+        #: as the schedule cache whose artifacts it packs.
+        self._backend_plans: OrderedDict = OrderedDict()
         #: Monotone validation floor: per (everything except the DYN
         #: length), the smallest ``n_minislots`` that validated clean.
         #: Growing the dynamic segment only relaxes ``validate_for``'s
@@ -422,14 +444,24 @@ class AnalysisContext:
         _lru_insert(self._schedule_cache, key, entry, self.max_schedule_entries)
         return entry
 
-    def _dyn_structure(self, config: FlexRayConfig) -> Dict[str, tuple]:
-        """Tier (c): hp/lf rows per DYN message for a FrameID assignment."""
-        key = (
+    def structure_key(self, config: FlexRayConfig) -> tuple:
+        """Identity of *config*'s DYN interference structure (tier c).
+
+        FrameID assignment plus the bus-speed parameters: two
+        configurations sharing this key have identical hp/lf rows,
+        transmission times and reverse interference maps (they can still
+        differ in cycle geometry, i.e. the per-view scalars).
+        """
+        return (
             tuple(sorted(config.frame_ids.items())),
             config.bits_per_mt,
             config.frame_overhead_bytes,
             config.gd_minislot,
         )
+
+    def _dyn_structure(self, config: FlexRayConfig) -> Dict[str, tuple]:
+        """Tier (c): hp/lf rows per DYN message for a FrameID assignment."""
+        key = self.structure_key(config)
         structure = self._structure_cache.get(key)
         if structure is not None:
             self._structure_cache.move_to_end(key)
@@ -483,12 +515,7 @@ class AnalysisContext:
         for exact change tracking instead of rebuilding input-signature
         tuples every pass.
         """
-        key = ("deps",) + (
-            tuple(sorted(config.frame_ids.items())),
-            config.bits_per_mt,
-            config.frame_overhead_bytes,
-            config.gd_minislot,
-        )
+        key = ("deps",) + self.structure_key(config)
         deps = self._structure_cache.get(key)
         if deps is not None:
             self._structure_cache.move_to_end(key)
@@ -594,9 +621,106 @@ class AnalysisContext:
         shared between calls.  ``options.warm_start`` selects the fix
         point trajectory: the certified fast path (default), the fully
         cold oracle, the legacy neighbour seeding, or the verify
-        cross-check (see
-        :class:`~repro.analysis.holistic.AnalysisOptions`).
+        cross-check; ``options.backend`` selects the evaluation backend
+        (see :class:`~repro.analysis.holistic.AnalysisOptions`).
         """
+        if self.options.backend != "python":
+            return self.analyse_batch([config])[0]
+        return self._analyse_python(config)
+
+    def analyse_batch(self, configs) -> list:
+        """Analyse a list of configurations under ``options.backend``.
+
+        The batch entry point of :meth:`Evaluator.analyse_many
+        <repro.core.search.Evaluator>`: with ``backend="python"`` it is
+        exactly the per-candidate loop; with ``backend="numpy"`` the
+        feasible candidates are grouped by (schedule key, DYN structure
+        key) and each group's busy-window fix points advance in lockstep
+        (:func:`repro.analysis.backend.kernels.run_group`);
+        ``backend="verify"`` runs both, counts mismatches in
+        :attr:`backend_divergences` and returns the Python results.
+        Result lists are ordered like *configs* and bit-identical across
+        backends.
+        """
+        backend = self.options.backend
+        if backend == "python":
+            return [self._analyse_python(c) for c in configs]
+        array_results = self._analyse_array_batch(configs)
+        if backend == "numpy":
+            return array_results
+        python_results = [self._analyse_python(c) for c in configs]
+        for array_result, python_result in zip(array_results, python_results):
+            if self._result_signature(array_result) != self._result_signature(
+                python_result
+            ):
+                self.backend_divergences += 1
+        return python_results
+
+    @staticmethod
+    def _result_signature(result) -> tuple:
+        """Everything the bit-identity contract covers, as a plain tuple."""
+        return (
+            result.feasible,
+            result.schedulable,
+            result.converged,
+            result.failure,
+            result.cost,
+            tuple(result.wcrt.items()),
+        )
+
+    def _analyse_array_batch(self, configs) -> list:
+        """The numpy path of :meth:`analyse_batch` (ordered like input).
+
+        Oracle/debug modes (``warm_start != "certified"``,
+        ``dominance="verify"``, ``dyn_fill_strategy="exact"``) exist to
+        exercise the reference semantics, so they -- and a numpy-less
+        environment under ``backend="verify"`` -- run the Python path
+        per candidate.
+        """
+        from repro.analysis.backend import numpy_or_none
+        from repro.analysis.holistic import _infeasible
+
+        options = self.options
+        if (
+            numpy_or_none() is None
+            or options.warm_start != "certified"
+            or options.dominance == "verify"
+            or options.dyn_fill_strategy != "bound"
+        ):
+            return [self._analyse_python(c) for c in configs]
+        from repro.analysis.backend.arrays import GroupPlan
+        from repro.analysis.backend.kernels import run_group
+
+        results = [None] * len(configs)
+        groups: "OrderedDict[tuple, list]" = OrderedDict()
+        for i, config in enumerate(configs):
+            failure = self._validate(config)
+            if failure is not None:
+                results[i] = _infeasible(config, failure)
+                continue
+            arts = self._schedule_artifacts(config)
+            if arts.failure is not None:
+                results[i] = _infeasible(config, arts.failure)
+                continue
+            key = (self.schedule_key(config), self.structure_key(config))
+            groups.setdefault(key, []).append(i)
+        for key, indices in groups.items():
+            plan = self._backend_plans.get(key)
+            if plan is None:
+                plan = GroupPlan(self, configs[indices[0]])
+                _lru_insert(
+                    self._backend_plans, key, plan, self.max_schedule_entries
+                )
+            else:
+                self._backend_plans.move_to_end(key)
+            for i, result in zip(
+                indices, run_group(self, plan, [configs[i] for i in indices])
+            ):
+                results[i] = result
+        return results
+
+    def _analyse_python(self, config: FlexRayConfig):
+        """The pure-Python analysis (reference semantics of every backend)."""
         from repro.analysis.holistic import AnalysisResult, _infeasible
 
         options = self.options

@@ -34,6 +34,9 @@ WARM_START_MODES = ("certified", "off", "seed", "verify")
 #: Legal values of :attr:`AnalysisOptions.dominance`.
 DOMINANCE_MODES = ("on", "off", "verify")
 
+#: Legal values of :attr:`AnalysisOptions.backend`.
+BACKEND_MODES = ("python", "numpy", "verify")
+
 
 @dataclass(frozen=True)
 class AnalysisOptions:
@@ -112,6 +115,30 @@ class AnalysisOptions:
     #: along with every other certified accelerator, whatever this
     #: field says.
     dominance: str = "on"
+    #: Evaluation backend of the holistic fix point:
+    #:
+    #: * ``"python"`` (default) -- the pure-Python kernels; the
+    #:   reference semantics every other backend is checked against.
+    #: * ``"numpy"`` -- the array backend
+    #:   (:mod:`repro.analysis.backend`): the per-system invariants are
+    #:   lowered into packed int64 arrays once per (schedule, frame
+    #:   structure) group and whole candidate batches advance their
+    #:   busy-window fix points in lockstep under convergence masks.
+    #:   Results are bit-identical to ``"python"`` by contract: exact
+    #:   integer dtypes throughout, a per-activity overflow guard that
+    #:   falls back to the Python kernels whenever an intermediate
+    #:   could leave int64, and Python fallbacks for the oracle/debug
+    #:   modes (``warm_start != "certified"``, ``dominance="verify"``,
+    #:   ``dyn_fill_strategy="exact"``) whose whole point is staying on
+    #:   the reference path.  Selecting it without numpy installed
+    #:   raises a :class:`RuntimeError` naming the ``repro[numpy]``
+    #:   extra.
+    #: * ``"verify"`` -- debug mode: run every analysis on both
+    #:   backends, count divergences on the owning
+    #:   :class:`~repro.analysis.context.AnalysisContext`
+    #:   (``backend_divergences``, contractually always 0) and return
+    #:   the Python result.
+    backend: str = "python"
 
 
 @dataclass(frozen=True)

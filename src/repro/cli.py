@@ -25,7 +25,8 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.analysis.holistic import analyse_system
+from repro.analysis.backend import BACKEND_MODES
+from repro.analysis.holistic import AnalysisOptions, analyse_system
 from repro.casestudy.cruise_control import cruise_controller
 from repro.core.campaign import campaign_matrix, run_campaign
 from repro.core.ga import GAOptions
@@ -74,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ana.add_argument("system", help="system JSON path")
     p_ana.add_argument("config", help="bus configuration JSON path")
     p_ana.add_argument("--json", action="store_true", help="machine output")
+    _add_backend_argument(p_ana)
 
     p_opt = sub.add_parser("optimise", help="search for a bus configuration")
     p_opt.add_argument("system", help="system JSON path")
@@ -149,6 +151,19 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="exact-analysis budget per run, enforced at batch boundaries",
     )
+    _add_backend_argument(parser)
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_MODES,
+        default="python",
+        help="analysis evaluation backend: 'numpy' batches fix points as "
+        "vectorized array sweeps (needs the repro[numpy] extra), 'verify' "
+        "runs both and asserts bit identity; results are identical "
+        "either way",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -199,7 +214,9 @@ def _cmd_generate(args) -> int:
 def _cmd_analyse(args) -> int:
     system = load_system(args.system)
     config = load_config(args.config)
-    result = analyse_system(system, config)
+    result = analyse_system(
+        system, config, options=AnalysisOptions(backend=args.backend)
+    )
     if args.json:
         payload = {
             "feasible": result.feasible,
@@ -238,11 +255,16 @@ def _cmd_analyse(args) -> int:
 
 def _runtime_bus_options(args) -> Optional[BusOptimisationOptions]:
     """Evaluator options from the shared runtime flags (None = defaults)."""
-    if args.workers is None and args.chunk_size is None:
+    if (
+        args.workers is None
+        and args.chunk_size is None
+        and args.backend == "python"
+    ):
         return None
     return BusOptimisationOptions(
         parallel_workers=args.workers,
         obc_chunk_size=args.chunk_size if args.chunk_size is not None else 1,
+        analysis=AnalysisOptions(backend=args.backend),
     )
 
 

@@ -223,17 +223,27 @@ def _options_fingerprint(options: Optional[StrategyOptions]) -> str:
     checkpoint.  ``parallel_workers`` is normalised out first: runs are
     pinned byte-identical serial vs. parallel, so resuming a shard on a
     host with a different ``--workers`` must *keep* its checkpoints.
-    (``obc_chunk_size`` and ``max_cache_entries`` stay in: chunking can
-    evaluate extra candidates under early stopping, and cache evictions
-    change the evaluation accounting.)
+    ``analysis.backend`` is normalised out for the same reason: the
+    array backend is pinned bit-identical to the Python oracle (and
+    ``"verify"`` *asserts* that per analysis), so a campaign may resume
+    under a different backend -- e.g. shards first run on a numpy-less
+    host -- without discarding its checkpoints.  (``obc_chunk_size``
+    and ``max_cache_entries`` stay in: chunking can evaluate extra
+    candidates under early stopping, and cache evictions change the
+    evaluation accounting.)
     """
     if options is not None:
         # Resolve ``bus=None`` to the explicit defaults before hashing,
         # so "defaults implied" and "defaults spelled out with a worker
         # count" fingerprint identically.
+        bus = options.bus_options()
         options = replace(
             options,
-            bus=replace(options.bus_options(), parallel_workers=None),
+            bus=replace(
+                bus,
+                parallel_workers=None,
+                analysis=replace(bus.analysis, backend="python"),
+            ),
         )
     return hashlib.sha256(repr(options).encode("utf-8")).hexdigest()[:16]
 

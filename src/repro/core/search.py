@@ -281,7 +281,10 @@ class Evaluator:
                             )
                         results.append(result)
                     return results
-        return [self.context.analyse(config) for config in configs]
+        # Serial path: the context's batch entry point -- a plain
+        # per-candidate loop on the Python backend, lockstep array
+        # groups on the numpy backend (bit-identical either way).
+        return self.context.analyse_batch(configs)
 
     def _ensure_pool(self, workers: int):
         if self._executor is None:

@@ -1,0 +1,374 @@
+"""The array backend contract: bit identity, verify mode, the extra.
+
+``AnalysisOptions.backend="numpy"`` lowers each system's invariants
+into packed arrays once and advances whole batches of busy-window fix
+points in lockstep (:mod:`repro.analysis.backend`).  Its *entire*
+contract is "same answers, faster": these tests pin bit identity with
+the Python oracle at every observable level -- full analysis results
+over fuzzed systems and every ``warm_start`` x ``dominance`` mode,
+the ``"verify"`` cross-check counter, optimiser traces with their
+evaluation and cache-hit accounting, and the pre-refactor legacy trace
+fixtures byte-for-byte -- plus the packaging contract: numpy is the
+optional ``repro[numpy]`` extra, selecting the backend without it is
+an eager, actionable ``RuntimeError``, and these tests *skip* (not
+fail) on a numpy-less interpreter.
+"""
+
+import json
+import os
+import time
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import AnalysisContext
+from repro.analysis.backend import numpy_or_none
+from repro.analysis.holistic import (
+    AnalysisOptions,
+    DOMINANCE_MODES,
+    WARM_START_MODES,
+)
+from repro.core import optimise_bbc, optimise_obc
+from repro.core.bbc import basic_configuration
+from repro.core.campaign import (
+    _options_fingerprint,
+    campaign_matrix,
+    run_campaign,
+)
+from repro.core.search import (
+    BusOptimisationOptions,
+    dyn_segment_bounds,
+    min_static_slot,
+    sweep_lengths,
+)
+from repro.core.strategies import StrategyOptions
+from repro.errors import ConfigurationError
+from repro.io.serialization import analysis_result_to_dict, result_to_dict
+from repro.model import (
+    Application,
+    Message,
+    MessageKind,
+    SchedulingPolicy,
+    System,
+    Task,
+    TaskGraph,
+)
+
+from tests.fixtures.legacy_cases import LEGACY_CASES
+from tests.test_properties import small_system
+from tests.util import fig3_system, fig4_system
+
+requires_numpy = pytest.mark.skipif(
+    numpy_or_none() is None,
+    reason="numpy backend tests need the repro[numpy] extra",
+)
+
+
+def _sweep_configs(system, points, options=None):
+    """A DYN-length sweep of ``points`` basic configurations."""
+    options = options or BusOptimisationOptions()
+    st_nodes = system.st_sender_nodes()
+    slot = min_static_slot(system, options) if st_nodes else 0
+    lo, hi = dyn_segment_bounds(system, len(st_nodes) * slot, options)
+    return [
+        basic_configuration(system, n, options)
+        for n in sweep_lengths(lo, hi, points)
+    ]
+
+
+def _result_docs(results):
+    """Full serialized results (tables dropped) -- deep-compare safe."""
+    return [analysis_result_to_dict(r) for r in results]
+
+
+# ----------------------------------------------------------------------
+# the repro[numpy] extra
+# ----------------------------------------------------------------------
+class TestNumpyExtra:
+    def test_numpy_backend_without_numpy_is_actionable(self, monkeypatch):
+        """Selecting the array backend on a numpy-less interpreter fails
+        eagerly -- at context construction, where the backend was chosen
+        -- with an error naming the ``repro[numpy]`` extra."""
+        monkeypatch.setattr("repro.analysis.backend._numpy", None)
+        for backend in ("numpy", "verify"):
+            with pytest.raises(RuntimeError) as exc:
+                AnalysisContext(
+                    fig3_system(), AnalysisOptions(backend=backend)
+                )
+            assert "repro[numpy]" in str(exc.value)
+            assert "pip install" in str(exc.value)
+
+    def test_python_backend_needs_no_numpy(self, monkeypatch):
+        monkeypatch.setattr("repro.analysis.backend._numpy", None)
+        system = fig3_system()
+        context = AnalysisContext(system, AnalysisOptions(backend="python"))
+        result = context.analyse(_sweep_configs(system, 1)[0])
+        assert result.feasible
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnalysisContext(fig3_system(), AnalysisOptions(backend="cuda"))
+
+
+# ----------------------------------------------------------------------
+# bit identity with the Python oracle
+# ----------------------------------------------------------------------
+@requires_numpy
+class TestBitIdentity:
+    @given(small_system(), st.integers(3, 9))
+    @settings(max_examples=25, deadline=None)
+    def test_numpy_matches_python_on_random_systems(self, system, points):
+        """Fuzzed systems, full-result identity: every field the
+        serializer covers (wcrt in insertion order included), plus the
+        result-list order of the batch."""
+        configs = _sweep_configs(system, points)
+        python = AnalysisContext(system).analyse_batch(configs)
+        numpy_ = AnalysisContext(
+            system, AnalysisOptions(backend="numpy")
+        ).analyse_batch(configs)
+        assert _result_docs(numpy_) == _result_docs(python)
+
+    @pytest.mark.parametrize("warm_start", WARM_START_MODES)
+    @pytest.mark.parametrize("dominance", DOMINANCE_MODES)
+    def test_numpy_matches_python_in_every_mode(self, warm_start, dominance):
+        """Every warm_start x dominance combination answers identically
+        across backends.  (Oracle/debug modes run the Python path inside
+        the array backend by design -- this pins that the *contract*
+        holds whatever the mode routes to.)"""
+        system = fig4_system()
+        configs = _sweep_configs(system, 6)
+        results = {}
+        for backend in ("python", "numpy"):
+            options = AnalysisOptions(
+                backend=backend, warm_start=warm_start, dominance=dominance
+            )
+            context = AnalysisContext(system, options)
+            results[backend] = context.analyse_batch(configs)
+            assert context.warm_start_divergences == 0
+            assert context.dominance_divergences == 0
+        assert _result_docs(results["numpy"]) == _result_docs(
+            results["python"]
+        )
+
+    @given(small_system())
+    @settings(max_examples=15, deadline=None)
+    def test_verify_mode_counts_zero_divergences(self, system):
+        """``backend="verify"`` runs both backends per analysis and
+        counts mismatches -- contractually always zero."""
+        configs = _sweep_configs(system, 5)
+        context = AnalysisContext(system, AnalysisOptions(backend="verify"))
+        verified = context.analyse_batch(configs)
+        assert context.backend_divergences == 0
+        python = AnalysisContext(system).analyse_batch(configs)
+        assert _result_docs(verified) == _result_docs(python)
+
+
+# ----------------------------------------------------------------------
+# optimiser-level identity: traces, evaluations, cache hits
+# ----------------------------------------------------------------------
+def _numpy_bus(**kw) -> BusOptimisationOptions:
+    return BusOptimisationOptions(
+        analysis=AnalysisOptions(backend="numpy"), **kw
+    )
+
+
+def _small_numpy_bus(**kw) -> BusOptimisationOptions:
+    """The legacy-case ``_small_bus`` budgets on the array backend."""
+    return _numpy_bus(
+        ee_max_dyn_points=48,
+        cf_candidates=64,
+        max_extra_static_slots=1,
+        max_slot_size_steps=1,
+        **kw,
+    )
+
+
+@requires_numpy
+def test_optimiser_trace_and_cache_accounting_identical():
+    """A full search run is byte-identical across backends: same trace
+    (points and estimates, in order), same exact-evaluation count, same
+    cache-hit count, same best configuration and cost."""
+    system = fig4_system()
+    python = result_to_dict(optimise_obc(system, method="curvefit"))
+    numpy_ = result_to_dict(
+        optimise_obc(system, _numpy_bus(), method="curvefit")
+    )
+    python["elapsed_seconds"] = numpy_["elapsed_seconds"] = 0.0
+    assert numpy_ == python
+
+
+def _legacy_fixture(case_id: str) -> dict:
+    path = os.path.join(
+        os.path.dirname(__file__), "fixtures", "legacy_traces",
+        f"{case_id}.json",
+    )
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+#: Legacy cases re-run on the array backend: every strategy that takes
+#: plain ``BusOptimisationOptions`` (SA/GA ride the same evaluator, and
+#: are covered at the pinned-options level by test_legacy_equivalence).
+NUMPY_LEGACY_CASES = (
+    ("bbc_fig3", lambda: optimise_bbc(fig3_system(), _numpy_bus())),
+    ("bbc_fig4", lambda: optimise_bbc(fig4_system(), _numpy_bus())),
+    (
+        "obc_cf_fig4",
+        lambda: optimise_obc(fig4_system(), _numpy_bus(), "curvefit"),
+    ),
+    (
+        "obc_ee_paper3",
+        lambda: _paper3_case(_small_numpy_bus(), "exhaustive"),
+    ),
+    (
+        "obc_ee_paper3_chunked",
+        lambda: _paper3_case(_small_numpy_bus(obc_chunk_size=3), "exhaustive"),
+    ),
+)
+
+
+def _paper3_case(bus, method):
+    from repro.synth import paper_suite
+
+    return optimise_obc(paper_suite(3, count=1, seed=23)[0], bus, method)
+
+
+@requires_numpy
+@pytest.mark.parametrize(
+    "case_id,run", NUMPY_LEGACY_CASES, ids=[c[0] for c in NUMPY_LEGACY_CASES]
+)
+def test_legacy_traces_identical_under_numpy_backend(case_id, run):
+    """The pre-refactor oracle fixtures, generated on the pure-Python
+    implementations, are reproduced byte-for-byte by the array backend."""
+    expected = _legacy_fixture(case_id)
+    got = result_to_dict(run())
+    got["elapsed_seconds"] = 0.0
+    expected.setdefault("stop_reason", None)
+    assert got["trace"] == expected["trace"], (
+        f"{case_id}: numpy-backend search trace diverged from the oracle"
+    )
+    assert got == expected
+
+
+# ----------------------------------------------------------------------
+# campaign resume across backends
+# ----------------------------------------------------------------------
+def test_backend_excluded_from_campaign_fingerprint():
+    """The options fingerprint normalises the backend out, exactly like
+    ``parallel_workers``: both knobs are pinned result-identical, so a
+    checkpoint must survive a backend change."""
+    base = StrategyOptions()
+    digests = {
+        _options_fingerprint(
+            base.with_bus(
+                BusOptimisationOptions(
+                    analysis=AnalysisOptions(backend=backend)
+                )
+            )
+        )
+        for backend in ("python", "numpy", "verify")
+    }
+    digests.add(_options_fingerprint(base))
+    assert len(digests) == 1
+    # ...while result-affecting analysis knobs still invalidate.
+    changed = base.with_bus(
+        BusOptimisationOptions(
+            analysis=AnalysisOptions(dyn_fill_strategy="exact")
+        )
+    )
+    assert _options_fingerprint(changed) not in digests
+
+
+@requires_numpy
+def test_campaign_resumes_across_backends(tmp_path):
+    """A campaign checkpointed under the Python backend resumes -- job
+    for job, nothing re-run -- when re-issued on the numpy backend."""
+    systems = {"fig4": fig4_system()}
+    python_jobs = campaign_matrix(systems, ["bbc"])
+    cold = run_campaign(systems, python_jobs, checkpoint_dir=str(tmp_path))
+    assert len(cold.executed) == 1
+
+    numpy_jobs = campaign_matrix(systems, ["bbc"], bus=_numpy_bus())
+    resumed = run_campaign(systems, numpy_jobs, checkpoint_dir=str(tmp_path))
+    assert len(resumed.resumed) == 1 and not resumed.executed
+    assert (
+        result_to_dict(resumed.results["fig4__bbc"])
+        == result_to_dict(cold.results["fig4__bbc"])
+    )
+
+
+# ----------------------------------------------------------------------
+# perf smoke (tier-1): identity plus a lenient speed floor
+# ----------------------------------------------------------------------
+def _dyn_only_smoke_system() -> System:
+    """A 3-node, DYN-only application: the whole length sweep shares one
+    schedule key, so the array backend runs it as a single lockstep
+    group -- the shape the benchmarks pin at >=2x (see
+    ``benchmarks/results/BENCH_incremental_analysis.json``)."""
+    def chain(prefix, length, period):
+        tasks, msgs = [], []
+        for i in range(length):
+            tasks.append(
+                Task(
+                    f"{prefix}{i}",
+                    wcet=7 + i,
+                    node=f"N{(i % 3) + 1}",
+                    policy=SchedulingPolicy.FPS,
+                    priority=i,
+                )
+            )
+        for i in range(length - 1):
+            msgs.append(
+                Message(
+                    f"{prefix}m{i}",
+                    size=4 + i,
+                    sender=f"{prefix}{i}",
+                    receivers=(f"{prefix}{i + 1}",),
+                    kind=MessageKind.DYN,
+                    priority=i,
+                )
+            )
+        return TaskGraph(
+            name=prefix, period=period, deadline=period,
+            tasks=tuple(tasks), messages=tuple(msgs),
+        )
+
+    graphs = tuple(
+        chain(f"g{k}_", 4, period)
+        for k, period in enumerate((200, 400, 400, 800))
+    )
+    return System(("N1", "N2", "N3"), Application("smoke", graphs))
+
+
+@requires_numpy
+@pytest.mark.perf_smoke
+def test_numpy_backend_smoke_identical_and_not_slower():
+    """<10s tier-1 smoke of the batched array sweep: bit identity on a
+    96-point DYN-only sweep, and the numpy batch comfortably beats the
+    warm Python loop.  The floor here is deliberately loose (1.2x on a
+    shape the bench pins at >=2x) -- wall-clock asserts on shared
+    machines must not flake; the real perf claim lives in
+    ``BENCH_incremental_analysis.json``."""
+    system = _dyn_only_smoke_system()
+    assert not tuple(system.application.st_messages())
+    configs = _sweep_configs(
+        system, 96, BusOptimisationOptions(ee_max_dyn_points=96)
+    )
+
+    python_ctx = AnalysisContext(system)
+    t0 = time.perf_counter()
+    python_results = python_ctx.analyse_batch(configs)
+    python_s = time.perf_counter() - t0
+
+    numpy_ctx = AnalysisContext(system, AnalysisOptions(backend="numpy"))
+    t0 = time.perf_counter()
+    numpy_results = numpy_ctx.analyse_batch(configs)
+    numpy_s = time.perf_counter() - t0
+
+    assert _result_docs(numpy_results) == _result_docs(python_results)
+    assert numpy_s < 10.0
+    assert python_s / numpy_s >= 1.2, (
+        f"array backend smoke ratio {python_s / numpy_s:.2f}x "
+        f"(python {python_s:.3f}s vs numpy {numpy_s:.3f}s)"
+    )

@@ -1,13 +1,16 @@
 """Quick perf-smoke exercise of the warm-analysis hot path.
 
-``pytest -m perf_smoke`` runs only this module: a miniature ST-heavy
+This module covers the Python hot path: a miniature ST-heavy
 DYN-length sweep through one warm :class:`AnalysisContext` -- the exact
 code path the optimisers hammer (retimable schedule plan, certified
 busy-window warm starts, dirty-tracked fix point) -- cross-checked
 against fresh cold contexts, plus a two-strategy campaign on the
 cruise-control case study through the full search runtime (registry
-dispatch, search driver, checkpoint store).  Designed to finish in a
-few seconds, so the perf plumbing stays covered by every tier-1 run.
+dispatch, search driver, checkpoint store).  The batched array
+backend's smoke lives next to its contract tests
+(``tests/test_backend.py``) under the same ``perf_smoke`` marker.
+Everything is designed to finish in a few seconds, so the perf
+plumbing stays covered by every tier-1 run.
 """
 
 import time

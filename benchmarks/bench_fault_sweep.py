@@ -1,0 +1,203 @@
+"""FAULT SWEEP -- miss rate and WCRT inflation under channel faults.
+
+For one synthetic system the sweep first finds a baseline bus
+configuration the paper's way -- a (system x {bbc, obc-cf}) *campaign*
+(:mod:`repro.core.campaign`), keeping the cheapest schedulable result --
+then re-simulates that configuration under an i.i.d. fault grid
+(:func:`repro.synth.suite.fault_grid`): every corrupted frame is
+detected at slot end and retransmitted, so errors cost bus time instead
+of data loss.
+
+Per error rate the sweep records
+
+* the deadline-miss rate over all simulated activity instances,
+* the observed retransmission counts,
+* the WCRT inflation of the faulty run against the clean simulation, and
+* the *k-error analysis bound* check: analysing with
+  ``fault_hypothesis = k`` (k = the run's observed retransmission count)
+  must upper-bound every simulated response time of that run.  The
+  ``bound_violations`` column is asserted to be 0 -- this is the
+  fuzz-style soundness referee of the certified k-error bound.
+
+Scale knobs: ``REPRO_BENCH_FULL=1`` sweeps more rates and seeds;
+``REPRO_FAULT_SEEDS=<n>`` overrides the seeds per rate.  Numbers land in
+``benchmarks/results/BENCH_fault_sweep.json``.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python -m benchmarks.bench_fault_sweep
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis import analyse_system
+from repro.analysis.holistic import AnalysisOptions
+from repro.core.campaign import campaign_matrix, run_campaign
+from repro.flexray.simulator import SimulationOptions, simulate
+from repro.synth.suite import fault_grid, paper_system
+
+from benchmarks._report import env_int, full_scale, report, report_json
+
+QUICK_RATES = (0.0, 0.02, 0.05, 0.1)
+FULL_RATES = (0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3)
+
+#: Baseline-configuration strategies, raced as one campaign.
+BASELINE_STRATEGIES = ("bbc", "obc-cf")
+
+
+def baseline_config(system, checkpoint_dir: Optional[str] = None):
+    """The sweep's bus configuration: best schedulable campaign result.
+
+    Runs the {bbc, obc-cf} strategy axis over *system* through
+    :func:`repro.core.campaign.run_campaign` (checkpointable, so a
+    resumed sweep skips the optimisers) and returns the cheapest
+    schedulable configuration, falling back to the cheapest feasible
+    one when nothing is schedulable.
+    """
+    systems = {"sweep": system}
+    jobs = campaign_matrix(systems, list(BASELINE_STRATEGIES))
+    report_ = run_campaign(systems, jobs, checkpoint_dir=checkpoint_dir)
+    best = None
+    for name in BASELINE_STRATEGIES:
+        result = report_.result_for("sweep", name)
+        if result.config is None:
+            continue
+        key = (not result.schedulable, result.cost)
+        if best is None or key < best[0]:
+            best = (key, result.config)
+    if best is None:
+        raise RuntimeError("no baseline strategy produced a configuration")
+    return best[1]
+
+
+def fault_sweep_rows(
+    system,
+    config,
+    rates: Iterable[float],
+    seeds: Iterable[int],
+) -> List[Dict]:
+    """One row per error rate: miss rate, retransmissions, inflation,
+    and the k-error bound check (``bound_violations`` must stay 0).
+
+    This is the importable core -- the tier-1 smoke test drives it with
+    a small system and two rates; the benchmark entry point wraps it
+    with the campaign baseline and the JSON report.
+    """
+    seeds = tuple(seeds)
+    clean = simulate(system, config, SimulationOptions(record_trace=False))
+    # The synthetic suites are deliberately hard: even the best campaign
+    # configuration may miss deadlines on a clean channel.  The curves
+    # therefore report the *excess* misses attributable to faults on
+    # top of the structural clean-channel misses.
+    clean_misses = len(clean.deadline_misses)
+    rows = []
+    for rate in rates:
+        misses = []
+        retrans = []
+        inflation = 1.0
+        violations = 0
+        instances = 0
+        for plan in fault_grid([rate], seeds):
+            result = simulate(
+                system,
+                config,
+                SimulationOptions(record_trace=False, faults=plan),
+            )
+            k = result.total_retransmissions
+            bound = analyse_system(
+                system, config, AnalysisOptions(fault_hypothesis=k)
+            )
+            for (name, _), r in result.response_times.items():
+                if r > bound.wcrt[name]:
+                    violations += 1
+            for name, r in result.observed_wcrt.items():
+                base = clean.observed_wcrt.get(name, 0)
+                if base > 0:
+                    ratio = r / base
+                    if ratio > inflation:
+                        inflation = ratio
+            misses.append(len(result.deadline_misses))
+            retrans.append(k)
+            instances += len(result.response_times)
+        rows.append(
+            {
+                "rate": rate,
+                "seeds": len(seeds),
+                "miss_rate": round(sum(misses) / max(1, instances), 5),
+                "mean_misses": round(sum(misses) / len(seeds), 2),
+                "mean_extra_misses": round(
+                    sum(m - clean_misses for m in misses) / len(seeds), 2
+                ),
+                "mean_retransmissions": round(sum(retrans) / len(seeds), 2),
+                "max_retransmissions": max(retrans),
+                "max_wcrt_inflation": round(inflation, 4),
+                "bound_violations": violations,
+            }
+        )
+    return rows
+
+
+def run_sweep(checkpoint_dir: Optional[str] = None):
+    """The full benchmark body; returns (rows, config)."""
+    full = full_scale()
+    system = paper_system(4 if full else 3, 0)
+    rates = FULL_RATES if full else QUICK_RATES
+    n_seeds = env_int("REPRO_FAULT_SEEDS", 5 if full else 3)
+    config = baseline_config(system, checkpoint_dir=checkpoint_dir)
+    rows = fault_sweep_rows(system, config, rates, range(1, n_seeds + 1))
+    return rows, config, system
+
+
+def _lines(rows, config, system) -> List[str]:
+    lines = [
+        "FAULT SWEEP: retransmission cost of channel errors "
+        f"on {system.describe()}",
+        f"baseline: {config.describe()}",
+        f"{'rate':>6} | {'miss rate':>9} | {'extra miss':>10} | "
+        f"{'mean rtx':>8} | {'max rtx':>7} | {'max WCRT infl':>13} | "
+        f"{'bound viol':>10}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['rate']:>6.2f} | {row['miss_rate']:>9.4f} | "
+            f"{row['mean_extra_misses']:>10.1f} | "
+            f"{row['mean_retransmissions']:>8.1f} | "
+            f"{row['max_retransmissions']:>7} | "
+            f"{row['max_wcrt_inflation']:>13.3f} | "
+            f"{row['bound_violations']:>10}"
+        )
+    lines.append(
+        "expected shape: miss rate and inflation grow with the error rate; "
+        "bound violations stay 0 (k-error bound is a certified upper bound)"
+    )
+    return lines
+
+
+def test_fault_sweep(benchmark):
+    rows, config, system = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+    report("fault_sweep", _lines(rows, config, system))
+    report_json("BENCH_fault_sweep", {"rows": rows})
+
+    # Rate 0 is the clean channel: nothing retransmitted, nothing missed
+    # beyond the clean run, inflation exactly 1.
+    assert rows[0]["rate"] == 0.0
+    assert rows[0]["max_retransmissions"] == 0
+    assert rows[0]["max_wcrt_inflation"] == 1.0
+    # The k-error analysis bound covers every faulty run.
+    assert all(row["bound_violations"] == 0 for row in rows)
+    # Faults cost bus time: some rate of the sweep actually retransmits.
+    assert any(row["max_retransmissions"] > 0 for row in rows[1:])
+
+
+def main() -> None:
+    rows, config, system = run_sweep()
+    report("fault_sweep", _lines(rows, config, system))
+    report_json("BENCH_fault_sweep", {"rows": rows})
+
+
+if __name__ == "__main__":
+    main()

@@ -74,6 +74,11 @@ def merge(shards, allow_partial: bool):
         for row in seen[shard]["rows"]
     ]
     rows.sort(key=lambda r: (r["n_nodes"], r["index"]))
+    failed_jobs = {
+        f"shard {k}: {job_id}": detail
+        for k in sorted(seen)
+        for job_id, detail in seen[k].get("failed_jobs", {}).items()
+    }
     meta = {
         "suite": suite,
         "num_shards": num_shards,
@@ -81,6 +86,7 @@ def merge(shards, allow_partial: bool):
         "shard_seconds": {
             str(k): seen[k]["elapsed_seconds"] for k in sorted(seen)
         },
+        "failed_jobs": failed_jobs,
     }
     return rows, meta
 
@@ -111,6 +117,11 @@ def main(argv=None) -> None:
             + subtitle,
         ),
     )
+    if meta["failed_jobs"]:
+        print(f"{len(meta['failed_jobs'])} job(s) failed across shards:")
+        for where, detail in meta["failed_jobs"].items():
+            print(f"  [{where}] {detail}")
+        print("failed cells are excluded from every aggregate above")
     payload = json_payload(rows)
     payload["sharding"] = meta
     report_json("BENCH_fig9_sharded", payload)

@@ -107,12 +107,23 @@ def run_system(
 
 
 def deviation(entry: dict, algorithm: str):
-    """% deviation of the algorithm's cost vs the SA baseline cost."""
+    """% deviation of the algorithm's cost vs the SA baseline cost.
+
+    ``None`` cells (jobs the campaign recorded as failed) contribute no
+    deviation, like unschedulable runs.
+    """
+    if entry["SA"] is None or entry[algorithm] is None:
+        return None
     sa_cost = entry["SA"]["cost"]
     cost = entry[algorithm]["cost"]
     if math.isinf(sa_cost) or math.isinf(cost) or sa_cost == 0:
         return None
     return (cost - sa_cost) / abs(sa_cost) * 100.0
+
+
+def cells(group: List[dict], algorithm: str) -> List[dict]:
+    """The algorithm's non-failed cells of a row group."""
+    return [r[algorithm] for r in group if r[algorithm] is not None]
 
 
 def mean(values: Iterable):
@@ -132,12 +143,12 @@ def quality_lines(rows: List[dict], title: str) -> List[str]:
     ]
     for n in node_classes(rows):
         group = [r for r in rows if r["n_nodes"] == n]
-        cells = []
+        row_cells = []
         for a in ALGORITHMS:
             dev = mean([deviation(r, a) for r in group])
-            sched = sum(r[a]["schedulable"] for r in group)
-            cells.append(f"{dev:>8.1f}%  {sched}/{len(group)} sched")
-        lines.append(f"{n:>5} | " + " | ".join(f"{c:>20}" for c in cells))
+            sched = sum(c["schedulable"] for c in cells(group, a))
+            row_cells.append(f"{dev:>8.1f}%  {sched}/{len(group)} sched")
+        lines.append(f"{n:>5} | " + " | ".join(f"{c:>20}" for c in row_cells))
     lines.append(
         "paper shape: BBC degrades with size; OBC/CF within ~0.5% of OBC/EE; "
         "both within ~5% of SA"
@@ -154,12 +165,12 @@ def runtime_lines(rows: List[dict], title: str) -> List[str]:
     ]
     for n in node_classes(rows):
         group = [r for r in rows if r["n_nodes"] == n]
-        cells = []
+        row_cells = []
         for a in ALGORITHMS:
-            secs = mean([r[a]["seconds"] for r in group])
-            evals = mean([r[a]["evaluations"] for r in group])
-            cells.append(f"{secs:>9.2f} / {evals:>7.0f}")
-        lines.append(f"{n:>5} | " + " | ".join(f"{c:>20}" for c in cells))
+            secs = mean([c["seconds"] for c in cells(group, a)])
+            evals = mean([c["evaluations"] for c in cells(group, a)])
+            row_cells.append(f"{secs:>9.2f} / {evals:>7.0f}")
+        lines.append(f"{n:>5} | " + " | ".join(f"{c:>20}" for c in row_cells))
     lines.append(
         "paper shape: BBC almost free; OBC/CF orders of magnitude below OBC/EE"
     )
@@ -174,22 +185,24 @@ def json_payload(rows: List[dict]) -> dict:
         per_alg = {}
         for a in ALGORITHMS:
             dev = mean([deviation(r, a) for r in group])
+            alg_cells = cells(group, a)
+            secs = mean([c["seconds"] for c in alg_cells])
+            evals = mean([c["evaluations"] for c in alg_cells])
             per_alg[a] = {
                 "mean_deviation_pct": None if math.isnan(dev) else round(dev, 3),
-                "schedulable": sum(r[a]["schedulable"] for r in group),
-                "mean_seconds": round(mean([r[a]["seconds"] for r in group]), 4),
-                "mean_evaluations": round(
-                    mean([r[a]["evaluations"] for r in group]), 1
+                "schedulable": sum(c["schedulable"] for c in alg_cells),
+                "mean_seconds": None if math.isnan(secs) else round(secs, 4),
+                "mean_evaluations": (
+                    None if math.isnan(evals) else round(evals, 1)
                 ),
             }
         classes[str(n)] = {"systems": len(group), "algorithms": per_alg}
+    all_cells = [
+        r[a] for r in rows for a in ALGORITHMS if r[a] is not None
+    ]
     return {
         "rows": len(rows),
         "classes": classes,
-        "total_seconds": round(
-            sum(r[a]["seconds"] for r in rows for a in ALGORITHMS), 2
-        ),
-        "total_evaluations": sum(
-            r[a]["evaluations"] for r in rows for a in ALGORITHMS
-        ),
+        "total_seconds": round(sum(c["seconds"] for c in all_cells), 2),
+        "total_evaluations": sum(c["evaluations"] for c in all_cells),
     }

@@ -28,7 +28,7 @@ import json
 import os
 import time
 
-from repro.core.campaign import campaign_matrix, run_campaign
+from repro.core.campaign import campaign_matrix, job_id_for, run_campaign
 from repro.synth.sharding import shard_plan
 
 from benchmarks._report import RESULTS_DIR
@@ -119,15 +119,20 @@ def run_shard(args) -> str:
     rows = []
     for entry in entries:
         row = {"n_nodes": entry.n_nodes, "index": entry.index}
-        row.update(
-            {
-                name: result_cell(
-                    report.result_for(_system_id(entry), STRATEGY_NAMES[name])
-                )
-                for name in ALGORITHMS
-            }
-        )
+        for name in ALGORITHMS:
+            job_id = job_id_for(_system_id(entry), STRATEGY_NAMES[name])
+            if job_id in report.failures:
+                # A failed job costs its cell, never the shard: the
+                # aggregator sees the null and reports the job id.
+                row[name] = None
+                continue
+            row[name] = result_cell(
+                report.result_for(_system_id(entry), STRATEGY_NAMES[name])
+            )
         rows.append(row)
+
+    for failure in report.failures.values():
+        print(f"[shard {spec.shard}] FAILED {failure.describe()}", flush=True)
 
     payload = {
         "suite": {
@@ -139,6 +144,10 @@ def run_shard(args) -> str:
         "shard": spec.shard,
         "num_shards": spec.num_shards,
         "rows": rows,
+        "failed_jobs": {
+            job_id: failure.describe()
+            for job_id, failure in report.failures.items()
+        },
         "resumed_jobs": len(report.resumed),
         "elapsed_seconds": round(time.perf_counter() - t0, 2),
     }

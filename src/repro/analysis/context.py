@@ -40,6 +40,7 @@ a pure-function memoisation, so results are bit-identical to a cold run.
 
 from __future__ import annotations
 
+import logging
 from collections import OrderedDict, namedtuple
 from typing import Dict, List, Tuple
 
@@ -53,6 +54,8 @@ from repro.core.cost import cost_function
 from repro.errors import ConfigurationError, SchedulingError
 from repro.model.system import System
 from repro.model.times import ceil_div
+
+logger = logging.getLogger(__name__)
 
 #: Per-static-segment artifacts (tier b).  ``failure`` carries the
 #: scheduling error message when the segment cannot be scheduled at all.
@@ -88,12 +91,12 @@ class _DynView:
     __slots__ = (
         "name", "sender", "input_names", "hp_info", "lf_info", "lower_slots",
         "sendable", "lam", "theta", "sigma", "ct", "gd_cycle", "st_bus",
-        "ms_len", "own_sensitive",
+        "ms_len", "own_sensitive", "fault_cycles",
     )
 
     def __init__(self, name, sender, input_names, hp_info, lf_info,
                  lower_slots, sendable, lam, theta, sigma, ct, gd_cycle,
-                 st_bus, ms_len):
+                 st_bus, ms_len, fault_cycles=0):
         self.name = name
         self.sender = sender
         self.input_names = input_names
@@ -108,6 +111,7 @@ class _DynView:
         self.gd_cycle = gd_cycle
         self.st_bus = st_bus
         self.ms_len = ms_len
+        self.fault_cycles = fault_cycles
         self.own_sensitive = any(r[2] for r in hp_info) or any(
             r[2] for r in lf_info
         )
@@ -172,6 +176,22 @@ class AnalysisContext:
             from repro.analysis.backend import require_numpy
 
             require_numpy()
+        fault_k = self.options.fault_hypothesis
+        if fault_k is not None and (
+            isinstance(fault_k, bool)
+            or not isinstance(fault_k, int)
+            or fault_k < 0
+        ):
+            raise ConfigurationError(
+                f"fault_hypothesis={fault_k!r} must be None or a "
+                "non-negative integer (the number of channel errors "
+                "charged into the bounds)"
+            )
+        #: k of the k-error fault hypothesis (0 = clean channel).
+        self._fault_k = fault_k or 0
+        #: Whether the array backend's fault-hypothesis fallback was
+        #: already announced (once per context, not once per batch).
+        self._fault_fallback_logged = False
         self.max_schedule_entries = max_schedule_entries
         self.max_structure_entries = max_structure_entries
         self.max_validation_entries = max_validation_entries
@@ -210,6 +230,21 @@ class AnalysisContext:
         self.ancestors = ancestor_sets(app)
         self.st_messages = tuple(app.st_messages())
         self.dyn_messages = tuple(app.dyn_messages())
+        #: Static-side activities the k-error hypothesis inflates: every
+        #: ST message (its own frame can be corrupted and its sender can
+        #: slip), and every SCS task with a message among its ancestors
+        #: (a corrupted input slips the TT job by whole cycles).  SCS
+        #: tasks with a message-free ancestor closure cannot be delayed
+        #: by channel errors at all.
+        message_names = frozenset(m.name for m in app.messages())
+        self._fault_static_names = frozenset(
+            m.name for m in self.st_messages
+        ) | frozenset(
+            t.name
+            for g in app.graphs
+            for t in g.tasks
+            if t.is_scs and self.ancestors.get(t.name, frozenset()) & message_names
+        )
         self.sender_node = {
             m.name: system.sender_node(m) for m in app.messages()
         }
@@ -543,11 +578,25 @@ class AnalysisContext:
         gd_cycle = config.gd_cycle
         st_bus = config.st_bus
         ms_len = config.gd_minislot
+        fault_k = self._fault_k
         views = []
         for m in self.dyn_messages:
             f, hp_info, lf_info, lower_slots, input_names = structure[m.name]
             p_latest = n_minislots - largest_of_sender[m.name] + 1
             lam = p_latest - 1
+            theta = lam - f + 2
+            sendable = f <= p_latest
+            fault_cycles = 0
+            if fault_k and sendable:
+                # Worst per-error cycle cost charged into Eq. (3): a
+                # corrupted own/hp frame occupies slot f for one extra
+                # cycle; a corrupted lf frame re-injects one instance of
+                # (at worst) the largest adjusted size, adding at most
+                # ``a // theta`` filled cycles plus one cycle each for
+                # the instance-count bound and the final-cycle leftover.
+                max_adjusted = max((row[3] for row in lf_info), default=0)
+                per_error = 1 if max_adjusted <= 0 else 2 + max_adjusted // theta
+                fault_cycles = fault_k * per_error
             views.append(
                 _DynView(
                     name=m.name,
@@ -556,14 +605,15 @@ class AnalysisContext:
                     hp_info=hp_info,
                     lf_info=lf_info,
                     lower_slots=lower_slots,
-                    sendable=f <= p_latest,
+                    sendable=sendable,
                     lam=lam,
-                    theta=lam - f + 2,
+                    theta=theta,
                     sigma=gd_cycle - st_bus - (f - 1) * ms_len,
                     ct=cts[m.name],
                     gd_cycle=gd_cycle,
                     st_bus=st_bus,
                     ms_len=ms_len,
+                    fault_cycles=fault_cycles,
                 )
             )
         return views
@@ -687,6 +737,16 @@ class AnalysisContext:
             or options.dominance == "verify"
             or options.dyn_fill_strategy != "bound"
         ):
+            return [self._analyse_python(c) for c in configs]
+        if options.fault_hypothesis is not None:
+            if not self._fault_fallback_logged:
+                logger.info(
+                    "array backend: falling back to the python backend "
+                    "(fault_hypothesis=%d is implemented by the python "
+                    "kernels only)",
+                    options.fault_hypothesis,
+                )
+                self._fault_fallback_logged = True
             return [self._analyse_python(c) for c in configs]
         from repro.analysis.backend.arrays import GroupPlan
         from repro.analysis.backend.kernels import run_group
@@ -837,6 +897,21 @@ class AnalysisContext:
         nodes = self.system.nodes
 
         wcrt: Dict[str, int] = dict(arts.static_wcrt)
+        if self._fault_k:
+            # k-error hypothesis, static side: each channel error delays
+            # any ST frame or message-fed TT job by at most one whole
+            # bus cycle (a corrupted static frame retries in its slot's
+            # next cycle instance; a displaced or input-starved group
+            # slips exactly one cycle per error ahead of it), so k
+            # errors cost at most k cycles per static activity.  The
+            # inflated values then feed the DYN/FPS jitters through the
+            # holistic fix point below.
+            bump = self._fault_k * config.gd_cycle
+            for name in self._fault_static_names:
+                value = wcrt.get(name)
+                if value is not None:
+                    inflated = value + bump
+                    wcrt[name] = inflated if inflated < cap else cap
         jitters: Dict[str, int] = {}
         inner_seeds: Dict[str, object] = {}
         use_inner = certified and seed_wcrt is None
@@ -917,6 +992,7 @@ class AnalysisContext:
                             j_m,
                             fill_strategy,
                             seeds_get(name) if use_inner else None,
+                            view.fault_cycles,
                         )
                         if use_inner:
                             inner_seeds[name] = final

@@ -200,6 +200,7 @@ def seeded_busy_window(
     own_jitter: int,
     fill_strategy: str,
     seed: int = None,
+    extra_cycles: int = 0,
 ) -> Tuple[int, bool, int]:
     """:func:`prepped_busy_window` with a fix-point warm start.
 
@@ -211,6 +212,14 @@ def seeded_busy_window(
     monotone growth of its jitters across Kleene passes; a descending
     step or an iteration-limit exit (an uncertified seed) restarts the
     recurrence cold, so the result always equals the cold computation.
+
+    ``extra_cycles`` charges that many additional whole bus cycles into
+    every evaluation of the recurrence -- the k-error fault hypothesis
+    (:attr:`~repro.analysis.holistic.AnalysisOptions.fault_hypothesis`)
+    uses it to pay for up to k retransmitted frame instances at their
+    worst per-error cycle cost.  The term is a constant, so the
+    right-hand side stays monotone in the window and the warm-start
+    certification argument is unaffected.
 
     Returns ``(busy window, converged, final window)`` -- the final
     window is the certified seed for the next evaluation under larger
@@ -264,7 +273,11 @@ def seeded_busy_window(
             leftover = 0
         final_consumed = min(lam, lower_slots + leftover)
         w_final = st_bus + final_consumed * ms_len
-        w = sigma_m + (hp_cycles + lf_cycles) * gd_cycle + w_final
+        w = (
+            sigma_m
+            + (hp_cycles + lf_cycles + extra_cycles) * gd_cycle
+            + w_final
+        )
         if w >= cap:
             return cap, False, t
         if w <= t:
@@ -274,7 +287,7 @@ def seeded_busy_window(
                 return seeded_busy_window(
                     hp_info, lf_info, lower_slots, lam, theta, sigma_m, ct,
                     gd_cycle, st_bus, ms_len, jitters, cap, own_jitter,
-                    fill_strategy,
+                    fill_strategy, extra_cycles=extra_cycles,
                 )
             return w, True, w
         t = w
@@ -284,7 +297,7 @@ def seeded_busy_window(
         return seeded_busy_window(
             hp_info, lf_info, lower_slots, lam, theta, sigma_m, ct,
             gd_cycle, st_bus, ms_len, jitters, cap, own_jitter,
-            fill_strategy,
+            fill_strategy, extra_cycles=extra_cycles,
         )
     return w, False, w
 

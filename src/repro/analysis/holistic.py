@@ -139,6 +139,19 @@ class AnalysisOptions:
     #:   (``backend_divergences``, contractually always 0) and return
     #:   the Python result.
     backend: str = "python"
+    #: k-error fault hypothesis: ``None`` (default) analyses the clean
+    #: channel; an integer ``k >= 0`` charges up to *k* corrupted
+    #: transmissions (each paid as retransmission delay) into the
+    #: response-time bounds -- static activities (ST messages, and SCS
+    #: tasks downstream of any message) absorb up to ``k`` whole-cycle
+    #: slips, and the DYN busy-window recurrences absorb ``k`` extra
+    #: frame instances at the worst per-error cycle cost.  The result is
+    #: a *pessimistic* upper bound on any run with at most k channel
+    #: errors (fuzz-verified against the fault-injecting simulator).
+    #: ``k=0`` is bit-identical to ``None`` aside from forcing the
+    #: Python backend; the array backend falls back to Python with a
+    #: logged reason whenever a hypothesis is set.
+    fault_hypothesis: Optional[int] = None
 
 
 @dataclass(frozen=True)

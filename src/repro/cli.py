@@ -28,7 +28,12 @@ from typing import List, Optional
 from repro.analysis.backend import BACKEND_MODES
 from repro.analysis.holistic import AnalysisOptions, analyse_system
 from repro.casestudy.cruise_control import cruise_controller
-from repro.core.campaign import campaign_matrix, run_campaign
+from repro.core.campaign import (
+    campaign_matrix,
+    ensure_writable_dir,
+    ensure_writable_file,
+    run_campaign,
+)
 from repro.core.ga import GAOptions
 from repro.core.sa import SAOptions
 from repro.core.search import BusOptimisationOptions
@@ -38,6 +43,7 @@ from repro.core.strategies import (
     optimise,
 )
 from repro.errors import ReproError
+from repro.flexray.faults import IidFaults
 from repro.flexray.simulator import SimulationOptions, simulate
 from repro.io.serialization import (
     config_to_dict,
@@ -106,6 +112,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument(
         "--output", help="write the campaign summary JSON here"
     )
+    p_camp.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock timeout in seconds; a job that exceeds "
+        "it is recorded as failed and the campaign continues",
+    )
+    p_camp.add_argument(
+        "--job-retries",
+        type=int,
+        default=0,
+        help="retries per failing job before it is recorded as failed "
+        "(default 0; backoff between attempts is jittered)",
+    )
     _add_runtime_arguments(p_camp)
 
     p_sim = sub.add_parser("simulate", help="discrete-event simulation")
@@ -113,6 +133,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("config", help="bus configuration JSON path")
     p_sim.add_argument("--trace", action="store_true", help="print every event")
     p_sim.add_argument("--gantt", action="store_true", help="ASCII bus Gantt")
+    p_sim.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="i.i.d. per-transmission corruption probability in [0, 1]; "
+        "corrupted frames are retransmitted (default 0 = clean channel)",
+    )
+    p_sim.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault process (default 0); runs are "
+        "deterministic per (rate, seed)",
+    )
 
     p_show = sub.add_parser("show", help="describe a system or configuration")
     p_show.add_argument("path", help="system or configuration JSON path")
@@ -163,6 +197,15 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
         "vectorized array sweeps (needs the repro[numpy] extra), 'verify' "
         "runs both and asserts bit identity; results are identical "
         "either way",
+    )
+    parser.add_argument(
+        "--fault-hypothesis",
+        type=int,
+        default=None,
+        metavar="K",
+        help="k-error fault hypothesis: charge up to K corrupted "
+        "transmissions (each paid as retransmission delay) into the "
+        "response-time bounds (default: clean channel)",
     )
 
 
@@ -215,7 +258,11 @@ def _cmd_analyse(args) -> int:
     system = load_system(args.system)
     config = load_config(args.config)
     result = analyse_system(
-        system, config, options=AnalysisOptions(backend=args.backend)
+        system,
+        config,
+        options=AnalysisOptions(
+            backend=args.backend, fault_hypothesis=args.fault_hypothesis
+        ),
     )
     if args.json:
         payload = {
@@ -259,12 +306,15 @@ def _runtime_bus_options(args) -> Optional[BusOptimisationOptions]:
         args.workers is None
         and args.chunk_size is None
         and args.backend == "python"
+        and args.fault_hypothesis is None
     ):
         return None
     return BusOptimisationOptions(
         parallel_workers=args.workers,
         obc_chunk_size=args.chunk_size if args.chunk_size is not None else 1,
-        analysis=AnalysisOptions(backend=args.backend),
+        analysis=AnalysisOptions(
+            backend=args.backend, fault_hypothesis=args.fault_hypothesis
+        ),
     )
 
 
@@ -321,6 +371,12 @@ def _cmd_campaign(args) -> int:
     ]
     jobs = campaign_matrix(systems, strategies)
 
+    # Fail fast on unwritable targets before any job burns CPU time.
+    if args.checkpoint_dir:
+        ensure_writable_dir(args.checkpoint_dir, flag="--checkpoint-dir")
+    if args.output:
+        ensure_writable_file(args.output, flag="--output")
+
     def progress(job, result, resumed) -> None:
         state = "resumed" if resumed else "ran"
         print(f"[{state}] {job.job_id}: {result.describe()}")
@@ -330,32 +386,51 @@ def _cmd_campaign(args) -> int:
         jobs,
         checkpoint_dir=args.checkpoint_dir,
         progress=progress,
+        job_timeout=args.job_timeout,
+        max_retries=args.job_retries,
     )
     schedulable = sum(r.schedulable for r in report.results.values())
     print(
-        f"campaign: {len(jobs)} jobs ({len(report.resumed)} resumed), "
+        f"campaign: {len(jobs)} jobs ({len(report.resumed)} resumed, "
+        f"{len(report.failures)} failed), "
         f"{schedulable} schedulable, {report.elapsed_seconds:.2f}s"
     )
+    for failure in report.failures.values():
+        print(f"[failed] {failure.describe()}", file=sys.stderr)
     if args.output:
         payload = {
             "jobs": {
-                job.job_id: result_to_dict(report.results[job.job_id])
-                for job in jobs
+                job_id: result_to_dict(result)
+                for job_id, result in report.results.items()
+            },
+            "failures": {
+                job_id: {
+                    "kind": failure.kind,
+                    "message": failure.message,
+                    "attempts": failure.attempts,
+                }
+                for job_id, failure in report.failures.items()
             },
             "resumed": list(report.resumed),
+            "quarantined": list(report.quarantined),
             "elapsed_seconds": report.elapsed_seconds,
         }
         with open(args.output, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote campaign summary to {args.output}")
+    if report.failures:
+        return 1
     return 0 if schedulable == len(jobs) else 1
 
 
 def _cmd_simulate(args) -> int:
     system = load_system(args.system)
     config = load_config(args.config)
-    result = simulate(system, config, SimulationOptions())
+    faults = None
+    if args.fault_rate:
+        faults = IidFaults(rate=args.fault_rate, seed=args.fault_seed)
+    result = simulate(system, config, SimulationOptions(faults=faults))
     if args.trace:
         for event in result.trace:
             print(event)
@@ -365,6 +440,8 @@ def _cmd_simulate(args) -> int:
     print(
         f"finished={result.all_finished} misses={list(result.deadline_misses)}"
     )
+    if faults is not None:
+        print(f"retransmissions={result.total_retransmissions}")
     for name, r in sorted(result.observed_wcrt.items()):
         print(f"  {name:20s} observed R = {r}")
     return 0 if result.all_finished and not result.deadline_misses else 1

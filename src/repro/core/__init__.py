@@ -49,6 +49,7 @@ from typing import TYPE_CHECKING
 _EXPORTS = {
     "BusOptimisationOptions": "repro.core.search",
     "CampaignJob": "repro.core.campaign",
+    "CampaignJobFailure": "repro.core.campaign",
     "CampaignReport": "repro.core.campaign",
     "CandidateBatch": "repro.core.runtime",
     "CostBreakdown": "repro.core.cost",
@@ -72,6 +73,8 @@ _EXPORTS = {
     "cost_function": "repro.core.cost",
     "curvefit_dyn_length": "repro.core.dynlen",
     "dyn_segment_bounds": "repro.core.search",
+    "ensure_writable_dir": "repro.core.campaign",
+    "ensure_writable_file": "repro.core.campaign",
     "exhaustive_dyn_length": "repro.core.dynlen",
     "get_strategy": "repro.core.strategies",
     "message_criticalities": "repro.core.frameid",
@@ -110,8 +113,11 @@ if TYPE_CHECKING:  # pragma: no cover - static typing aid only
     from repro.core.bbc import basic_configuration, optimise_bbc
     from repro.core.campaign import (
         CampaignJob,
+        CampaignJobFailure,
         CampaignReport,
         campaign_matrix,
+        ensure_writable_dir,
+        ensure_writable_file,
         run_campaign,
     )
     from repro.core.config import FlexRayConfig

@@ -19,7 +19,18 @@ budgets, a different suite seed, an edited system JSON -- is detected
 and re-run instead of silently answered with the stale result.  A
 checkpoint that does not match its job *identity* (foreign file under
 the same name) raises :class:`~repro.errors.CampaignError`; a
-half-written or unreadable checkpoint is discarded and the job re-run.
+half-written or unreadable checkpoint is *quarantined* -- moved aside
+under a ``.quarantined.N`` suffix for post-mortem inspection -- and the
+job re-run.
+
+The runtime is *fault-tolerant*: a job that raises (or exceeds the
+optional per-job wall-clock timeout) is retried up to ``max_retries``
+times with jittered exponential backoff, and a job that still fails is
+recorded in :attr:`CampaignReport.failures` instead of aborting the
+rest of the matrix -- a long fault sweep survives one bad cell.
+Campaign-*definition* problems (unknown systems, duplicate or foreign
+checkpoints, an unwritable checkpoint directory) still raise up front:
+they mean the campaign itself is wrong, not one job.
 
 ::
 
@@ -34,8 +45,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import random
+import threading
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import (
     Callable,
     Dict,
@@ -76,12 +89,31 @@ class CampaignJob:
 
 
 @dataclass(frozen=True)
+class CampaignJobFailure:
+    """Terminal failure of one campaign job (after all retries)."""
+
+    job_id: str
+    kind: str  # "timeout" or "error"
+    message: str
+    attempts: int
+
+    def describe(self) -> str:
+        noun = "timed out" if self.kind == "timeout" else "failed"
+        return (
+            f"{self.job_id}: {noun} after {self.attempts} attempt(s): "
+            f"{self.message}"
+        )
+
+
+@dataclass(frozen=True)
 class CampaignReport:
     """Outcome of :func:`run_campaign`.
 
     ``executed`` lists jobs that actually ran this time; ``resumed``
-    lists jobs answered from checkpoints.  Their union, in job order,
-    is the whole campaign.
+    lists jobs answered from checkpoints.  Their union plus the ids in
+    ``failures``, in job order, is the whole campaign.  ``quarantined``
+    lists jobs whose corrupted checkpoint was moved aside (the job
+    itself re-ran; see the module docstring).
     """
 
     results: Mapping[str, OptimisationResult]
@@ -89,6 +121,13 @@ class CampaignReport:
     resumed: Tuple[str, ...]
     checkpoint_dir: Optional[str]
     elapsed_seconds: float
+    failures: Mapping[str, CampaignJobFailure] = field(default_factory=dict)
+    quarantined: Tuple[str, ...] = ()
+
+    @property
+    def all_succeeded(self) -> bool:
+        """True when every job produced a result."""
+        return not self.failures
 
     def result_for(self, system_id: str, strategy: str) -> OptimisationResult:
         """The result of the (system, strategy) cell; raises when absent."""
@@ -96,6 +135,11 @@ class CampaignReport:
         try:
             return self.results[job_id]
         except KeyError:
+            failure = self.failures.get(job_id)
+            if failure is not None:
+                raise CampaignError(
+                    f"campaign job {failure.describe()}"
+                ) from None
             raise CampaignError(
                 f"campaign has no job {job_id!r}"
             ) from None
@@ -156,27 +200,118 @@ def campaign_matrix(
     return tuple(jobs)
 
 
+def ensure_writable_dir(path: str, flag: str = "--checkpoint-dir") -> None:
+    """Fail fast (with an actionable message) when *path* cannot be
+    created or written -- called before any campaign job runs, so a bad
+    checkpoint directory costs seconds, not the whole sweep."""
+    probe = os.path.join(path, f".write-probe.{os.getpid()}")
+    try:
+        os.makedirs(path, exist_ok=True)
+        with open(probe, "w", encoding="utf-8") as fh:
+            fh.write("probe\n")
+        os.remove(probe)
+    except OSError as exc:
+        raise CampaignError(
+            f"directory {path!r} is not writable ({exc}); fix its "
+            f"permissions or point {flag} somewhere writable"
+        ) from exc
+
+
+def ensure_writable_file(path: str, flag: str = "--output") -> None:
+    """Fail fast when the output file *path* cannot be written.
+
+    Probes by opening for append (creating the file if absent, and
+    removing a file the probe itself created), so a bad path is caught
+    before hours of campaign work produce a result with nowhere to go.
+    """
+    existed = os.path.exists(path)
+    try:
+        with open(path, "a", encoding="utf-8"):
+            pass
+        if not existed:
+            os.remove(path)
+    except OSError as exc:
+        raise CampaignError(
+            f"output file {path!r} is not writable ({exc}); create its "
+            f"parent directory or point {flag} somewhere writable"
+        ) from exc
+
+
+class _JobTimeout(Exception):
+    """Internal: a job exceeded its wall-clock timeout."""
+
+
+def _run_job(system: System, job: CampaignJob, timeout: Optional[float]):
+    """Run one job, raising :class:`_JobTimeout` past *timeout* seconds.
+
+    The timeout runs the job on a daemon thread and abandons it on
+    expiry -- the thread may keep consuming CPU until its current
+    analysis finishes (Python offers no safe preemption), but the
+    campaign moves on.  ``timeout=None`` runs inline with zero overhead.
+    """
+    if timeout is None:
+        return optimise(system, job.strategy, job.options)
+    box: dict = {}
+
+    def runner() -> None:
+        try:
+            box["result"] = optimise(system, job.strategy, job.options)
+        except BaseException as exc:  # noqa: BLE001 - relayed to caller
+            box["error"] = exc
+
+    thread = threading.Thread(
+        target=runner, daemon=True, name=f"campaign-job-{job.job_id}"
+    )
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        raise _JobTimeout(
+            f"exceeded the {timeout}s per-job wall-clock timeout"
+        )
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
+
+
 def run_campaign(
     systems: Mapping[str, System],
     jobs: Iterable[CampaignJob],
     checkpoint_dir: Optional[str] = None,
     progress: Optional[Callable[[CampaignJob, OptimisationResult, bool], None]] = None,
+    *,
+    job_timeout: Optional[float] = None,
+    max_retries: int = 0,
+    retry_backoff: float = 0.5,
+    retry_seed: int = 0,
 ) -> CampaignReport:
     """Execute a job matrix, resuming finished jobs from checkpoints.
 
     Jobs run sequentially in matrix order (per-job parallelism comes
     from each strategy's own ``parallel_workers`` pool; campaign-level
     parallelism from sharding, see ``repro.synth.sharding``).
-    ``progress`` is called after every job with
+    ``progress`` is called after every *successful* job with
     ``(job, result, resumed)``.
+
+    Fault tolerance: ``job_timeout`` bounds each attempt's wall-clock
+    seconds (see :func:`_run_job` for the abandonment caveat);
+    ``max_retries`` re-runs a raising or timed-out job with jittered
+    exponential backoff (``retry_backoff * 2**attempt`` scaled by a
+    deterministic jitter in [0.5, 1.5), seeded from ``retry_seed`` and
+    the job id so concurrent shards do not retry in lockstep); a job
+    that still fails lands in :attr:`CampaignReport.failures` and the
+    matrix continues.
     """
     start = time.perf_counter()
     jobs = tuple(jobs)
+    if max_retries < 0:
+        raise CampaignError(f"max_retries={max_retries} must be >= 0")
     if checkpoint_dir is not None:
-        os.makedirs(checkpoint_dir, exist_ok=True)
+        ensure_writable_dir(checkpoint_dir)
     results: Dict[str, OptimisationResult] = {}
     executed: List[str] = []
     resumed: List[str] = []
+    failures: Dict[str, CampaignJobFailure] = {}
+    quarantined: List[str] = []
     for job in jobs:
         if job.system_id not in systems:
             raise CampaignError(
@@ -186,12 +321,22 @@ def run_campaign(
         system = systems[job.system_id]
         result = None
         if checkpoint_dir is not None:
-            result = _load_checkpoint(checkpoint_dir, job, system)
+            result, was_quarantined = _load_checkpoint(
+                checkpoint_dir, job, system
+            )
+            if was_quarantined:
+                quarantined.append(job.job_id)
         was_resumed = result is not None
         if was_resumed:
             resumed.append(job.job_id)
         else:
-            result = optimise(system, job.strategy, job.options)
+            result, failure = _attempt_job(
+                system, job, job_timeout, max_retries, retry_backoff,
+                retry_seed,
+            )
+            if failure is not None:
+                failures[job.job_id] = failure
+                continue
             if checkpoint_dir is not None:
                 _write_checkpoint(checkpoint_dir, job, system, result)
             executed.append(job.job_id)
@@ -204,6 +349,39 @@ def run_campaign(
         resumed=tuple(resumed),
         checkpoint_dir=checkpoint_dir,
         elapsed_seconds=time.perf_counter() - start,
+        failures=failures,
+        quarantined=tuple(quarantined),
+    )
+
+
+def _attempt_job(
+    system: System,
+    job: CampaignJob,
+    job_timeout: Optional[float],
+    max_retries: int,
+    retry_backoff: float,
+    retry_seed: int,
+) -> Tuple[Optional[OptimisationResult], Optional[CampaignJobFailure]]:
+    """Run one job with bounded retries; ``(result, None)`` or
+    ``(None, failure)``."""
+    rng = None
+    last: Tuple[str, str] = ("error", "job never ran")
+    attempts = 0
+    for attempt in range(max_retries + 1):
+        attempts = attempt + 1
+        try:
+            return _run_job(system, job, job_timeout), None
+        except _JobTimeout as exc:
+            last = ("timeout", str(exc))
+        except Exception as exc:  # noqa: BLE001 - recorded, not silenced
+            last = ("error", f"{type(exc).__name__}: {exc}")
+        if attempt < max_retries and retry_backoff > 0:
+            if rng is None:
+                rng = random.Random(f"{retry_seed}|{job.job_id}")
+            time.sleep(retry_backoff * (2**attempt) * (0.5 + rng.random()))
+    kind, message = last
+    return None, CampaignJobFailure(
+        job_id=job.job_id, kind=kind, message=message, attempts=attempts
     )
 
 
@@ -283,29 +461,45 @@ def _write_checkpoint(
     os.replace(tmp, path)
 
 
+def _quarantine(path: str) -> str:
+    """Move a corrupted checkpoint aside; returns the quarantine path."""
+    n = 1
+    while True:
+        target = f"{path}.quarantined.{n}"
+        if not os.path.exists(target):
+            break
+        n += 1
+    os.replace(path, target)
+    return target
+
+
 def _load_checkpoint(
     checkpoint_dir: str, job: CampaignJob, system: System
-) -> Optional[OptimisationResult]:
-    """A finished job's result, or None when it must (re)run.
+) -> Tuple[Optional[OptimisationResult], bool]:
+    """``(result, quarantined)``: a finished job's result or ``None``
+    when it must (re)run, plus whether a corrupted file was quarantined.
 
-    Unreadable or half-written checkpoints are treated as absent (the
-    job re-runs and overwrites them), and so is a checkpoint whose
-    options/system *fingerprints* disagree with the job's -- the job
-    was redefined (new budgets, new seed, edited system) and the stale
-    result must not be resumed.  A *well-formed* checkpoint whose job
-    identity disagrees with the requested job is someone else's file
-    and raises instead of being silently clobbered.
+    Unreadable or half-written checkpoints are *quarantined* -- moved
+    aside under a ``.quarantined.N`` suffix so the corrupted bytes stay
+    inspectable -- and the job re-runs and writes a fresh file at the
+    original path.  A checkpoint whose options/system *fingerprints*
+    disagree with the job's is simply re-run (the job was redefined:
+    new budgets, new seed, edited system -- nothing is corrupted).  A
+    *well-formed* checkpoint whose job identity disagrees with the
+    requested job is someone else's file and raises instead of being
+    silently clobbered.
     """
     path = _checkpoint_path(checkpoint_dir, job)
     if not os.path.exists(path):
-        return None
+        return None, False
     try:
         with open(path, encoding="utf-8") as fh:
             payload = json.load(fh)
         meta = dict(payload["job"])
         result_data = payload["result"]
     except (json.JSONDecodeError, KeyError, TypeError, OSError):
-        return None
+        _quarantine(path)
+        return None, True
     expected = _job_meta(job, system)
     identity = ("job_id", "system_id", "strategy")
     if {k: meta.get(k) for k in identity} != {k: expected[k] for k in identity}:
@@ -315,8 +509,9 @@ def _load_checkpoint(
             f"{ {k: expected[k] for k in identity} !r}"
         )
     if meta != expected:
-        return None  # same job id, redefined content: re-run
+        return None, False  # same job id, redefined content: re-run
     try:
-        return result_from_dict(result_data)
+        return result_from_dict(result_data), False
     except SerializationError:
-        return None
+        _quarantine(path)
+        return None, True

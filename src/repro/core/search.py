@@ -9,6 +9,7 @@ experiments of Section 7 report.
 from __future__ import annotations
 
 import dataclasses
+import logging
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Tuple
@@ -21,6 +22,8 @@ from repro.errors import OptimisationError
 from repro.flexray import params
 from repro.model.system import System
 from repro.model.times import ceil_div
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -266,9 +269,22 @@ class Evaluator:
                     mapped = list(
                         pool.map(_pool_analyse, items, chunksize=chunksize)
                     )
-                except Exception:
+                except Exception as exc:
                     # Broken pool / unpicklable payload: degrade to the
                     # serial path (identical results) for the whole run.
+                    logger.warning(
+                        "parallel evaluation pool failed mid-batch "
+                        "(%s: %s); re-running this batch of %d "
+                        "candidate(s) serially and disabling the pool "
+                        "for the rest of the run -- results are "
+                        "identical, only slower. A worker process may "
+                        "have died (OOM-killed?) or the payload may "
+                        "not be picklable; rerun without --workers to "
+                        "avoid the pool entirely.",
+                        type(exc).__name__,
+                        exc,
+                        len(configs),
+                    )
                     self._parallel_broken = True
                     self.close()
                 else:
@@ -296,7 +312,14 @@ class Evaluator:
                     initializer=_pool_initializer,
                     initargs=(self.system, self.options.analysis),
                 )
-            except Exception:
+            except Exception as exc:
+                logger.warning(
+                    "could not start the parallel evaluation pool "
+                    "(%s: %s); evaluating serially instead -- results "
+                    "are identical, only slower.",
+                    type(exc).__name__,
+                    exc,
+                )
                 self._parallel_broken = True
                 return None
         return self._executor

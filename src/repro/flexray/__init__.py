@@ -1,6 +1,15 @@
 """FlexRay protocol substrate: constants, cycle geometry, simulator."""
 
 from repro.flexray import params
+from repro.flexray.faults import (
+    BlackoutFaults,
+    FaultModel,
+    FaultPlan,
+    GilbertElliottFaults,
+    IidFaults,
+    NO_FAULTS,
+    resolve_faults,
+)
 from repro.flexray.timeline import (
     cycle_of,
     cycle_start,
@@ -14,6 +23,12 @@ from repro.flexray.timeline import (
 )
 
 __all__ = [
+    "BlackoutFaults",
+    "FaultModel",
+    "FaultPlan",
+    "GilbertElliottFaults",
+    "IidFaults",
+    "NO_FAULTS",
     "cycle_of",
     "cycle_start",
     "dyn_segment_end",
@@ -21,6 +36,7 @@ __all__ = [
     "earliest_dyn_slot_start",
     "next_cycle_start",
     "params",
+    "resolve_faults",
     "st_slot_end",
     "st_slot_instances",
     "st_slot_start",

@@ -24,6 +24,7 @@ class EventKind(enum.Enum):
     MSG_QUEUED = "msg_queued"  # a DYN message enters the CHI
     DYN_TX_START = "dyn_tx_start"
     MSG_ARRIVAL = "msg_arrival"  # message fully received
+    FRAME_CORRUPTED = "frame_corrupted"  # channel fault detected at slot end
     CYCLE_START = "cycle_start"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

@@ -18,6 +18,7 @@ case -- the property tests assert exactly that relation.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -28,6 +29,7 @@ from repro.core.config import FlexRayConfig
 from repro.errors import ModelError, SimulationError
 from repro.flexray.controller import ChiQueues
 from repro.flexray.events import EventKind, TraceEvent
+from repro.flexray.faults import FaultSpec, resolve_faults
 from repro.model.jobs import expand_jobs
 from repro.model.message import Message
 from repro.model.system import System
@@ -47,6 +49,13 @@ class SimulationOptions:
     #: Collect the full event trace (disable for speed in big sweeps).
     record_trace: bool = True
     schedule: ScheduleOptions = field(default_factory=ScheduleOptions)
+    #: Channel fault injection: a :class:`~repro.flexray.faults.FaultModel`
+    #: (resolved once per run against the drain horizon) or an already
+    #: resolved :class:`~repro.flexray.faults.FaultPlan`.  ``None`` (and
+    #: any plan with :attr:`~repro.flexray.faults.FaultPlan.active` ==
+    #: False) keeps the simulator on its fault-free code paths,
+    #: byte-identical to a run without this option.
+    faults: FaultSpec = None
 
 
 @dataclass(frozen=True)
@@ -59,11 +68,23 @@ class SimulationResult:
     deadline_misses: Tuple[str, ...]
     trace: Tuple[TraceEvent, ...]
     horizon: int
+    #: Per-frame retransmission counts under fault injection:
+    #: ``(message, instance) -> number of corrupted attempts``.  Empty
+    #: in a fault-free run.  Response times above are *retransmission
+    #: aware*: an activity finishes when its (re)transmission finally
+    #: arrives, so WCRTs and deadline misses already include the retry
+    #: delays counted here.
+    retransmissions: Mapping[Tuple[str, int], int] = field(default_factory=dict)
 
     @property
     def all_finished(self) -> bool:
         """True when every released job completed within the simulation."""
         return not self.unfinished
+
+    @property
+    def total_retransmissions(self) -> int:
+        """Total corrupted transmission attempts across the run."""
+        return sum(self.retransmissions.values())
 
 
 class _FpsJob:
@@ -119,17 +140,27 @@ class _Node:
 
 
 # Event kinds, processed in this order at equal times: releases first so
-# arriving work is visible, then bus actions, then CPU bookkeeping.
+# arriving work is visible, then bus actions, then CPU bookkeeping.  The
+# fault-injection kinds (_EV_ST_TX, _EV_DYN_REQUEUE) slot in between
+# without disturbing the relative order of the fault-free kinds, so a
+# run without faults pops events in exactly the pre-fault order.
 _EV_RELEASE = 0
 _EV_SCS_FINISH = 1
 _EV_ST_SLOT = 2
-_EV_DYN_SLOT = 3
-_EV_ARRIVAL = 4
-_EV_FPS_CHECK = 5
-_EV_FPS_READY = 6
+#: Drain step of a static slot's retry chain: ordered right after
+#: _EV_ST_SLOT so a same-instant scheduled group enqueues before the
+#: chain transmits (displaced groups go out in table order).
+_EV_ST_TX = 3
+_EV_DYN_SLOT = 4
+_EV_ARRIVAL = 5
+#: A corrupted DYN frame re-enters the CHI at its slot's end: ordered
+#: before _EV_DYN_DECIDE so the same-instant slot decision sees it.
+_EV_DYN_REQUEUE = 6
+_EV_FPS_CHECK = 7
+_EV_FPS_READY = 8
 #: Second phase of a dynamic-slot event: ordered after every other kind
 #: so the slot decision sees all frames queued at the same instant.
-_EV_DYN_DECIDE = 7
+_EV_DYN_DECIDE = 9
 
 
 def simulate(
@@ -194,6 +225,21 @@ class _Engine:
         #: queueing inside the segment resumes the walk from here.
         self._dyn_idle = None
 
+        # Channel fault state.  The model resolves once per run against
+        # the drain horizon, so corruption decisions are reproducible at
+        # a fixed seed regardless of event interleavings.
+        self.fault_plan = resolve_faults(
+            options.faults, self.max_time, config.gd_cycle
+        )
+        self.faults_on = self.fault_plan.active
+        #: Per-static-slot retry chains: ``slot -> deque of
+        #: ``[entries, attempt]`` groups awaiting (re)transmission.
+        self._st_pending: Dict[int, deque] = {}
+        #: DYN transmission attempts so far per (message, instance).
+        self._dyn_attempts: Dict[Tuple[str, int], int] = {}
+        #: Corrupted attempts per (activity, instance).
+        self.retransmissions: Dict[Tuple[str, int], int] = {}
+
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         self._seed_events()
@@ -205,8 +251,10 @@ class _Engine:
                 _EV_RELEASE: self._on_release,
                 _EV_SCS_FINISH: self._on_scs_finish,
                 _EV_ST_SLOT: self._on_st_slot,
+                _EV_ST_TX: self._on_st_tx,
                 _EV_DYN_SLOT: self._on_dyn_slot,
                 _EV_ARRIVAL: self._on_arrival,
+                _EV_DYN_REQUEUE: self._on_dyn_requeue,
                 _EV_FPS_CHECK: self._on_fps_check,
                 _EV_FPS_READY: self._on_fps_ready,
                 _EV_DYN_DECIDE: self._on_dyn_decide,
@@ -322,6 +370,14 @@ class _Engine:
 
     def _on_scs_finish(self, time: int, payload) -> None:
         entry, instance = payload
+        if self.faults_on and self.pending.get((entry.task.name, instance), 0) > 0:
+            # Channel faults delayed an input of this TT job past its
+            # table slot: the job slips whole bus cycles until its
+            # inputs are in.  (The slipped job's CPU demand is not
+            # re-modelled -- the simulation stays a lower bound of the
+            # analysis, which the fault-hypothesis tests rely on.)
+            self._push(time + self.config.gd_cycle, _EV_SCS_FINISH, payload)
+            return
         self._record(
             time,
             EventKind.TASK_FINISH,
@@ -357,11 +413,14 @@ class _Engine:
             # SCS successor: runs per schedule table; verify consistency.
             elif self.table.tasks.get(f"{name}#{instance}") is not None:
                 entry = self.table.tasks[f"{name}#{instance}"]
-                if entry.start < time:
+                if entry.start < time and not self.faults_on:
                     raise SimulationError(
                         f"SCS task {name}#{instance} scheduled at {entry.start} "
                         f"but its inputs arrive at {time}"
                     )
+                # Under fault injection a late input is legal: the
+                # job's (deferred) _EV_SCS_FINISH slips cycle by cycle
+                # until the inputs are in (see _on_scs_finish).
             return
         message = graph.message(name)
         if message.is_dynamic:
@@ -373,21 +432,73 @@ class _Engine:
     # bus events
     # ------------------------------------------------------------------
     def _on_st_slot(self, time: int, entries) -> None:
+        slot = entries[0].slot
+        pending = self._st_pending.setdefault(slot, deque())
+        pending.append([entries, 0])
+        if len(pending) == 1:
+            self._transmit_st(time, slot)
+        # else: this slot already has a retry chain in flight (an
+        # earlier group was corrupted or displaced); the chain's queued
+        # _EV_ST_TX drains this group in a later cycle, in table order.
+
+    def _on_st_tx(self, time: int, slot: int) -> None:
+        if self._st_pending.get(slot):
+            self._transmit_st(time, slot)
+
+    def _transmit_st(self, time: int, slot: int) -> None:
+        """(Re)transmit the head group of *slot*'s retry chain at *time*."""
+        pending = self._st_pending[slot]
+        entries, attempt = pending[0]
+        delay = time - entries[0].slot_start
+        jobs = []
         for entry in entries:
             name, instance = entry.job_key.rsplit("#", 1)
             instance = int(instance)
             sender = self.app.graph_of(name).task(entry.message.sender)
             sender_finish = self.finish_times.get((sender.name, instance))
             if sender_finish is None or sender_finish > time:
+                if self.faults_on:
+                    # A corruption upstream slipped the sender past its
+                    # table slot: the frame waits for next cycle's slot.
+                    self._push(time + self.config.gd_cycle, _EV_ST_TX, slot)
+                    return
                 raise SimulationError(
                     f"ST message {name}#{instance} is not ready at its slot "
                     f"(cycle {entry.cycle}, slot {entry.slot}, t={time})"
                 )
+            jobs.append((entry, name, instance))
+        corrupted = self.faults_on and self.fault_plan.corrupts(
+            jobs[0][1], jobs[0][2], attempt, time
+        )
+        for entry, name, instance in jobs:
+            retry = f" retry {attempt}" if attempt else ""
             self._record(
                 time, EventKind.ST_FRAME, name, instance, None,
-                f"cycle {entry.cycle} slot {entry.slot}",
+                f"cycle {entry.cycle} slot {entry.slot}{retry}",
             )
-            self._push(entry.finish, _EV_ARRIVAL, (name, instance))
+        if corrupted:
+            # Corruption is detected at the end of the slot; the whole
+            # frame (all messages packed into this slot) retries in the
+            # slot's next bus-cycle instance.
+            slot_end = time + self.config.gd_static_slot
+            pending[0][1] = attempt + 1
+            for entry, name, instance in jobs:
+                self._bump_retransmission(name, instance)
+                self._record(
+                    slot_end, EventKind.FRAME_CORRUPTED, name, instance, None,
+                    f"ST slot {entry.slot} attempt {attempt}",
+                )
+            self._push(time + self.config.gd_cycle, _EV_ST_TX, slot)
+            return
+        pending.popleft()
+        for entry, name, instance in jobs:
+            self._push(entry.finish + delay, _EV_ARRIVAL, (name, instance))
+        if pending:
+            self._push(time + self.config.gd_cycle, _EV_ST_TX, slot)
+
+    def _bump_retransmission(self, name: str, instance: int) -> None:
+        key = (name, instance)
+        self.retransmissions[key] = self.retransmissions.get(key, 0) + 1
 
     def _queue_dyn(self, message: Message, instance: int, time: int) -> None:
         node = self.chi.queue(message, instance, time)
@@ -444,20 +555,46 @@ class _Engine:
         message, instance = frame
         ct = self.config.message_ct(message)
         slots_used = ceil_div(ct, self.config.gd_minislot)
+        attempt = self._dyn_attempts.get((message.name, instance), 0)
+        corrupted = self.faults_on and self.fault_plan.corrupts(
+            message.name, instance, attempt, time
+        )
+        retry = f" retry {attempt}" if attempt else ""
         self._record(
             time,
             EventKind.DYN_TX_START,
             message.name,
             instance,
             self.system.sender_node(message),
-            f"cycle {cycle} DYN slot {fid}",
+            f"cycle {cycle} DYN slot {fid}{retry}",
         )
-        self._push(time + ct, _EV_ARRIVAL, (message.name, instance))
+        slot_end = time + slots_used * self.config.gd_minislot
+        if corrupted:
+            # The frame still occupied its dynamic slot; corruption is
+            # detected at slot end, where the frame re-enters the CHI
+            # priority queue and re-arbitrates for a later cycle.
+            self._dyn_attempts[(message.name, instance)] = attempt + 1
+            self._bump_retransmission(message.name, instance)
+            self._push(slot_end, _EV_DYN_REQUEUE, (message, instance, fid))
+        else:
+            self._push(time + ct, _EV_ARRIVAL, (message.name, instance))
         self._push(
-            time + slots_used * self.config.gd_minislot,
+            slot_end,
             _EV_DYN_SLOT,
             (cycle, fid + 1, minislot + slots_used),
         )
+
+    def _on_dyn_requeue(self, time: int, payload) -> None:
+        message, instance, fid = payload
+        self._record(
+            time,
+            EventKind.FRAME_CORRUPTED,
+            message.name,
+            instance,
+            self.system.sender_node(message),
+            f"DYN slot {fid}",
+        )
+        self._queue_dyn(message, instance, time)
 
     def _on_arrival(self, time: int, payload) -> None:
         name, instance = payload
@@ -488,4 +625,5 @@ class _Engine:
             deadline_misses=tuple(sorted(misses)),
             trace=tuple(self.trace),
             horizon=self.horizon,
+            retransmissions=dict(self.retransmissions),
         )

@@ -8,8 +8,9 @@ so laptop runs can use smaller counts while keeping the same structure.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List
+from typing import Iterable, List
 
+from repro.flexray.faults import IidFaults
 from repro.model.system import System
 from repro.synth.taskgraph_gen import GeneratorConfig, generate_system
 
@@ -44,6 +45,21 @@ def paper_suite(
     deterministic for a given (n_nodes, count, seed) triple.
     """
     return [paper_system(n_nodes, i, base, seed) for i in range(count)]
+
+
+def fault_grid(
+    rates: Iterable[float], seeds: Iterable[int] = (1, 2, 3)
+) -> List[IidFaults]:
+    """The (rate x seed) grid of i.i.d. channel-fault scenarios.
+
+    Companion of the suite generators for robustness experiments: every
+    suite member can be re-simulated under each scenario of the grid,
+    and the grid is deterministic for a given (rates, seeds) pair just
+    like the suites are for (n_nodes, count, seed).  Rate-0 scenarios
+    are legal and byte-identical to the clean simulator -- include one
+    to anchor a sweep's baseline.
+    """
+    return [IidFaults(rate=r, seed=s) for r in rates for s in seeds]
 
 
 def full_paper_benchmark(

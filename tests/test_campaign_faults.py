@@ -1,0 +1,265 @@
+"""Fault tolerance of the campaign runtime (repro.core.campaign).
+
+Covers the robustness contract: per-job wall-clock timeouts, bounded
+retries, failure recording (the matrix finishes even when cells die),
+fail-fast writability probes, checkpoint quarantine, and the acceptance
+scenario -- one timed-out job plus one corrupted checkpoint in a single
+campaign that completes, reports both, and resumes cleanly afterwards.
+
+Test strategies are registered through the public registry
+(:func:`repro.core.strategies.register_strategy`) and removed again by
+the fixture, so the registry other tests see stays untouched.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.campaign import (
+    CampaignJobFailure,
+    campaign_matrix,
+    ensure_writable_dir,
+    ensure_writable_file,
+    job_id_for,
+    run_campaign,
+)
+from repro.core.strategies import (
+    StrategyOptions,
+    StrategySpec,
+    _REGISTERED,
+    optimise,
+    register_strategy,
+)
+from repro.errors import CampaignError
+
+from tests.util import fig3_system
+
+
+@pytest.fixture
+def registry():
+    """Register test strategies, restore the registry afterwards."""
+    added = []
+
+    def register(name, runner):
+        register_strategy(
+            StrategySpec(
+                name=name,
+                summary=f"test strategy {name}",
+                options_type=StrategyOptions,
+                runner=runner,
+            )
+        )
+        added.append(name)
+
+    yield register
+    for name in added:
+        _REGISTERED.pop(name, None)
+
+
+def _bbc(system, options):
+    return optimise(system, "bbc", None)
+
+
+def _sleepy(system, options):
+    time.sleep(30)
+    return _bbc(system, options)  # pragma: no cover - always timed out
+
+
+def _boom(system, options):
+    raise ValueError("injected failure")
+
+
+class TestTimeoutsAndRetries:
+    def test_job_timeout_is_recorded_not_raised(self, registry):
+        registry("sleepy", _sleepy)
+        systems = {"s": fig3_system()}
+        jobs = campaign_matrix(systems, ["sleepy", "bbc"])
+        report = run_campaign(
+            systems, jobs, job_timeout=0.05, retry_backoff=0.0
+        )
+        # The campaign completed: the slow cell failed, the other ran.
+        assert set(report.results) == {"s__bbc"}
+        assert set(report.failures) == {"s__sleepy"}
+        failure = report.failures["s__sleepy"]
+        assert failure.kind == "timeout"
+        assert failure.attempts == 1
+        assert "wall-clock timeout" in failure.message
+        assert not report.all_succeeded
+        with pytest.raises(CampaignError, match="timed out"):
+            report.result_for("s", "sleepy")
+
+    def test_exception_is_recorded_with_type_and_message(self, registry):
+        registry("boom", _boom)
+        systems = {"s": fig3_system()}
+        jobs = campaign_matrix(systems, ["boom"])
+        report = run_campaign(systems, jobs, retry_backoff=0.0)
+        failure = report.failures["s__boom"]
+        assert failure.kind == "error"
+        assert "ValueError" in failure.message
+        assert "injected failure" in failure.message
+        with pytest.raises(CampaignError, match="injected failure"):
+            report.result_for("s", "boom")
+
+    def test_bounded_retry_recovers_a_flaky_job(self, registry):
+        calls = {"n": 0}
+
+        def flaky(system, options):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("transient")
+            return _bbc(system, options)
+
+        registry("flaky", flaky)
+        systems = {"s": fig3_system()}
+        jobs = campaign_matrix(systems, ["flaky"])
+        report = run_campaign(
+            systems, jobs, max_retries=2, retry_backoff=0.0
+        )
+        assert calls["n"] == 3
+        assert report.all_succeeded
+        assert report.result_for("s", "flaky").evaluations > 0
+
+    def test_retries_exhausted_reports_attempt_count(self, registry):
+        registry("boom", _boom)
+        systems = {"s": fig3_system()}
+        jobs = campaign_matrix(systems, ["boom"])
+        report = run_campaign(
+            systems, jobs, max_retries=2, retry_backoff=0.0
+        )
+        assert report.failures["s__boom"].attempts == 3
+
+    def test_negative_max_retries_rejected(self):
+        systems = {"s": fig3_system()}
+        jobs = campaign_matrix(systems, ["bbc"])
+        with pytest.raises(CampaignError, match="max_retries"):
+            run_campaign(systems, jobs, max_retries=-1)
+
+    def test_failed_job_writes_no_checkpoint(self, registry, tmp_path):
+        registry("boom", _boom)
+        systems = {"s": fig3_system()}
+        jobs = campaign_matrix(systems, ["boom"])
+        report = run_campaign(
+            systems, jobs, checkpoint_dir=str(tmp_path), retry_backoff=0.0
+        )
+        assert report.failures
+        assert not os.path.exists(tmp_path / "s__boom.json")
+
+
+class TestWritabilityFailFast:
+    # Note: permission-bit tests are useless under root (root bypasses
+    # mode checks), so the unwritable targets here are paths *under a
+    # regular file*, which fail with ENOTDIR for every uid.
+
+    def test_unwritable_checkpoint_dir_fails_before_any_job(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory\n")
+        bad_dir = str(blocker / "checkpoints")
+        with pytest.raises(CampaignError, match="--checkpoint-dir"):
+            ensure_writable_dir(bad_dir)
+        systems = {"s": fig3_system()}
+        jobs = campaign_matrix(systems, ["bbc"])
+        ran = {"jobs": 0}
+        with pytest.raises(CampaignError, match="not writable"):
+            run_campaign(
+                systems,
+                jobs,
+                checkpoint_dir=bad_dir,
+                progress=lambda *a: ran.__setitem__("jobs", ran["jobs"] + 1),
+            )
+        assert ran["jobs"] == 0  # failed fast, before any job ran
+
+    def test_unwritable_output_file_message_names_the_flag(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory\n")
+        with pytest.raises(CampaignError, match="--output"):
+            ensure_writable_file(str(blocker / "summary.json"))
+
+    def test_probes_leave_no_residue(self, tmp_path):
+        target_dir = tmp_path / "checkpoints"
+        ensure_writable_dir(str(target_dir))
+        assert list(target_dir.iterdir()) == []
+        out = tmp_path / "summary.json"
+        ensure_writable_file(str(out))
+        assert not out.exists()
+        # An existing output file is probed but kept.
+        out.write_text("{}\n")
+        ensure_writable_file(str(out))
+        assert out.read_text() == "{}\n"
+
+
+class TestQuarantine:
+    def test_corrupted_checkpoint_is_quarantined_and_job_rerun(self, tmp_path):
+        systems = {"s": fig3_system()}
+        jobs = campaign_matrix(systems, ["bbc"])
+        first = run_campaign(systems, jobs, checkpoint_dir=str(tmp_path))
+        assert first.executed == ("s__bbc",)
+        path = tmp_path / "s__bbc.json"
+        path.write_text('{"job": {"truncated...')  # half-written file
+
+        second = run_campaign(systems, jobs, checkpoint_dir=str(tmp_path))
+        assert second.quarantined == ("s__bbc",)
+        assert second.executed == ("s__bbc",)  # re-ran, not resumed
+        quarantined = tmp_path / "s__bbc.json.quarantined.1"
+        assert quarantined.read_text().startswith('{"job"')
+        # A fresh checkpoint replaced the corrupted one: next run resumes.
+        third = run_campaign(systems, jobs, checkpoint_dir=str(tmp_path))
+        assert third.resumed == ("s__bbc",)
+        assert not third.quarantined
+        assert third.results["s__bbc"].cost == first.results["s__bbc"].cost
+
+    def test_quarantine_suffixes_do_not_collide(self, tmp_path):
+        systems = {"s": fig3_system()}
+        jobs = campaign_matrix(systems, ["bbc"])
+        for n in (1, 2):
+            (tmp_path / "s__bbc.json").write_text("garbage")
+            report = run_campaign(systems, jobs, checkpoint_dir=str(tmp_path))
+            assert report.quarantined == ("s__bbc",)
+            assert (tmp_path / f"s__bbc.json.quarantined.{n}").exists()
+
+
+class TestAcceptanceScenario:
+    def test_timeout_plus_corrupted_checkpoint_then_clean_resume(
+        self, registry, tmp_path
+    ):
+        """The PR's acceptance criterion: a campaign with one injected
+        job timeout and one corrupted checkpoint completes, reports both
+        failures in the report, and resumes cleanly afterwards."""
+        registry("sleepy", _sleepy)
+        systems = {"s": fig3_system()}
+        jobs = campaign_matrix(systems, ["bbc", "sleepy"])
+
+        # Seed a valid checkpoint for bbc, then corrupt it.
+        seeded = run_campaign(
+            systems, campaign_matrix(systems, ["bbc"]),
+            checkpoint_dir=str(tmp_path),
+        )
+        good_cost = seeded.results["s__bbc"].cost
+        (tmp_path / "s__bbc.json").write_text("{{{ corrupted")
+
+        report = run_campaign(
+            systems,
+            jobs,
+            checkpoint_dir=str(tmp_path),
+            job_timeout=0.05,
+            retry_backoff=0.0,
+        )
+        # Completed, reporting both problems.
+        assert report.quarantined == ("s__bbc",)
+        assert set(report.failures) == {"s__sleepy"}
+        assert report.failures["s__sleepy"].kind == "timeout"
+        assert report.results["s__bbc"].cost == good_cost  # re-ran fine
+        assert isinstance(report.failures["s__sleepy"], CampaignJobFailure)
+
+        # Quarantined bytes stay inspectable; the fresh checkpoint is
+        # valid JSON, so the next (timeout-free) run resumes cleanly.
+        assert (tmp_path / "s__bbc.json.quarantined.1").exists()
+        with open(tmp_path / "s__bbc.json", encoding="utf-8") as fh:
+            assert json.load(fh)["job"]["job_id"] == job_id_for("s", "bbc")
+        resumed = run_campaign(
+            systems, campaign_matrix(systems, ["bbc"]),
+            checkpoint_dir=str(tmp_path),
+        )
+        assert resumed.resumed == ("s__bbc",)
+        assert resumed.all_succeeded

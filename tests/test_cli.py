@@ -119,3 +119,98 @@ class TestShowAndErrors:
     def test_missing_file_is_error(self, capsys):
         assert main(["show", "/nonexistent/x.json"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestFaultFlags:
+    def test_simulate_fault_rate_reports_retransmissions(
+        self, system_path, config_path, capsys
+    ):
+        rc = main(
+            [
+                "simulate", system_path, config_path,
+                "--fault-rate", "0.5", "--fault-seed", "0",
+            ]
+        )
+        assert rc in (0, 1)
+        out = capsys.readouterr().out
+        assert "retransmissions=4" in out
+
+    def test_simulate_clean_run_has_no_retransmission_line(
+        self, system_path, config_path, capsys
+    ):
+        main(["simulate", system_path, config_path])
+        assert "retransmissions" not in capsys.readouterr().out
+
+    def test_analyse_fault_hypothesis_inflates_bounds(
+        self, system_path, config_path, capsys
+    ):
+        main(["analyse", system_path, config_path, "--json"])
+        clean = json.loads(capsys.readouterr().out)
+        main(
+            [
+                "analyse", system_path, config_path, "--json",
+                "--fault-hypothesis", "2",
+            ]
+        )
+        faulty = json.loads(capsys.readouterr().out)
+        assert all(
+            faulty["wcrt"][name] >= clean["wcrt"][name]
+            for name in clean["wcrt"]
+        )
+        assert any(
+            faulty["wcrt"][name] > clean["wcrt"][name]
+            for name in clean["wcrt"]
+        )
+
+    def test_invalid_fault_hypothesis_is_a_cli_error(
+        self, system_path, config_path, capsys
+    ):
+        rc = main(
+            [
+                "analyse", system_path, config_path,
+                "--fault-hypothesis", "-1",
+            ]
+        )
+        assert rc == 2
+        assert "fault_hypothesis" in capsys.readouterr().err
+
+
+class TestCampaignRuntimeFlags:
+    def test_job_timeout_failure_sets_exit_code(
+        self, system_path, tmp_path, capsys
+    ):
+        out = str(tmp_path / "summary.json")
+        # The job must outlive the timeout by much more than one GIL
+        # switch interval, so a tiny bbc run will not do: budget the SA
+        # job ~1s of annealing and time it out after 50ms.
+        rc = main(
+            [
+                "campaign", system_path,
+                "--strategies", "sa",
+                "--sa-iterations", "20000",
+                "--job-timeout", "0.05",
+                "--output", out,
+            ]
+        )
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "timed out" in captured.err
+        with open(out, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["jobs"] == {}
+        assert payload["failures"]["system__sa"]["kind"] == "timeout"
+
+    def test_unwritable_output_fails_before_jobs(
+        self, system_path, tmp_path, capsys
+    ):
+        blocker = tmp_path / "file"
+        blocker.write_text("x")
+        rc = main(
+            [
+                "campaign", system_path,
+                "--strategies", "bbc",
+                "--output", str(blocker / "summary.json"),
+            ]
+        )
+        assert rc == 2
+        assert "--output" in capsys.readouterr().err

@@ -113,3 +113,49 @@ def test_cruise_control_campaign_smoke(tmp_path):
 
     # Loose wall-clock sanity bound, same rationale as above.
     assert cold_s < 10.0
+
+
+@pytest.mark.perf_smoke
+def test_fault_sweep_smoke(tmp_path):
+    """A miniature fault sweep must fit the tier-1 budget: a bbc
+    baseline campaign that first *times out* (recorded, not raised),
+    then runs and checkpoints, then resumes from the checkpoint -- and
+    a two-rate fault sweep over the result whose k-error bound check
+    reports zero violations."""
+    from benchmarks.bench_fault_sweep import fault_sweep_rows
+
+    system = paper_suite(2, count=1, seed=23)[0]
+    systems = {"smoke": system}
+    jobs = campaign_matrix(systems, ["bbc"])
+
+    t0 = time.perf_counter()
+    # A simulated job timeout: the campaign completes and records it.
+    timed_out = run_campaign(
+        systems,
+        jobs,
+        checkpoint_dir=str(tmp_path),
+        job_timeout=1e-4,
+        retry_backoff=0.0,
+    )
+    assert set(timed_out.failures) == {"smoke__bbc"}
+    assert timed_out.failures["smoke__bbc"].kind == "timeout"
+
+    # Without the timeout the job runs and checkpoints...
+    ran = run_campaign(systems, jobs, checkpoint_dir=str(tmp_path))
+    assert ran.executed == ("smoke__bbc",)
+    config = ran.results["smoke__bbc"].config
+    assert config is not None
+
+    # ...and the next campaign resumes instead of re-optimising.
+    resumed = run_campaign(systems, jobs, checkpoint_dir=str(tmp_path))
+    assert resumed.resumed == ("smoke__bbc",) and not resumed.executed
+
+    # Two error rates through the sweep core: rate 0 is the clean
+    # anchor, the faulty rate must keep the k-error bound sound.
+    rows = fault_sweep_rows(system, config, rates=(0.0, 0.2), seeds=(1,))
+    assert rows[0]["max_retransmissions"] == 0
+    assert rows[0]["max_wcrt_inflation"] == 1.0
+    assert all(row["bound_violations"] == 0 for row in rows)
+
+    # Loose wall-clock sanity bound, same rationale as above.
+    assert time.perf_counter() - t0 < 10.0

@@ -325,3 +325,45 @@ class TestParallelBatchIdentity:
             StrategyOptions(bus=BusOptimisationOptions(parallel_workers=2)),
         )
         assert self._outcome(serial) == self._outcome(parallel)
+
+    def test_dead_pool_degrades_serially_with_actionable_warning(
+        self, caplog
+    ):
+        """A pool that dies mid-batch (worker OOM-killed, unpicklable
+        payload) must fall back to identical serial results, disable
+        itself for the rest of the run, and say so in a warning the
+        user can act on."""
+        import logging
+
+        from repro.core.bbc import basic_configuration
+
+        system = fig4_system()
+        configs = [
+            basic_configuration(system, n, BusOptimisationOptions())
+            for n in (10, 12)
+        ]
+        reference = Evaluator(system, BusOptimisationOptions())
+        expected = [r.wcrt for r in reference.analyse_many(configs)]
+        reference.close()
+
+        class _DeadPool:
+            def map(self, *args, **kwargs):
+                raise RuntimeError("worker died unexpectedly")
+
+            def shutdown(self):
+                pass
+
+        evaluator = Evaluator(
+            system, BusOptimisationOptions(parallel_workers=2)
+        )
+        evaluator._executor = _DeadPool()
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro.core.search"):
+                results = evaluator.analyse_many(configs)
+        finally:
+            evaluator.close()
+        assert [r.wcrt for r in results] == expected
+        assert evaluator._parallel_broken
+        warning = "\n".join(record.getMessage() for record in caplog.records)
+        assert "serially" in warning and "pool" in warning
+        assert "RuntimeError" in warning  # names the underlying cause

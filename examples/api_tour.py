@@ -22,7 +22,10 @@ guarantees:
 6. fault injection -- seeded channel fault models with
    retransmission-aware simulation, and the k-error analysis bound
    (``AnalysisOptions.fault_hypothesis``) that stays above every
-   faulty run.
+   faulty run;
+7. the service layer -- ``python -m repro serve`` puts the same stack
+   behind a JSON/HTTP front (``repro.service``) with a warm evaluator
+   pool, admission control and restart-surviving campaigns.
 
 >>> from repro.synth import paper_suite
 >>> from repro.analysis import AnalysisContext, AnalysisOptions, analyse_system
@@ -216,6 +219,44 @@ True
 ...     for (name, _instance), r in faulty.response_times.items()
 ... )
 True
+
+**Analysis as a service.**  ``python -m repro serve`` exposes the same
+stack over JSON/HTTP (see ``docs/ARCHITECTURE.md``, "The service
+layer"): ``POST /analyse`` answers from a warm evaluator pool keyed by
+system fingerprint, ``POST /campaigns`` runs checkpoint-backed job
+matrices that survive server restarts.  The client side is stdlib
+urllib -- the wire documents are exactly the
+``repro.io.serialization`` schemas:
+
+>>> import json, tempfile, threading, urllib.request
+>>> from repro.io.serialization import config_to_dict, system_to_dict
+>>> from repro.service import ServiceConfig, create_server
+>>> server = create_server(ServiceConfig(
+...     port=0, state_dir=tempfile.mkdtemp(prefix="repro-service-")
+... ))
+>>> threading.Thread(target=server.serve_forever, daemon=True).start()
+>>> url = "http://127.0.0.1:%d/analyse" % server.server_address[1]
+>>> body = json.dumps({
+...     "kind": "analyse_request",
+...     "system": system_to_dict(system),
+...     "config": config_to_dict(config),
+... }).encode("utf-8")
+>>> def analyse_remotely():
+...     with urllib.request.urlopen(urllib.request.Request(
+...         url, data=body, headers={"Content-Type": "application/json"}
+...     )) as response:
+...         return json.loads(response.read())
+>>> cold = analyse_remotely()
+>>> cold["result"]["schedulable"] == result.schedulable
+True
+>>> cold["service"]["pool_hit"]
+False
+>>> warm = analyse_remotely()  # same fingerprint: warm pool + cache
+>>> warm["service"]["pool_hit"], warm["service"]["evaluations"]
+(True, 0)
+>>> warm["result"] == cold["result"]
+True
+>>> server.shutdown(); server.server_close()
 """
 
 import doctest

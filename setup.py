@@ -22,6 +22,11 @@ setup(
     packages=find_packages("src"),
     python_requires=">=3.9",
     install_requires=[],
+    entry_points={
+        # `repro ...` == `python -m repro ...`; both go through
+        # repro.cli:main (tested by tests/test_cli.py).
+        "console_scripts": ["repro=repro.cli:main"],
+    },
     extras_require={
         # The batched array backend (AnalysisOptions.backend="numpy").
         "numpy": ["numpy>=1.22"],

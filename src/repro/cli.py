@@ -8,6 +8,7 @@ optimise   run a registered search strategy (bbc / obc-cf / obc-ee / sa / ga)
 campaign   run a (system x strategy) job matrix with resumable checkpoints
 simulate   run the discrete-event simulator and print the trace
 show       render a system or configuration as text/Gantt
+serve      run the JSON/HTTP analysis service (repro.service)
 
 ``optimise`` and ``campaign`` dispatch by strategy *name* through
 :mod:`repro.core.strategies`, so a strategy registered by third-party
@@ -150,6 +151,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_show = sub.add_parser("show", help="describe a system or configuration")
     p_show.add_argument("path", help="system or configuration JSON path")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the JSON/HTTP analysis service"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0 = pick a free one; the bound port is "
+        "printed on startup)",
+    )
+    p_serve.add_argument(
+        "--state-dir",
+        default="service-state",
+        help="campaign specs, checkpoints and reports live here; a "
+        "restarted server pointed at the same directory resumes "
+        "in-flight campaigns (default: service-state)",
+    )
+    p_serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=8,
+        help="analyse requests processed at once; the rest get 429 "
+        "(default 8)",
+    )
+    p_serve.add_argument(
+        "--pool-entries",
+        type=int,
+        default=8,
+        help="warm evaluators kept resident, LRU beyond this (default 8)",
+    )
+    p_serve.add_argument(
+        "--max-campaigns",
+        type=int,
+        default=4,
+        help="campaigns running at once before submissions get 429 "
+        "(default 4)",
+    )
     return parser
 
 
@@ -235,6 +275,8 @@ def _dispatch(args) -> int:
         return _cmd_simulate(args)
     if args.command == "show":
         return _cmd_show(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -445,6 +487,23 @@ def _cmd_simulate(args) -> int:
     for name, r in sorted(result.observed_wcrt.items()):
         print(f"  {name:20s} observed R = {r}")
     return 0 if result.all_finished and not result.deadline_misses else 1
+
+
+def _cmd_serve(args) -> int:
+    # Imported here so the CLI's non-service commands never pay for the
+    # HTTP stack (and a service bug cannot break `analyse`/`optimise`).
+    from repro.service.server import ServiceConfig, serve
+
+    return serve(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            state_dir=args.state_dir,
+            max_concurrent=args.max_concurrent,
+            pool_entries=args.pool_entries,
+            max_campaigns=args.max_campaigns,
+        )
+    )
 
 
 def _cmd_show(args) -> int:

@@ -70,7 +70,7 @@ from repro.errors import CampaignError, SerializationError
 from repro.io.serialization import (
     result_from_dict,
     result_to_dict,
-    system_to_dict,
+    system_fingerprint,
 )
 from repro.model.system import System
 
@@ -426,10 +426,10 @@ def _options_fingerprint(options: Optional[StrategyOptions]) -> str:
     return hashlib.sha256(repr(options).encode("utf-8")).hexdigest()[:16]
 
 
-def _system_fingerprint(system: System) -> str:
-    """Deterministic digest of a system's full serialized content."""
-    doc = json.dumps(system_to_dict(system), sort_keys=True)
-    return hashlib.sha256(doc.encode("utf-8")).hexdigest()[:16]
+#: Back-compat alias: the system digest moved to
+#: :func:`repro.io.serialization.system_fingerprint` when the service
+#: layer started keying its warm evaluator pool on it.
+_system_fingerprint = system_fingerprint
 
 
 def _job_meta(job: CampaignJob, system: System) -> dict:

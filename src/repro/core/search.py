@@ -95,6 +95,31 @@ class BusOptimisationOptions:
     obc_chunk_size: int = 1
 
 
+@dataclass(frozen=True)
+class EvaluatorStats:
+    """A point-in-time snapshot of one evaluator's accounting.
+
+    Taken by :meth:`Evaluator.stats`; two snapshots subtract into the
+    work one request cost (:meth:`since`), which is how the service
+    layer (:mod:`repro.service`) reports per-request exact-analysis and
+    cache-hit counts for a pooled evaluator that many requests share.
+    """
+
+    evaluations: int
+    cache_hits: int
+    cache_entries: int
+    trace_points: int
+
+    def since(self, earlier: "EvaluatorStats") -> "EvaluatorStats":
+        """The accounting delta from *earlier* to this snapshot."""
+        return EvaluatorStats(
+            evaluations=self.evaluations - earlier.evaluations,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            cache_entries=self.cache_entries,
+            trace_points=self.trace_points - earlier.trace_points,
+        )
+
+
 #: Per-process warm context of the parallel evaluation pool workers.
 _POOL_CONTEXT: List[AnalysisContext] = []
 
@@ -204,6 +229,15 @@ class Evaluator:
                 for i in indices:
                     results[i] = result
         return results
+
+    def stats(self) -> EvaluatorStats:
+        """Snapshot the evaluator's accounting (see :class:`EvaluatorStats`)."""
+        return EvaluatorStats(
+            evaluations=self.evaluations,
+            cache_hits=self.cache_hits,
+            cache_entries=len(self._cache),
+            trace_points=len(self.trace),
+        )
 
     def close(self) -> None:
         """Shut down the parallel evaluation pool, if one was started."""

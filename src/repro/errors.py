@@ -46,3 +46,17 @@ class SerializationError(ReproError):
 
 class CampaignError(ReproError):
     """A campaign job matrix or checkpoint store is inconsistent."""
+
+
+class ServiceError(ReproError):
+    """A service request is malformed or cannot be admitted.
+
+    Carries the HTTP status code the JSON/HTTP layer should answer
+    with, so protocol-level validation can be raised from anywhere in
+    the service stack and mapped to one error response shape
+    (:func:`repro.io.serialization.error_to_dict`).
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status

@@ -21,10 +21,11 @@ deliberate lossy choices, both recorded in the schema notes below:
 
 from __future__ import annotations
 
+import hashlib
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
-from repro.analysis.holistic import AnalysisResult
+from repro.analysis.holistic import AnalysisOptions, AnalysisResult
 from repro.core.config import FlexRayConfig
 from repro.core.cost import CostBreakdown
 from repro.core.result import OptimisationResult, SearchPoint
@@ -41,6 +42,20 @@ FORMAT_VERSION = 1
 #: the result/trace encoding changes shape; ``result_from_dict`` rejects
 #: documents written by other schema generations.
 RESULT_FORMAT_VERSION = 1
+
+#: Version of the service request/response envelope schema
+#: (:func:`envelope` / :func:`parse_envelope`).  Bump when the wire
+#: shape of the analysis service changes; mismatched envelopes are
+#: rejected rather than mis-parsed, exactly like document versions.
+SERVICE_FORMAT_VERSION = 1
+
+#: The :class:`~repro.analysis.holistic.AnalysisOptions` fields the
+#: service protocol exposes.  Deliberately a subset: the remaining
+#: knobs (warm start, dominance, caps) are certified bit-identical to
+#: their defaults, so a network API that accepted them would only
+#: offer ways to get the same answers slower.
+ANALYSIS_OPTION_FIELDS = ("backend", "fault_hypothesis")
+
 
 #: Field order of one encoded search-trace point (kept compact because
 #: OBC/EE traces reach thousands of points per campaign job).
@@ -371,3 +386,99 @@ def load_result(path: str) -> OptimisationResult:
     """Read an optimisation result from a JSON file."""
     with open(path, encoding="utf-8") as fh:
         return result_from_dict(json.load(fh))
+
+
+# ----------------------------------------------------------------------
+# service envelopes (the JSON/HTTP layer of repro.service)
+# ----------------------------------------------------------------------
+def system_fingerprint(system: System) -> str:
+    """Deterministic digest of a system's full serialized content.
+
+    The identity key of the service layer's warm evaluator pool and of
+    the campaign checkpoint protocol: two systems share a fingerprint
+    exactly when their :func:`system_to_dict` documents are equal.
+    """
+    doc = json.dumps(system_to_dict(system), sort_keys=True)
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()[:16]
+
+
+def envelope(kind: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Wrap *payload* in a versioned service envelope.
+
+    Every request and response body of the analysis service is one of
+    these: ``{"service_version": N, "kind": ..., <payload>}``.  The
+    payload keys are inlined (not nested) so hand-written client
+    requests stay flat.
+    """
+    doc = {"service_version": SERVICE_FORMAT_VERSION, "kind": kind}
+    doc.update(payload)
+    return doc
+
+
+def parse_envelope(data: Any, expected_kind: str) -> Dict[str, Any]:
+    """Validate a service envelope and return it; raises on mismatch.
+
+    A missing ``service_version`` is accepted (hand-written requests
+    may omit it and get the current schema); a *wrong* one is rejected
+    loudly, as is a body that is not a JSON object or carries a
+    different ``kind`` than the endpoint expects.
+    """
+    if not isinstance(data, dict):
+        raise SerializationError(
+            f"service body must be a JSON object, got {type(data).__name__}"
+        )
+    version = data.get("service_version", SERVICE_FORMAT_VERSION)
+    if version != SERVICE_FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported service envelope version {version!r} "
+            f"(this service speaks version {SERVICE_FORMAT_VERSION})"
+        )
+    kind = data.get("kind", expected_kind)
+    if kind != expected_kind:
+        raise SerializationError(
+            f"expected a {expected_kind!r} body, got kind={kind!r}"
+        )
+    return data
+
+
+def error_to_dict(code: str, message: str, status: int = 400) -> Dict[str, Any]:
+    """The one error shape every service endpoint answers with.
+
+    ``code`` is a stable machine-readable slug (``"bad-request"``,
+    ``"over-capacity"``, ``"not-found"``...), ``message`` the human
+    explanation, ``status`` the HTTP status the transport used.
+    """
+    return envelope(
+        "error", {"error": {"code": code, "message": message, "status": status}}
+    )
+
+
+def analysis_options_to_dict(options: AnalysisOptions) -> Dict[str, Any]:
+    """Encode the service-facing subset of analysis options."""
+    return {
+        field: getattr(options, field) for field in ANALYSIS_OPTION_FIELDS
+    }
+
+
+def analysis_options_from_dict(
+    data: Optional[Dict[str, Any]]
+) -> AnalysisOptions:
+    """Decode analysis options from a service request (``None`` = defaults).
+
+    Unknown keys are rejected rather than ignored: a client asking for
+    an option this schema does not carry should learn so from the
+    error, not from silently-default behaviour.
+    """
+    if data is None:
+        return AnalysisOptions()
+    if not isinstance(data, dict):
+        raise SerializationError(
+            f"analysis options must be a JSON object, got {type(data).__name__}"
+        )
+    unknown = set(data) - set(ANALYSIS_OPTION_FIELDS)
+    if unknown:
+        raise SerializationError(
+            f"unknown analysis option(s) {sorted(unknown)}; "
+            f"this schema carries {list(ANALYSIS_OPTION_FIELDS)}"
+        )
+    return AnalysisOptions(**data)

@@ -1,0 +1,28 @@
+"""Analysis-as-a-service: the JSON/HTTP runtime over the search stack.
+
+The service layer turns the library into a long-lived system serving
+many concurrent users: :mod:`repro.service.server` is the HTTP front
+(``python -m repro serve``), :mod:`repro.service.protocol` the wire
+schema, :mod:`repro.service.pool` the warm evaluator pool keyed by
+system fingerprint, and :mod:`repro.service.state` the persistent,
+checkpoint-backed campaign store.  See ``docs/ARCHITECTURE.md`` ("The
+service layer") for the design.
+"""
+
+from repro.service.pool import EvaluatorPool
+from repro.service.server import (
+    AnalysisService,
+    ServiceConfig,
+    create_server,
+    serve,
+)
+from repro.service.state import CampaignStore
+
+__all__ = [
+    "AnalysisService",
+    "CampaignStore",
+    "EvaluatorPool",
+    "ServiceConfig",
+    "create_server",
+    "serve",
+]

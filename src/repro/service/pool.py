@@ -1,0 +1,163 @@
+"""The warm evaluator pool: per-system analysis state kept resident.
+
+The expensive part of answering an ``/analyse`` request is not the
+analysis itself but everything an :class:`~repro.core.search.Evaluator`
+accumulates around it: the per-system invariants and schedule caches of
+its :class:`~repro.analysis.context.AnalysisContext`, the backend's
+packed arrays, and the LRU result cache.  The pool keeps one warm
+evaluator per ``(system fingerprint, options fingerprint)`` key, so
+repeated requests against the same system -- the heavy-traffic shape
+the service is built for -- ride warm caches instead of rebuilding
+them, and the evaluator's own result cache becomes a *shared
+cross-request result cache* for free.
+
+Concurrency model: an evaluator is **not** thread-safe, so each pool
+entry carries a lock and :meth:`EvaluatorPool.lease` hands the caller
+exclusive use for the duration of one request.  N threads hammering one
+fingerprint therefore share a *single* warm evaluator, serialized at
+the entry lock (the analysis is CPU-bound pure Python, so serializing
+per system loses nothing to the GIL), while requests for different
+fingerprints proceed concurrently on their own entries.
+
+Eviction is LRU over distinct keys, bounded by ``max_entries``; evicted
+evaluators are released through their context-manager :meth:`close` as
+soon as the last lease on them drains.  All accounting -- hits, misses,
+evictions, per-entry lease counts -- is surfaced by :meth:`stats` and
+lands in service responses and ``/health``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.core.search import BusOptimisationOptions, Evaluator
+from repro.model.system import System
+
+__all__ = ["EvaluatorPool", "PoolLease"]
+
+
+class _Entry:
+    """One pooled evaluator plus its lock and lease accounting."""
+
+    def __init__(self, evaluator: Evaluator):
+        self.evaluator = evaluator
+        self.lock = threading.Lock()
+        self.leases = 0  # total leases ever granted on this entry
+        self.active = 0  # leases currently held
+        self.evicted = False  # close when the last active lease drains
+
+
+class PoolLease:
+    """What :meth:`EvaluatorPool.lease` yields: exclusive evaluator use.
+
+    ``hit`` says whether the evaluator was already warm when this
+    request arrived -- the pool-hit accounting the black-box tests
+    assert on.
+    """
+
+    def __init__(self, key: Tuple[str, str], evaluator: Evaluator, hit: bool):
+        self.key = key
+        self.evaluator = evaluator
+        self.hit = hit
+
+
+class EvaluatorPool:
+    """LRU pool of warm evaluators keyed by system fingerprint."""
+
+    def __init__(self, max_entries: int = 8):
+        if max_entries < 1:
+            raise ValueError(f"max_entries={max_entries} must be >= 1")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "Dict[Tuple[str, str], _Entry]" = {}
+        self._order: list = []  # LRU order, least recent first
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @contextmanager
+    def lease(
+        self,
+        fingerprint: str,
+        options_key: str,
+        system: System,
+        options: Optional[BusOptimisationOptions] = None,
+    ) -> Iterator[PoolLease]:
+        """Exclusive use of the warm evaluator for one request.
+
+        ``fingerprint`` identifies the system content
+        (:func:`repro.io.serialization.system_fingerprint`) and
+        ``options_key`` the analysis options; together they are the
+        pool key.  The evaluator is created cold on the first lease of
+        a key and kept warm for later ones; the entry lock is held for
+        the whole ``with`` body.
+        """
+        key = (fingerprint, options_key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                hit = True
+                self._order.remove(key)
+                self._order.append(key)
+            else:
+                self.misses += 1
+                hit = False
+                entry = _Entry(
+                    Evaluator(system, options or BusOptimisationOptions())
+                )
+                self._entries[key] = entry
+                self._order.append(key)
+                self._evict_over_bound()
+            entry.leases += 1
+            entry.active += 1
+        with entry.lock:
+            try:
+                yield PoolLease(key, entry.evaluator, hit)
+            finally:
+                with self._lock:
+                    entry.active -= 1
+                    if entry.evicted and entry.active == 0:
+                        entry.evaluator.close()
+
+    def _evict_over_bound(self) -> None:
+        """Drop least-recently-used entries past the bound (lock held)."""
+        while len(self._entries) > self.max_entries:
+            key = self._order.pop(0)
+            entry = self._entries.pop(key)
+            self.evictions += 1
+            entry.evicted = True
+            if entry.active == 0:
+                entry.evaluator.close()
+
+    def stats(self) -> dict:
+        """Accounting snapshot for responses and ``/health``."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "per_entry": {
+                    "/".join(key): {
+                        "leases": entry.leases,
+                        "evaluations": entry.evaluator.evaluations,
+                        "cache_hits": entry.evaluator.cache_hits,
+                    }
+                    for key, entry in self._entries.items()
+                },
+            }
+
+    def close(self) -> None:
+        """Release every pooled evaluator (idle entries immediately,
+        leased ones when their lease drains)."""
+        with self._lock:
+            for entry in self._entries.values():
+                entry.evicted = True
+                if entry.active == 0:
+                    entry.evaluator.close()
+            self._entries.clear()
+            self._order.clear()

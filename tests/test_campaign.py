@@ -12,24 +12,11 @@ from repro.core.campaign import (
     run_campaign,
 )
 from repro.core.sa import SAOptions
-from repro.core.search import BusOptimisationOptions
 from repro.errors import CampaignError, OptimisationError
 
+from tests.util import campaign_systems as _systems
 from tests.util import fig3_system, fig4_system
-
-
-def _systems():
-    return {"static": fig3_system(), "dyn": fig4_system()}
-
-
-def _small_bus(**kw):
-    return BusOptimisationOptions(
-        max_dyn_points=8,
-        ee_max_dyn_points=12,
-        max_extra_static_slots=0,
-        max_slot_size_steps=0,
-        **kw,
-    )
+from tests.util import small_bus as _small_bus
 
 
 class TestCampaignMatrix:

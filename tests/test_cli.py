@@ -214,3 +214,32 @@ class TestCampaignRuntimeFlags:
         )
         assert rc == 2
         assert "--output" in capsys.readouterr().err
+
+
+class TestConsoleEntryPoint:
+    """The packaged `repro` command is `repro.cli:main` (setup.py
+    console_scripts); `--help` must exit 0 on every layer of it."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [["--help"], ["serve", "--help"], ["analyse", "--help"]],
+        ids=lambda a: " ".join(a),
+    )
+    def test_help_exits_zero(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 0
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_setup_declares_the_console_script(self):
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        with open(os.path.join(root, "setup.py"), encoding="utf-8") as fh:
+            assert "repro=repro.cli:main" in fh.read()
+
+    def test_serve_help_names_the_service_knobs(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        out = capsys.readouterr().out
+        for flag in ("--state-dir", "--max-concurrent", "--pool-entries",
+                     "--max-campaigns"):
+            assert flag in out

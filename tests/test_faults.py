@@ -33,9 +33,14 @@ from repro.flexray.faults import (
 )
 from repro.flexray.simulator import SimulationOptions, simulate
 
-from tests.util import basic_config, fig3_system, fig4_system
-
-FIG4_FRAME_IDS = {"m1": 1, "m2": 2, "m3": 3}
+from tests.util import (
+    FIG4_FRAME_IDS,
+    basic_config,
+    bound_scenario_systems,
+    fig3_system,
+    fig4_system,
+    fuzz_faults,
+)
 
 
 # ----------------------------------------------------------------------
@@ -230,7 +235,7 @@ class TestFaultHypothesis:
                 )
 
     def test_k0_is_identical_to_clean_analysis(self):
-        for system, config in _bound_scenario_systems():
+        for system, config in bound_scenario_systems():
             clean = analyse_system(system, config)
             k0 = analyse_system(
                 system, config, AnalysisOptions(fault_hypothesis=0)
@@ -255,8 +260,8 @@ class TestFaultHypothesis:
         """The soundness referee: 0 violations over the whole fuzz grid."""
         violations = 0
         checked = 0
-        for system, config in _bound_scenario_systems():
-            for faults in _fuzz_faults(config):
+        for system, config in bound_scenario_systems():
+            for faults in fuzz_faults(config):
                 result = simulate(
                     system,
                     config,
@@ -293,30 +298,3 @@ class TestFaultHypothesis:
             "fault_hypothesis" in record.message for record in caplog.records
         )
 
-
-def _bound_scenario_systems():
-    return [
-        (fig3_system(period=80, deadline=80), basic_config()),
-        (
-            fig4_system(),
-            basic_config(frame_ids=FIG4_FRAME_IDS),
-        ),
-        (
-            fig4_system(),
-            basic_config(n_minislots=20, frame_ids=FIG4_FRAME_IDS),
-        ),
-    ]
-
-
-def _fuzz_faults(config):
-    scenarios = []
-    for rate in (0.3, 0.6):
-        for seed in (1, 2, 3):
-            scenarios.append(IidFaults(rate=rate, seed=seed))
-    scenarios.append(
-        GilbertElliottFaults(
-            good_to_bad=0.4, bad_to_good=0.3, bad_rate=0.8, seed=5
-        )
-    )
-    scenarios.append(BlackoutFaults(((0, 3 * config.gd_cycle),)))
-    return scenarios

@@ -4,6 +4,7 @@ import hypothesis.strategies as st
 from hypothesis import given, settings
 
 from repro.analysis import analyse_system
+from repro.analysis.holistic import AnalysisOptions, analysis_cap
 from repro.analysis.availability import (
     NodeAvailability,
     merge_intervals,
@@ -16,8 +17,10 @@ from repro.core.search import (
     dyn_segment_bounds,
     sweep_lengths,
 )
-from repro.flexray.simulator import simulate
+from repro.flexray.faults import GilbertElliottFaults, IidFaults
+from repro.flexray.simulator import SimulationOptions, simulate
 from repro.io import system_from_dict, system_to_dict
+from tests.util import bound_scenario_systems
 from repro.model import (
     Application,
     Message,
@@ -222,3 +225,52 @@ class TestSerializationProperties:
         assert [t.wcet for t in clone.application.tasks()] == [
             t.wcet for t in system.application.tasks()
         ]
+
+
+# ----------------------------------------------------------------------
+# fault-tolerant analysis: the k-error bound is sound on any channel
+# ----------------------------------------------------------------------
+fault_channels = st.one_of(
+    st.builds(
+        IidFaults,
+        rate=st.floats(0.05, 0.9),
+        seed=st.integers(0, 2**16),
+    ),
+    st.builds(
+        GilbertElliottFaults,
+        good_to_bad=st.floats(0.05, 0.95),
+        bad_to_good=st.floats(0.05, 0.95),
+        bad_rate=st.floats(0.3, 1.0),
+        seed=st.integers(0, 2**16),
+    ),
+)
+
+
+class TestFaultHypothesisProperties:
+    """Hypothesis twin of the fuzz referee in ``tests/test_faults.py``:
+    instead of a fixed fault grid, the channel itself is drawn."""
+
+    @given(scenario=st.integers(0, 2), faults=fault_channels)
+    @settings(max_examples=30, deadline=None, derandomize=True)
+    def test_k_error_bound_covers_any_simulated_channel(
+        self, scenario, faults
+    ):
+        system, config = bound_scenario_systems()[scenario]
+        run = simulate(
+            system,
+            config,
+            SimulationOptions(record_trace=False, faults=faults),
+        )
+        # Judge the analysis at exactly the error count the channel
+        # produced: with fault_hypothesis=k, every simulated response
+        # time (retransmissions included) must sit below the bound.
+        k = run.total_retransmissions
+        options = AnalysisOptions(fault_hypothesis=k)
+        bound = analyse_system(system, config, options)
+        cap = analysis_cap(system, config, options.cap_factor)
+        for (name, _), observed in run.response_times.items():
+            if bound.wcrt[name] >= cap:
+                # A capped value is a certified deadline miss marker,
+                # not an upper bound -- nothing to compare against.
+                continue
+            assert observed <= bound.wcrt[name], (name, observed, k)

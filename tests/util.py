@@ -1,10 +1,30 @@
-"""Shared builders for the test suite."""
+"""Shared builders for the test suite.
+
+Every system, configuration and scenario factory that more than one
+test module needs lives here -- the individual modules import these
+instead of keeping their own drifting copies:
+
+* task/message/system builders (``scs_task`` ... ``fig4_system``),
+* ``FIG4_FRAME_IDS`` -- the frame-id map the Fig. 4 DYN messages use,
+* ``campaign_systems`` / ``small_bus`` -- the canonical two-system
+  campaign matrix and the tight search budget that keeps it fast,
+* ``bound_scenario_systems`` / ``fuzz_faults`` -- the (system, config)
+  grid and fault-model scenarios behind the fault-hypothesis soundness
+  referee (``tests/test_faults.py``) and its hypothesis twin
+  (``tests/test_properties.py``).
+"""
 
 from __future__ import annotations
 
 from typing import Sequence, Tuple
 
 from repro.core.config import FlexRayConfig
+from repro.core.search import BusOptimisationOptions
+from repro.flexray.faults import (
+    BlackoutFaults,
+    GilbertElliottFaults,
+    IidFaults,
+)
 from repro.model import (
     Application,
     Message,
@@ -14,6 +34,9 @@ from repro.model import (
     Task,
     TaskGraph,
 )
+
+#: Frame identifiers for the three DYN messages of :func:`fig4_system`.
+FIG4_FRAME_IDS = {"m1": 1, "m2": 2, "m3": 3}
 
 
 def scs_task(name: str, wcet: int = 1, node: str = "N1", **kw) -> Task:
@@ -111,6 +134,58 @@ def fig4_system(period: int = 200, deadline: int = 120) -> System:
         dyn_msg("m3", 3, "s1", "d3", priority=1),
     ]
     return single_graph_system(tasks, msgs, period=period, deadline=deadline)
+
+
+def campaign_systems():
+    """The canonical two-system campaign matrix: one ST-heavy system
+    (paper Fig. 3) and one DYN-heavy system (paper Fig. 4)."""
+    return {"static": fig3_system(), "dyn": fig4_system()}
+
+
+def small_bus(**kw) -> BusOptimisationOptions:
+    """A tightly budgeted search space: keeps optimiser-driving tests
+    (campaigns, the service layer) fast without changing semantics."""
+    return BusOptimisationOptions(
+        max_dyn_points=8,
+        ee_max_dyn_points=12,
+        max_extra_static_slots=0,
+        max_slot_size_steps=0,
+        **kw,
+    )
+
+
+def bound_scenario_systems():
+    """(system, config) pairs exercised by the fault-bound referees:
+    an all-ST system, the Fig. 4 DYN system, and the same system with a
+    longer dynamic segment."""
+    return [
+        (fig3_system(period=80, deadline=80), basic_config()),
+        (
+            fig4_system(),
+            basic_config(frame_ids=FIG4_FRAME_IDS),
+        ),
+        (
+            fig4_system(),
+            basic_config(n_minislots=20, frame_ids=FIG4_FRAME_IDS),
+        ),
+    ]
+
+
+def fuzz_faults(config):
+    """The fault-model grid of the soundness referee: iid channels at
+    two rates x three seeds, one bursty Gilbert--Elliott channel, and a
+    three-cycle blackout."""
+    scenarios = []
+    for rate in (0.3, 0.6):
+        for seed in (1, 2, 3):
+            scenarios.append(IidFaults(rate=rate, seed=seed))
+    scenarios.append(
+        GilbertElliottFaults(
+            good_to_bad=0.4, bad_to_good=0.3, bad_rate=0.8, seed=5
+        )
+    )
+    scenarios.append(BlackoutFaults(((0, 3 * config.gd_cycle),)))
+    return scenarios
 
 
 def basic_config(

@@ -11,6 +11,15 @@ Usage (from the repository root)::
 
     PYTHONPATH=src python -m benchmarks.fig9_aggregate \
         [--in-dir benchmarks/results/fig9_shards] [--allow-partial]
+
+or, for a sweep run through the distributed fabric
+(``fig9_shard --fabric DIR``)::
+
+    PYTHONPATH=src python -m benchmarks.fig9_aggregate --fabric DIR \
+        [--allow-partial]
+
+which merges the fabric's published checkpoints directly (suite
+identity comes from the fabric manifest's ``meta``).
 """
 
 from __future__ import annotations
@@ -20,10 +29,17 @@ import glob
 import json
 import os
 
+from repro.core.campaign import job_id_for
+from repro.core.fabric import fabric_collect, load_fabric
+from repro.synth.sharding import shard_plan
+
 from benchmarks._report import report, report_json
 from benchmarks.fig9_common import (
+    ALGORITHMS,
+    STRATEGY_NAMES,
     json_payload,
     quality_lines,
+    result_cell,
     runtime_lines,
 )
 from benchmarks.fig9_shard import DEFAULT_OUT_DIR
@@ -32,8 +48,12 @@ from benchmarks.fig9_shard import DEFAULT_OUT_DIR
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--in-dir", default=DEFAULT_OUT_DIR)
+    parser.add_argument("--fabric", metavar="DIR", default=None,
+                        help="aggregate a fabric-run sweep from DIR "
+                             "instead of shard_*.json files")
     parser.add_argument("--allow-partial", action="store_true",
-                        help="aggregate even when shards are missing")
+                        help="aggregate even when shards (or fabric "
+                             "jobs) are missing")
     return parser
 
 
@@ -91,15 +111,60 @@ def merge(shards, allow_partial: bool):
     return rows, meta
 
 
+def merge_fabric(root: str, allow_partial: bool):
+    """Rows + meta straight from a fabric directory's checkpoints."""
+    spec = load_fabric(root)
+    suite = spec.meta.get("suite")
+    if not suite:
+        raise SystemExit(
+            f"{root!r} carries no Fig. 9 suite identity in its manifest "
+            f"meta; was it submitted by fig9_shard --fabric?"
+        )
+    merged = fabric_collect(root, require_complete=not allow_partial)
+    plan = shard_plan(
+        node_counts=suite["node_counts"],
+        count=suite["count"],
+        num_shards=1,
+        seed=suite["seed"],
+    )
+    rows = []
+    for entry in plan[0].entries:
+        row = {"n_nodes": entry.n_nodes, "index": entry.index}
+        for name in ALGORITHMS:
+            job_id = job_id_for(entry.system_id, STRATEGY_NAMES[name])
+            result = merged.results.get(job_id)
+            row[name] = result_cell(result) if result is not None else None
+        rows.append(row)
+    rows.sort(key=lambda r: (r["n_nodes"], r["index"]))
+    meta = {
+        "suite": suite,
+        "fabric": spec.fabric_id,
+        "jobs_done": len(merged.results),
+        "failed_jobs": {
+            job_id: failure.describe()
+            for job_id, failure in merged.failures.items()
+        },
+    }
+    return rows, meta
+
+
 def main(argv=None) -> None:
     args = build_parser().parse_args(argv)
-    shards = load_shards(args.in_dir)
-    rows, meta = merge(shards, args.allow_partial)
+    if args.fabric:
+        rows, meta = merge_fabric(args.fabric, args.allow_partial)
+    else:
+        shards = load_shards(args.in_dir)
+        rows, meta = merge(shards, args.allow_partial)
     suite = meta["suite"]
     subtitle = (
         f"{suite['count']} systems/class, nodes {suite['node_counts']}, "
-        f"seed {suite['seed']}, {len(meta['shards_present'])}/"
-        f"{meta['num_shards']} shards"
+        f"seed {suite['seed']}, "
+        + (
+            f"fabric {meta['fabric']}"
+            if args.fabric
+            else f"{len(meta['shards_present'])}/"
+                 f"{meta['num_shards']} shards"
+        )
     )
     report(
         "fig9_sharded_quality",

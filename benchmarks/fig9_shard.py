@@ -19,6 +19,18 @@ Usage (from the repository root)::
 
 Launch one process per shard (on one host or many); shards are fully
 independent.  Afterwards merge with ``benchmarks.fig9_aggregate``.
+
+Fabric mode (no hand-partitioning, crash-tolerant)::
+
+    PYTHONPATH=src python -m benchmarks.fig9_shard --fabric DIR \
+        [--count 25] [--max-nodes 7] [--seed 23] [--full] [--workers N]
+
+submits the *whole* suite to a distributed fabric directory
+(:mod:`repro.core.fabric`) and then works it.  Run the same command in
+as many processes (or hosts sharing DIR) as you like -- submission is
+content-addressed and idempotent, jobs are leased one at a time, and a
+killed worker's jobs are taken over automatically.  Merge with
+``benchmarks.fig9_aggregate --fabric DIR``.
 """
 
 from __future__ import annotations
@@ -28,7 +40,8 @@ import json
 import os
 import time
 
-from repro.core.campaign import campaign_matrix, job_id_for, run_campaign
+from repro.core.campaign import CampaignOptions, campaign_matrix, job_id_for, run_campaign
+from repro.core.fabric import fabric_status, fabric_submit, fabric_work
 from repro.synth.sharding import shard_plan
 
 from benchmarks._report import RESULTS_DIR
@@ -46,9 +59,14 @@ DEFAULT_OUT_DIR = os.path.join(RESULTS_DIR, "fig9_shards")
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--shard", type=int, required=True,
+    parser.add_argument("--shard", type=int, default=None,
                         help="shard index in [0, num-shards)")
-    parser.add_argument("--num-shards", type=int, required=True)
+    parser.add_argument("--num-shards", type=int, default=None)
+    parser.add_argument("--fabric", metavar="DIR", default=None,
+                        help="run as a fabric worker instead of a "
+                             "hand-partitioned shard: submit the whole "
+                             "suite to DIR (idempotent) and drain jobs "
+                             "from it; replaces --shard/--num-shards")
     parser.add_argument("--count", type=int, default=25,
                         help="systems per node-count class (paper: 25)")
     parser.add_argument("--min-nodes", type=int, default=2)
@@ -67,11 +85,55 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _system_id(entry) -> str:
-    return f"n{entry.n_nodes}_i{entry.index}"
+def suite_meta(args) -> dict:
+    """The sweep identity embedded in shard files / fabric manifests."""
+    return {
+        "node_counts": list(range(args.min_nodes, args.max_nodes + 1)),
+        "count": args.count,
+        "seed": args.seed,
+        "full": bool(args.full),
+    }
+
+
+def run_fabric_worker(args) -> None:
+    """Submit the whole suite to a fabric directory, then work it."""
+    plan = shard_plan(
+        node_counts=range(args.min_nodes, args.max_nodes + 1),
+        count=args.count,
+        num_shards=1,
+        seed=args.seed,
+    )
+    (spec,) = plan
+    systems = {
+        entry.system_id: system for entry, system in spec.systems()
+    }
+    fabric = fabric_submit(
+        args.fabric,
+        systems,
+        fig9_strategies(sa_options(args.full)),
+        bus=bench_options(args.full, parallel_workers=args.workers),
+        options=CampaignOptions(max_retries=1),
+        meta={"suite": suite_meta(args)},
+    )
+    print(
+        f"[fabric {fabric.fabric_id}] {len(fabric.jobs)} jobs under "
+        f"{args.fabric}; working (start more workers with the same "
+        f"command, merge with fig9_aggregate --fabric)",
+        flush=True,
+    )
+    report = fabric_work(args.fabric, log=print)
+    status = fabric_status(args.fabric)
+    print(
+        f"[fabric {fabric.fabric_id}] this worker: "
+        f"{len(report.completed)} completed, {len(report.failed)} failed, "
+        f"{len(report.reaped)} takeovers -- {status.describe()}",
+        flush=True,
+    )
 
 
 def run_shard(args) -> str:
+    if args.shard is None or args.num_shards is None:
+        raise SystemExit("--shard/--num-shards are required without --fabric")
     if not (0 <= args.shard < args.num_shards):
         raise SystemExit(
             f"--shard {args.shard} outside [0, {args.num_shards})"
@@ -90,7 +152,7 @@ def run_shard(args) -> str:
     systems = {}
     for entry, system in spec.systems():
         entries.append(entry)
-        systems[_system_id(entry)] = system
+        systems[entry.system_id] = system
     jobs = campaign_matrix(systems, fig9_strategies(sa_opts), bus=options)
 
     checkpoint_dir = None
@@ -120,14 +182,14 @@ def run_shard(args) -> str:
     for entry in entries:
         row = {"n_nodes": entry.n_nodes, "index": entry.index}
         for name in ALGORITHMS:
-            job_id = job_id_for(_system_id(entry), STRATEGY_NAMES[name])
+            job_id = job_id_for(entry.system_id, STRATEGY_NAMES[name])
             if job_id in report.failures:
                 # A failed job costs its cell, never the shard: the
                 # aggregator sees the null and reports the job id.
                 row[name] = None
                 continue
             row[name] = result_cell(
-                report.result_for(_system_id(entry), STRATEGY_NAMES[name])
+                report.result_for(entry.system_id, STRATEGY_NAMES[name])
             )
         rows.append(row)
 
@@ -135,12 +197,7 @@ def run_shard(args) -> str:
         print(f"[shard {spec.shard}] FAILED {failure.describe()}", flush=True)
 
     payload = {
-        "suite": {
-            "node_counts": list(spec.node_counts),
-            "count": spec.count,
-            "seed": spec.seed,
-            "full": bool(args.full),
-        },
+        "suite": suite_meta(args),
         "shard": spec.shard,
         "num_shards": spec.num_shards,
         "rows": rows,
@@ -161,7 +218,11 @@ def run_shard(args) -> str:
 
 
 def main(argv=None) -> None:
-    run_shard(build_parser().parse_args(argv))
+    args = build_parser().parse_args(argv)
+    if args.fabric:
+        run_fabric_worker(args)
+    else:
+        run_shard(args)
 
 
 if __name__ == "__main__":

@@ -6,6 +6,7 @@ generate   write a synthetic Section 7 system to JSON
 analyse    run the holistic analysis of a system under a configuration
 optimise   run a registered search strategy (bbc / obc-cf / obc-ee / sa / ga)
 campaign   run a (system x strategy) job matrix with resumable checkpoints
+work       drain jobs from a distributed campaign fabric directory
 simulate   run the discrete-event simulator and print the trace
 show       render a system or configuration as text/Gantt
 serve      run the JSON/HTTP analysis service (repro.service)
@@ -30,10 +31,17 @@ from repro.analysis.backend import BACKEND_MODES
 from repro.analysis.holistic import AnalysisOptions, analyse_system
 from repro.casestudy.cruise_control import cruise_controller
 from repro.core.campaign import (
+    CampaignOptions,
     campaign_matrix,
     ensure_writable_dir,
     ensure_writable_file,
     run_campaign,
+)
+from repro.core.fabric import (
+    fabric_collect,
+    fabric_status,
+    fabric_submit,
+    fabric_work,
 )
 from repro.core.ga import GAOptions
 from repro.core.sa import SAOptions
@@ -127,7 +135,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="retries per failing job before it is recorded as failed "
         "(default 0; backoff between attempts is jittered)",
     )
+    p_camp.add_argument(
+        "--campaign-workers",
+        type=int,
+        default=1,
+        help="jobs of the matrix run concurrently on N threads inside "
+        "this process (default 1 = sequential; results are identical "
+        "either way)",
+    )
+    p_camp.add_argument(
+        "--fabric",
+        metavar="DIR",
+        help="submit the matrix to a distributed fabric directory "
+        "instead of running it inline; this process then works the "
+        "fabric alongside any 'repro work DIR' workers and collects "
+        "the merged report when the matrix is drained",
+    )
+    p_camp.add_argument(
+        "--fabric-wait",
+        action="store_true",
+        help="with --fabric: coordinate only -- submit, then poll until "
+        "external workers drain the matrix (run none of the jobs here)",
+    )
     _add_runtime_arguments(p_camp)
+
+    p_work = sub.add_parser(
+        "work",
+        help="drain jobs from a distributed campaign fabric directory",
+    )
+    p_work.add_argument(
+        "fabric", help="fabric directory (created by campaign --fabric)"
+    )
+    p_work.add_argument(
+        "--worker-id",
+        help="stable worker identity in leases and journals "
+        "(default: host-pid)",
+    )
+    p_work.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="seconds a silent lease survives before other workers may "
+        "presume this process dead and take its job over (default 30; "
+        "heartbeats renew every ttl/4)",
+    )
+    p_work.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="seconds between scans while every open job is leased "
+        "elsewhere (default 0.5)",
+    )
+    p_work.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="stop after running this many jobs (default: unbounded)",
+    )
+    p_work.add_argument(
+        "--once",
+        action="store_true",
+        help="exit when no job is immediately claimable instead of "
+        "polling for leases to expire",
+    )
 
     p_sim = sub.add_parser("simulate", help="discrete-event simulation")
     p_sim.add_argument("system", help="system JSON path")
@@ -189,6 +259,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="campaigns running at once before submissions get 429 "
         "(default 4)",
+    )
+    p_serve.add_argument(
+        "--fabric",
+        dest="serve_fabric",
+        action="store_true",
+        help="run campaigns through the distributed fabric: each "
+        "campaign directory under the state dir becomes a fabric that "
+        "external 'repro work' processes can join",
     )
     return parser
 
@@ -271,6 +349,8 @@ def _dispatch(args) -> int:
         return _cmd_optimise(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "work":
+        return _cmd_work(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     if args.command == "show":
@@ -412,6 +492,11 @@ def _cmd_campaign(args) -> int:
         if name
     ]
     jobs = campaign_matrix(systems, strategies)
+    options = CampaignOptions(
+        job_timeout=args.job_timeout,
+        max_retries=args.job_retries,
+        campaign_workers=args.campaign_workers,
+    )
 
     # Fail fast on unwritable targets before any job burns CPU time.
     if args.checkpoint_dir:
@@ -419,18 +504,20 @@ def _cmd_campaign(args) -> int:
     if args.output:
         ensure_writable_file(args.output, flag="--output")
 
-    def progress(job, result, resumed) -> None:
-        state = "resumed" if resumed else "ran"
-        print(f"[{state}] {job.job_id}: {result.describe()}")
+    if args.fabric:
+        report = _coordinate_fabric(args, systems, strategies, options)
+    else:
+        def progress(job, result, resumed) -> None:
+            state = "resumed" if resumed else "ran"
+            print(f"[{state}] {job.job_id}: {result.describe()}")
 
-    report = run_campaign(
-        systems,
-        jobs,
-        checkpoint_dir=args.checkpoint_dir,
-        progress=progress,
-        job_timeout=args.job_timeout,
-        max_retries=args.job_retries,
-    )
+        report = run_campaign(
+            systems,
+            jobs,
+            checkpoint_dir=args.checkpoint_dir,
+            progress=progress,
+            options=options,
+        )
     schedulable = sum(r.schedulable for r in report.results.values())
     print(
         f"campaign: {len(jobs)} jobs ({len(report.resumed)} resumed, "
@@ -464,6 +551,58 @@ def _cmd_campaign(args) -> int:
     if report.failures:
         return 1
     return 0 if schedulable == len(jobs) else 1
+
+
+def _coordinate_fabric(args, systems, strategies, options):
+    """The ``campaign --fabric`` path: submit, drain, collect.
+
+    Submission is idempotent (content-addressed manifest), so rerunning
+    the same command resumes the fabric.  Without ``--fabric-wait``
+    this process doubles as a worker; with it, it only polls while
+    external ``repro work`` processes drain the matrix.
+    """
+    import time as _time
+
+    spec = fabric_submit(
+        args.fabric,
+        systems,
+        strategies,
+        bus=_runtime_bus_options(args),
+        options=options,
+    )
+    print(
+        f"fabric {spec.fabric_id}: {len(spec.jobs)} jobs under "
+        f"{args.fabric} (add workers with: repro work {args.fabric})"
+    )
+    if args.fabric_wait:
+        while True:
+            status = fabric_status(args.fabric)
+            print(status.describe())
+            if status.complete:
+                break
+            _time.sleep(max(args.job_timeout or 0, 2.0))
+    else:
+        fabric_work(args.fabric, log=print)
+    return fabric_collect(args.fabric)
+
+
+def _cmd_work(args) -> int:
+    report = fabric_work(
+        args.fabric,
+        worker_id=args.worker_id,
+        lease_ttl=args.lease_ttl,
+        poll=args.poll,
+        max_jobs=args.max_jobs,
+        once=args.once,
+        log=print,
+    )
+    print(
+        f"worker {report.worker_id}: {len(report.completed)} completed, "
+        f"{len(report.failed)} failed, {len(report.reaped)} leases reaped, "
+        f"{len(report.lost)} lost"
+    )
+    print(fabric_status(args.fabric).describe())
+    return 1 if report.failed else 0
 
 
 def _cmd_simulate(args) -> int:
@@ -502,6 +641,7 @@ def _cmd_serve(args) -> int:
             max_concurrent=args.max_concurrent,
             pool_entries=args.pool_entries,
             max_campaigns=args.max_campaigns,
+            fabric=args.serve_fabric,
         )
     )
 

@@ -20,6 +20,10 @@ Public entry points
 :func:`campaign_matrix` / :func:`run_campaign`
     The campaign layer: declarative (system x strategy x options) job
     matrices with JSON-persisted results and resumable checkpoints.
+:func:`fabric_submit` / :func:`fabric_work` / :func:`fabric_collect`
+    The distributed fabric (:mod:`repro.core.fabric`): the same job
+    matrices drained by any number of crash-tolerant worker processes
+    leasing jobs from a shared directory.
 :class:`StrategyOptions`
     Common base of the per-strategy option records (:class:`SAOptions`,
     :class:`GAOptions`); carries the evaluator knobs (``bus``) and the
@@ -50,11 +54,15 @@ _EXPORTS = {
     "BusOptimisationOptions": "repro.core.search",
     "CampaignJob": "repro.core.campaign",
     "CampaignJobFailure": "repro.core.campaign",
+    "CampaignOptions": "repro.core.campaign",
     "CampaignReport": "repro.core.campaign",
     "CandidateBatch": "repro.core.runtime",
     "CostBreakdown": "repro.core.cost",
     "Evaluator": "repro.core.search",
+    "FabricSpec": "repro.core.fabric",
+    "FabricStatus": "repro.core.fabric",
     "FlexRayConfig": "repro.core.config",
+    "WorkerReport": "repro.core.fabric",
     "GAOptions": "repro.core.ga",
     "NewtonInterpolator": "repro.core.curvefit",
     "OptimisationResult": "repro.core.result",
@@ -76,7 +84,13 @@ _EXPORTS = {
     "ensure_writable_dir": "repro.core.campaign",
     "ensure_writable_file": "repro.core.campaign",
     "exhaustive_dyn_length": "repro.core.dynlen",
+    "fabric_collect": "repro.core.fabric",
+    "fabric_events": "repro.core.fabric",
+    "fabric_status": "repro.core.fabric",
+    "fabric_submit": "repro.core.fabric",
+    "fabric_work": "repro.core.fabric",
     "get_strategy": "repro.core.strategies",
+    "load_fabric": "repro.core.fabric",
     "message_criticalities": "repro.core.frameid",
     "min_static_slot": "repro.core.search",
     "optimise": "repro.core.strategies",
@@ -114,11 +128,23 @@ if TYPE_CHECKING:  # pragma: no cover - static typing aid only
     from repro.core.campaign import (
         CampaignJob,
         CampaignJobFailure,
+        CampaignOptions,
         CampaignReport,
         campaign_matrix,
         ensure_writable_dir,
         ensure_writable_file,
         run_campaign,
+    )
+    from repro.core.fabric import (
+        FabricSpec,
+        FabricStatus,
+        WorkerReport,
+        fabric_collect,
+        fabric_events,
+        fabric_status,
+        fabric_submit,
+        fabric_work,
+        load_fabric,
     )
     from repro.core.config import FlexRayConfig
     from repro.core.cost import CostBreakdown, cost_function

@@ -79,6 +79,43 @@ StrategyRef = Union[str, Tuple[str, Optional[StrategyOptions]]]
 
 
 @dataclass(frozen=True)
+class CampaignOptions:
+    """Execution knobs of one :func:`run_campaign` call.
+
+    The fault-tolerance knobs (``job_timeout``, ``max_retries``,
+    ``retry_backoff``, ``retry_seed``) are documented on
+    :func:`run_campaign`; ``campaign_workers`` adds *job-level*
+    parallelism: ``N > 1`` runs up to N jobs of the matrix concurrently
+    on worker threads.  Jobs are independent (separate systems,
+    separate checkpoint files), so results, checkpoints and the final
+    :class:`CampaignReport` are identical to a serial run -- the report
+    lists ``executed``/``resumed`` in matrix order regardless of
+    completion order, and only the ``progress`` callback observes the
+    interleaving.  Worker threads overlap wall-clock wherever a job
+    releases the GIL or blocks -- per-strategy evaluation process pools
+    (``parallel_workers``), per-job timeouts, checkpoint I/O; for
+    process-level parallelism across hosts use the distributed fabric
+    (:mod:`repro.core.fabric`), whose workers are whole processes.
+    """
+
+    job_timeout: Optional[float] = None
+    max_retries: int = 0
+    retry_backoff: float = 0.5
+    retry_seed: int = 0
+    campaign_workers: int = 1
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise CampaignError(
+                f"max_retries={self.max_retries} must be >= 0"
+            )
+        if self.campaign_workers < 1:
+            raise CampaignError(
+                f"campaign_workers={self.campaign_workers} must be >= 1"
+            )
+
+
+@dataclass(frozen=True)
 class CampaignJob:
     """One (system, strategy, options) cell of a campaign matrix."""
 
@@ -279,6 +316,7 @@ def run_campaign(
     checkpoint_dir: Optional[str] = None,
     progress: Optional[Callable[[CampaignJob, OptimisationResult, bool], None]] = None,
     *,
+    options: Optional[CampaignOptions] = None,
     job_timeout: Optional[float] = None,
     max_retries: int = 0,
     retry_backoff: float = 0.5,
@@ -286,9 +324,12 @@ def run_campaign(
 ) -> CampaignReport:
     """Execute a job matrix, resuming finished jobs from checkpoints.
 
-    Jobs run sequentially in matrix order (per-job parallelism comes
-    from each strategy's own ``parallel_workers`` pool; campaign-level
-    parallelism from sharding, see ``repro.synth.sharding``).
+    Jobs run in matrix order -- sequentially by default, or up to
+    ``options.campaign_workers`` at a time on worker threads (results
+    and report identical either way; see :class:`CampaignOptions`).
+    Per-job parallelism comes from each strategy's own
+    ``parallel_workers`` pool; multi-process / multi-host parallelism
+    from the distributed fabric (:mod:`repro.core.fabric`).
     ``progress`` is called after every *successful* job with
     ``(job, result, resumed)``.
 
@@ -299,50 +340,62 @@ def run_campaign(
     deterministic jitter in [0.5, 1.5), seeded from ``retry_seed`` and
     the job id so concurrent shards do not retry in lockstep); a job
     that still fails lands in :attr:`CampaignReport.failures` and the
-    matrix continues.
+    matrix continues.  The legacy keyword knobs build a
+    :class:`CampaignOptions`; pass one *or* the other, not both.
     """
     start = time.perf_counter()
     jobs = tuple(jobs)
-    if max_retries < 0:
-        raise CampaignError(f"max_retries={max_retries} must be >= 0")
+    if options is None:
+        options = CampaignOptions(
+            job_timeout=job_timeout,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            retry_seed=retry_seed,
+        )
+    elif (
+        job_timeout is not None
+        or max_retries != 0
+        or retry_backoff != 0.5
+        or retry_seed != 0
+    ):
+        raise CampaignError(
+            "pass either options=CampaignOptions(...) or the legacy "
+            "keyword knobs, not both"
+        )
     if checkpoint_dir is not None:
         ensure_writable_dir(checkpoint_dir)
-    results: Dict[str, OptimisationResult] = {}
-    executed: List[str] = []
-    resumed: List[str] = []
-    failures: Dict[str, CampaignJobFailure] = {}
-    quarantined: List[str] = []
     for job in jobs:
         if job.system_id not in systems:
             raise CampaignError(
                 f"job {job.job_id!r} references unknown system "
                 f"{job.system_id!r}"
             )
-        system = systems[job.system_id]
-        result = None
-        if checkpoint_dir is not None:
-            result, was_quarantined = _load_checkpoint(
-                checkpoint_dir, job, system
-            )
-            if was_quarantined:
-                quarantined.append(job.job_id)
-        was_resumed = result is not None
-        if was_resumed:
-            resumed.append(job.job_id)
-        else:
-            result, failure = _attempt_job(
-                system, job, job_timeout, max_retries, retry_backoff,
-                retry_seed,
-            )
-            if failure is not None:
-                failures[job.job_id] = failure
-                continue
-            if checkpoint_dir is not None:
-                _write_checkpoint(checkpoint_dir, job, system, result)
-            executed.append(job.job_id)
+    if options.campaign_workers > 1 and len(jobs) > 1:
+        outcomes = _run_jobs_threaded(
+            systems, jobs, checkpoint_dir, options, progress
+        )
+    else:
+        outcomes = {}
+        for job in jobs:
+            outcome = _process_job(systems, job, checkpoint_dir, options)
+            outcomes[job.job_id] = outcome
+            result, failure, was_resumed, _ = outcome
+            if failure is None and progress is not None:
+                progress(job, result, was_resumed)
+    results: Dict[str, OptimisationResult] = {}
+    executed: List[str] = []
+    resumed: List[str] = []
+    failures: Dict[str, CampaignJobFailure] = {}
+    quarantined: List[str] = []
+    for job in jobs:  # report bookkeeping is matrix-ordered
+        result, failure, was_resumed, was_quarantined = outcomes[job.job_id]
+        if was_quarantined:
+            quarantined.append(job.job_id)
+        if failure is not None:
+            failures[job.job_id] = failure
+            continue
+        (resumed if was_resumed else executed).append(job.job_id)
         results[job.job_id] = result
-        if progress is not None:
-            progress(job, result, was_resumed)
     return CampaignReport(
         results=results,
         executed=tuple(executed),
@@ -352,6 +405,92 @@ def run_campaign(
         failures=failures,
         quarantined=tuple(quarantined),
     )
+
+
+#: One job's outcome: (result, failure, was_resumed, was_quarantined).
+_JobOutcome = Tuple[
+    Optional[OptimisationResult],
+    Optional[CampaignJobFailure],
+    bool,
+    bool,
+]
+
+
+def _process_job(
+    systems: Mapping[str, System],
+    job: CampaignJob,
+    checkpoint_dir: Optional[str],
+    options: CampaignOptions,
+) -> _JobOutcome:
+    """Resume-or-run one job: the unit both execution modes share."""
+    system = systems[job.system_id]
+    result = None
+    was_quarantined = False
+    if checkpoint_dir is not None:
+        result, was_quarantined = _load_checkpoint(checkpoint_dir, job, system)
+    if result is not None:
+        return result, None, True, was_quarantined
+    result, failure = _attempt_job(
+        system, job, options.job_timeout, options.max_retries,
+        options.retry_backoff, options.retry_seed,
+    )
+    if failure is not None:
+        return None, failure, False, was_quarantined
+    if checkpoint_dir is not None:
+        _write_checkpoint(checkpoint_dir, job, system, result)
+    return result, failure, False, was_quarantined
+
+
+def _run_jobs_threaded(
+    systems: Mapping[str, System],
+    jobs: Tuple[CampaignJob, ...],
+    checkpoint_dir: Optional[str],
+    options: CampaignOptions,
+    progress: Optional[Callable[[CampaignJob, OptimisationResult, bool], None]],
+) -> Dict[str, _JobOutcome]:
+    """Run the matrix on ``campaign_workers`` threads.
+
+    Campaign-*definition* errors (foreign checkpoints) still raise: the
+    first one wins, the queue is drained, and every already-running job
+    finishes before the exception propagates.  ``progress`` fires in
+    completion order, serialised under a lock.
+    """
+    pending = list(jobs)
+    outcomes: Dict[str, _JobOutcome] = {}
+    lock = threading.Lock()
+    errors: List[BaseException] = []
+
+    def worker() -> None:
+        while True:
+            with lock:
+                if errors or not pending:
+                    return
+                job = pending.pop(0)
+            try:
+                outcome = _process_job(systems, job, checkpoint_dir, options)
+            except BaseException as exc:  # noqa: BLE001 - relayed below
+                with lock:
+                    errors.append(exc)
+                return
+            result, failure, was_resumed, _ = outcome
+            with lock:
+                outcomes[job.job_id] = outcome
+                if failure is None and progress is not None:
+                    progress(job, result, was_resumed)
+
+    threads = [
+        threading.Thread(
+            target=worker, daemon=True, name=f"campaign-worker-{i}"
+        )
+        for i in range(min(options.campaign_workers, len(jobs)))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return outcomes
 
 
 def _attempt_job(

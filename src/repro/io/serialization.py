@@ -21,6 +21,7 @@ deliberate lossy choices, both recorded in the schema notes below:
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 from typing import Any, Dict, List, Optional
@@ -482,3 +483,98 @@ def analysis_options_from_dict(
             f"this schema carries {list(ANALYSIS_OPTION_FIELDS)}"
         )
     return AnalysisOptions(**data)
+
+
+# ----------------------------------------------------------------------
+# evaluator options (the fabric manifest's campaign-wide bus preset)
+# ----------------------------------------------------------------------
+def _dataclass_scalars(options, *, skip=()) -> Dict[str, Any]:
+    """Every scalar dataclass field of *options* as a JSON-safe dict."""
+    doc: Dict[str, Any] = {}
+    for f in dataclasses.fields(options):
+        if f.name in skip:
+            continue
+        value = getattr(options, f.name)
+        if not isinstance(value, (int, float, str, bool, type(None))):
+            raise SerializationError(
+                f"option field {f.name!r} of {type(options).__name__} is "
+                f"not JSON-scalar ({type(value).__name__}); it cannot ride "
+                f"a fabric manifest"
+            )
+        doc[f.name] = value
+    return doc
+
+
+def _dataclass_from_scalars(cls, data: Dict[str, Any], *, skip=(), **fixed):
+    """Inverse of :func:`_dataclass_scalars`; rejects unknown keys."""
+    legal = {f.name for f in dataclasses.fields(cls)} - set(skip)
+    unknown = set(data) - legal
+    if unknown:
+        raise SerializationError(
+            f"unknown {cls.__name__} field(s) {sorted(unknown)}; "
+            f"this schema carries {sorted(legal)}"
+        )
+    try:
+        return cls(**data, **fixed)
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"bad {cls.__name__} document: {exc}") from exc
+
+
+def strategy_options_to_fields(options) -> Dict[str, Any]:
+    """Encode a strategy option record as wire-format entry fields.
+
+    The inverse direction of the service/fabric strategy-entry schema
+    (``{"name": ..., <option fields>}``, see
+    :func:`repro.service.protocol.parse_campaign_request`): every
+    dataclass field except ``bus`` -- evaluator options travel once per
+    campaign, not per strategy entry -- as JSON scalars.
+    """
+    return _dataclass_scalars(options, skip=("bus",))
+
+
+def bus_options_to_dict(options) -> Dict[str, Any]:
+    """Encode a full :class:`~repro.core.search.BusOptimisationOptions`.
+
+    Unlike :func:`analysis_options_to_dict` (the deliberately narrow
+    client-facing schema), this codec round-trips *every* knob --
+    including the nested analysis and schedule records -- because the
+    distributed fabric (:mod:`repro.core.fabric`) must hand a worker
+    process the exact evaluator preset the coordinator ran with.
+    """
+    doc = _dataclass_scalars(options, skip=("analysis",))
+    analysis = _dataclass_scalars(options.analysis, skip=("schedule",))
+    analysis["schedule"] = _dataclass_scalars(options.analysis.schedule)
+    doc["analysis"] = analysis
+    return doc
+
+
+def bus_options_from_dict(data: Optional[Dict[str, Any]]):
+    """Decode :func:`bus_options_to_dict` output (``None`` = ``None``).
+
+    ``None`` stays ``None`` (strategy options treat an absent bus record
+    as "library defaults"), mirroring
+    :meth:`repro.core.strategies.StrategyOptions.bus_options`.
+    """
+    from repro.analysis.scheduler import ScheduleOptions
+    from repro.core.search import BusOptimisationOptions
+
+    if data is None:
+        return None
+    if not isinstance(data, dict):
+        raise SerializationError(
+            f"bus options must be a JSON object, got {type(data).__name__}"
+        )
+    doc = dict(data)
+    analysis_doc = doc.pop("analysis", None) or {}
+    if not isinstance(analysis_doc, dict):
+        raise SerializationError("'analysis' must be a JSON object")
+    analysis_doc = dict(analysis_doc)
+    schedule = _dataclass_from_scalars(
+        ScheduleOptions, analysis_doc.pop("schedule", None) or {}
+    )
+    analysis = _dataclass_from_scalars(
+        AnalysisOptions, analysis_doc, skip=("schedule",), schedule=schedule
+    )
+    return _dataclass_from_scalars(
+        BusOptimisationOptions, doc, skip=("analysis",), analysis=analysis
+    )

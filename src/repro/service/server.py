@@ -15,6 +15,11 @@ POST      ``/campaigns``      submit a (system x strategy) matrix; runs
                               content-addressed campaign id (202, or
                               200 when the id already exists)
 GET       ``/campaigns/<id>`` progress snapshot / terminal report
+DELETE    ``/campaigns/<id>`` abandon a finished campaign and erase its
+                              state (404 unknown, 409 while running --
+                              notably fabric-backed campaigns whose
+                              directory external workers may hold
+                              leases in)
 GET       ``/health``         liveness + pool, admission and campaign
                               accounting
 POST      ``/shutdown``       graceful stop (the response is sent first)
@@ -82,6 +87,10 @@ class ServiceConfig:
     max_campaigns: int = 4
     #: Evaluator options applied to campaign jobs (None = defaults).
     bus: Optional[BusOptimisationOptions] = None
+    #: Run campaigns through the distributed fabric
+    #: (:mod:`repro.core.fabric`): each campaign directory becomes a
+    #: fabric that external ``repro work`` processes can join.
+    fabric: bool = False
 
 
 class AnalysisService:
@@ -90,7 +99,9 @@ class AnalysisService:
     def __init__(self, config: ServiceConfig):
         self.config = config
         self.pool = EvaluatorPool(max_entries=config.pool_entries)
-        self.store = CampaignStore(config.state_dir, bus=config.bus)
+        self.store = CampaignStore(
+            config.state_dir, bus=config.bus, fabric=config.fabric
+        )
         self._gate = threading.Lock()
         self.active = 0
         self.peak_active = 0
@@ -159,6 +170,11 @@ class AnalysisService:
     def campaign_snapshot(self, campaign_id: str) -> Tuple[int, Dict[str, Any]]:
         return 200, envelope("campaign_status", self.store.get(campaign_id))
 
+    def delete_campaign(self, campaign_id: str) -> Tuple[int, Dict[str, Any]]:
+        return 200, envelope(
+            "campaign_deleted", self.store.delete(campaign_id)
+        )
+
     def health(self) -> Tuple[int, Dict[str, Any]]:
         with self._gate:
             admission = {
@@ -199,8 +215,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _error(self, exc: ServiceError) -> None:
-        codes = {400: "bad-request", 404: "not-found", 422: "unprocessable",
-                 429: "over-capacity"}
+        codes = {400: "bad-request", 404: "not-found", 409: "conflict",
+                 422: "unprocessable", 429: "over-capacity"}
         code = codes.get(exc.status, "error")
         extra = {"Retry_After": "1"} if exc.status == 429 else {}
         self._reply(exc.status, error_to_dict(code, str(exc), exc.status), **extra)
@@ -243,6 +259,15 @@ class _Handler(BaseHTTPRequestHandler):
             self._dispatch(lambda: service.campaign_snapshot(campaign_id))
         else:
             self._error(ServiceError(f"no such endpoint GET {path}", 404))
+
+    def do_DELETE(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        service = self.server.service
+        path = self.path.rstrip("/")
+        if path.startswith("/campaigns/"):
+            campaign_id = path[len("/campaigns/"):]
+            self._dispatch(lambda: service.delete_campaign(campaign_id))
+        else:
+            self._error(ServiceError(f"no such endpoint DELETE {path}", 404))
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         service = self.server.service

@@ -27,17 +27,27 @@ Campaign ids are content-addressed
 (:attr:`~repro.service.protocol.CampaignRequest.campaign_id`), so
 re-submitting a spec -- to the same server or a restarted one -- joins
 the existing campaign instead of duplicating work.
+
+With ``fabric=True`` the store delegates execution to the distributed
+fabric (:mod:`repro.core.fabric`): each campaign directory additionally
+holds a fabric ``manifest.json`` (plus ``leases/``, ``journal/``...),
+the server process works the matrix as one ordinary fabric worker, and
+any number of external ``repro work <campaign dir>`` processes can
+join in; the published results land in the same ``checkpoints/``
+directory either way.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 import threading
 import time
 from typing import Any, Callable, Dict, Optional
 
 from repro.core.campaign import campaign_matrix, run_campaign
+from repro.core.fabric import fabric_collect, fabric_submit, fabric_work
 from repro.core.search import BusOptimisationOptions
 from repro.errors import ServiceError
 from repro.io.serialization import result_to_dict
@@ -82,11 +92,18 @@ class CampaignStore:
         state_dir: str,
         bus: Optional[BusOptimisationOptions] = None,
         on_done: Optional[Callable[[str], None]] = None,
+        fabric: bool = False,
     ):
         self.root = os.path.join(state_dir, "campaigns")
         os.makedirs(self.root, exist_ok=True)
         self.bus = bus
         self.on_done = on_done
+        #: With ``fabric`` each campaign directory doubles as a
+        #: distributed fabric (:mod:`repro.core.fabric`): the server
+        #: submits the matrix there and works it like any other worker,
+        #: so external ``repro work <campaign dir>`` processes can join
+        #: a running campaign and share its jobs.
+        self.fabric = fabric
         self._lock = threading.Lock()
         self._states: Dict[str, CampaignState] = {}
 
@@ -235,13 +252,38 @@ class CampaignStore:
                 }
 
         try:
-            jobs = campaign_matrix(request.systems, request.strategies, bus=self.bus)
-            report = run_campaign(
-                request.systems,
-                jobs,
-                checkpoint_dir=self._checkpoint_dir(state.campaign_id),
-                progress=progress,
-            )
+            if self.fabric:
+                # The campaign directory *is* the fabric: manifest next
+                # to spec.json, published results in the same
+                # checkpoints/ the non-fabric path uses.  This process
+                # is just one worker -- external `repro work` processes
+                # pointed at the directory share the matrix.
+                root = self._dir(state.campaign_id)
+                fabric_submit(
+                    root, request.systems, request.strategies, bus=self.bus
+                )
+                fabric_work(root)
+                report = fabric_collect(root)
+                with self._lock:
+                    for job_id, result in report.results.items():
+                        state.jobs[job_id] = {
+                            "resumed": False,
+                            "schedulable": result.schedulable,
+                            "cost": result.cost,
+                            "evaluations": result.evaluations,
+                            "trace_points": len(result.trace),
+                            "stop_reason": result.stop_reason,
+                        }
+            else:
+                jobs = campaign_matrix(
+                    request.systems, request.strategies, bus=self.bus
+                )
+                report = run_campaign(
+                    request.systems,
+                    jobs,
+                    checkpoint_dir=self._checkpoint_dir(state.campaign_id),
+                    progress=progress,
+                )
         except Exception as exc:  # noqa: BLE001 - surfaced to clients
             with self._lock:
                 state.status = "failed"
@@ -265,16 +307,23 @@ class CampaignStore:
             "quarantined": list(report.quarantined),
             "elapsed_seconds": report.elapsed_seconds,
         }
+        # Persist, then publish: the terminal report must be durable on
+        # disk *before* clients can observe "done" -- a client is
+        # allowed to DELETE a done campaign (rmtree of its directory),
+        # so flipping the status first would race this writer against
+        # the deleter's rmtree.
         with self._lock:
-            state.status = "done"
             state.report = report_doc
             terminal = state.snapshot()
+        terminal["status"] = "done"
         path = self._result_path(state.campaign_id)
         tmp = path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(terminal, fh, indent=2, sort_keys=True)
             fh.write("\n")
         os.replace(tmp, path)
+        with self._lock:
+            state.status = "done"
         if self.on_done is not None:
             self.on_done(state.campaign_id)
 
@@ -290,6 +339,39 @@ class CampaignStore:
                     f"unknown campaign {campaign_id!r}", status=404
                 )
             return state.snapshot()
+
+    def delete(self, campaign_id: str) -> Dict[str, Any]:
+        """Abandon a finished (or failed) campaign and erase its state.
+
+        404 for unknown ids; 409 while the campaign is running -- a
+        fabric-backed campaign may have external workers holding leases
+        inside the directory, and even an in-process matrix has a
+        daemon thread writing checkpoints there, so an in-flight
+        directory is never pulled out from under its writers.  After
+        deletion the content-addressed id is free again: re-submitting
+        the same spec recreates the campaign from scratch.
+        """
+        with self._lock:
+            state = self._states.get(campaign_id)
+            if state is None:
+                raise ServiceError(
+                    f"unknown campaign {campaign_id!r}", status=404
+                )
+            if state.status == "running":
+                raise ServiceError(
+                    f"campaign {campaign_id!r} is running"
+                    + (
+                        " (fabric-backed: external workers may hold "
+                        "leases in its directory)"
+                        if self.fabric
+                        else ""
+                    )
+                    + "; wait for it to finish before deleting",
+                    status=409,
+                )
+            del self._states[campaign_id]
+        shutil.rmtree(self._dir(campaign_id), ignore_errors=True)
+        return {"campaign": campaign_id, "deleted": True}
 
     def stats(self) -> Dict[str, Any]:
         """Aggregate counts for ``/health``."""

@@ -32,6 +32,16 @@ class ShardEntry:
     n_nodes: int
     index: int
 
+    @property
+    def system_id(self) -> str:
+        """The campaign system id of this entry (``n<nodes>_i<index>``).
+
+        Shared by the shard runner, the fabric-mode Fig. 9 coordinator
+        and the aggregator, so per-system results can be matched back
+        to suite coordinates however the sweep was executed.
+        """
+        return f"n{self.n_nodes}_i{self.index}"
+
 
 @dataclass(frozen=True)
 class ShardSpec:

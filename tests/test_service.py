@@ -481,6 +481,82 @@ class TestCampaignEndpoints:
             assert (status, again["created"]) == (200, False)
 
 
+class TestCampaignDelete:
+    def test_unknown_campaign_404s(self, tmp_path):
+        with _Service(tmp_path) as svc:
+            status, doc = _request(svc.port, "DELETE", "/campaigns/deadbeef")
+            assert status == 404
+            assert doc["error"]["code"] == "not-found"
+            # DELETE exists only for campaigns.
+            status, _ = _request(svc.port, "DELETE", "/analyse")
+            assert status == 404
+
+    def test_running_campaign_409s_then_deletes_when_done(self, tmp_path):
+        slow = ["bbc", {"name": "sa", "iterations": 12000, "seed": 11}]
+        with _Service(tmp_path, bus=small_bus()) as svc:
+            _, accepted = _post(
+                svc.port,
+                "/campaigns",
+                _campaign_body(systems={"dyn": fig4_system()}, strategies=slow),
+            )
+            campaign_id = accepted["campaign"]
+            status, doc = _request(
+                svc.port, "DELETE", f"/campaigns/{campaign_id}"
+            )
+            assert status == 409
+            assert doc["error"]["code"] == "conflict"
+
+            _poll_campaign(svc.port, campaign_id)
+            status, doc = _request(
+                svc.port, "DELETE", f"/campaigns/{campaign_id}"
+            )
+            assert status == 200
+            assert doc["kind"] == "campaign_deleted"
+            assert doc["campaign"] == campaign_id
+            assert doc["deleted"] is True
+            # Gone from the API and from disk...
+            status, _ = _get(svc.port, f"/campaigns/{campaign_id}")
+            assert status == 404
+            assert not (
+                tmp_path / "state" / "campaigns" / campaign_id
+            ).exists()
+            # ...so the content-addressed id is free to be recreated.
+            status, again = _post(
+                svc.port,
+                "/campaigns",
+                _campaign_body(systems={"dyn": fig4_system()}, strategies=slow),
+            )
+            assert (status, again["created"]) == (202, True)
+            assert again["campaign"] == campaign_id
+
+    def test_fabric_backed_campaign_guards_its_directory(self, tmp_path):
+        slow = ["bbc", {"name": "sa", "iterations": 12000, "seed": 11}]
+        with _Service(tmp_path, bus=small_bus(), fabric=True) as svc:
+            _, accepted = _post(
+                svc.port,
+                "/campaigns",
+                _campaign_body(systems={"dyn": fig4_system()}, strategies=slow),
+            )
+            campaign_id = accepted["campaign"]
+            status, doc = _request(
+                svc.port, "DELETE", f"/campaigns/{campaign_id}"
+            )
+            assert status == 409
+            assert "leases" in doc["error"]["message"]
+
+            done = _poll_campaign(svc.port, campaign_id)
+            # The campaign really ran through the fabric: its directory
+            # holds a manifest and the published checkpoints.
+            root = tmp_path / "state" / "campaigns" / campaign_id
+            assert (root / "manifest.json").exists()
+            assert done["jobs_done"] == 2
+            status, doc = _request(
+                svc.port, "DELETE", f"/campaigns/{campaign_id}"
+            )
+            assert (status, doc["deleted"]) == (200, True)
+            assert not root.exists()
+
+
 # ----------------------------------------------------------------------
 # the full round trip, against real server processes
 # (acceptance: kill mid-campaign -> restart -> resume, byte-identical)

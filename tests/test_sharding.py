@@ -1,6 +1,8 @@
 """Sharded benchmark partitioning (``repro.synth.sharding``)."""
 
+import hypothesis.strategies as st
 import pytest
+from hypothesis import given, settings
 
 from repro.errors import ValidationError
 from repro.synth import paper_suite, paper_system, shard_plan
@@ -38,6 +40,75 @@ class TestShardPlan:
             shard_plan((2, 3), count=2, num_shards=0)
         with pytest.raises(ValidationError):
             shard_plan((), count=2, num_shards=2)
+
+
+#: Suite parameter space for the property tests: node-count sets (with
+#: duplicates and arbitrary order, both of which the plan normalises),
+#: system counts and shard counts -- including num_shards > len(entries).
+plan_args = st.tuples(
+    st.lists(st.integers(2, 40), min_size=1, max_size=8),
+    st.integers(1, 30),
+    st.integers(1, 12),
+    st.integers(0, 10_000),
+)
+
+
+class TestShardPlanProperties:
+    """The contracts every worker and the aggregator rely on, over the
+    whole parameter space: the shards are an *exact partition* of the
+    suite (nothing lost, nothing duplicated), the partition is balanced
+    to within one system, and the plan is a pure function of the suite
+    identity -- invariant under reordering (or duplicating) the
+    node-count input."""
+
+    @given(plan_args)
+    @settings(max_examples=150, deadline=None)
+    def test_shards_partition_the_suite_exactly(self, args):
+        node_counts, count, num_shards, seed = args
+        plan = shard_plan(node_counts, count, num_shards, seed=seed)
+        assert len(plan) == num_shards
+        classes = sorted(set(node_counts))
+        expected = {(n, i) for n in classes for i in range(count)}
+        scattered = [
+            (e.n_nodes, e.index) for spec in plan for e in spec.entries
+        ]
+        assert len(scattered) == len(expected)  # no duplicates...
+        assert set(scattered) == expected  # ...and no losses
+        # Every entry knows which sweep it belongs to.
+        assert all(
+            spec.suite_key() == (tuple(classes), count, seed)
+            for spec in plan
+        )
+
+    @given(plan_args)
+    @settings(max_examples=150, deadline=None)
+    def test_shards_are_balanced_within_one(self, args):
+        node_counts, count, num_shards, seed = args
+        plan = shard_plan(node_counts, count, num_shards, seed=seed)
+        sizes = [len(spec.entries) for spec in plan]
+        assert max(sizes) - min(sizes) <= 1
+        # Round-robin also balances *classes*, not just totals: no
+        # shard holds more than ceil(count / num_shards) systems of any
+        # one node-count class (a contiguous split would concentrate
+        # the slowest class on the last shards).
+        cap = -(-count // num_shards)
+        for spec in plan:
+            per_class = {}
+            for entry in spec.entries:
+                per_class[entry.n_nodes] = per_class.get(entry.n_nodes, 0) + 1
+            assert all(v <= cap for v in per_class.values())
+
+    @given(plan_args, st.randoms(use_true_random=False))
+    @settings(max_examples=150, deadline=None)
+    def test_plan_is_invariant_under_input_reordering(self, args, rng):
+        node_counts, count, num_shards, seed = args
+        shuffled = list(node_counts) + rng.sample(
+            node_counts, k=min(3, len(node_counts))
+        )
+        rng.shuffle(shuffled)
+        assert shard_plan(
+            shuffled, count, num_shards, seed=seed
+        ) == shard_plan(node_counts, count, num_shards, seed=seed)
 
 
 class TestPaperSystemRegeneration:

@@ -39,6 +39,16 @@ candidate (see ``run_pure_dyn``).  The same scenario times the
 bit-identical to the Python oracle and >= 2x faster than the warm
 Python path.
 
+When the compiled ``repro._native`` extension is built, a
+``native_batch`` generation rides both scenarios
+(``AnalysisOptions(backend="native")``): on the pure-DYN sweep it must
+at least match the numpy kernels; on the **ST-heavy** Fig. 9 sweep --
+where every cycle length is a distinct schedule, so the grouped
+backends see singleton lanes and the array kernels' per-op dispatch is
+all overhead -- it must beat the warm Python path >= 2x (see
+``run_st_heavy_backends``).  Without the extension the native
+generation and its assertions are skipped with a note.
+
 Emits ``benchmarks/results/BENCH_incremental_analysis.json``.  The quick
 smoke mode (default) finishes in well under 30 s; set
 ``REPRO_BENCH_FULL=1`` for a paper-scale sweep.
@@ -61,6 +71,7 @@ from repro.analysis import (
     static_response_times,
     wrap_busy_intervals,
 )
+from repro.analysis.backend import native_or_none
 from repro.analysis.context import ancestor_sets
 from repro.core.bbc import basic_configuration
 from repro.core.cost import cost_function
@@ -1448,31 +1459,34 @@ def run_pure_dyn():
         warm_ctx_holder.append(ctx)
         return ctx.analyse
 
-    def _make_numpy_batch():
-        ctx = AnalysisContext(system, AnalysisOptions(backend="numpy"))
+    def _make_batch(backend):
+        def make():
+            ctx = AnalysisContext(system, AnalysisOptions(backend=backend))
 
-        def run(cfgs):
-            return ctx.analyse_batch(cfgs)
+            def run(cfgs):
+                return ctx.analyse_batch(cfgs)
 
-        run.batched = True
-        return run
+            run.batched = True
+            return run
+
+        return make
 
     # Eight interleaved rounds (up from the default six): the numpy
     # generation's asserted floor is a 2x ratio between two sub-100ms
     # sweeps, which needs a little more best-of convergence than the
     # few-percent pinned-reference ratios.
-    timed = _time_interleaved(
-        {
-            "pr3_warm": lambda: Pr3WarmReference(system).analyse,
-            "warm": _make_warm,
-            "numpy_batch": _make_numpy_batch,
-        },
-        configs,
-        repeats=8,
-    )
+    makes = {
+        "pr3_warm": lambda: Pr3WarmReference(system).analyse,
+        "warm": _make_warm,
+        "numpy_batch": _make_batch("numpy"),
+    }
+    if native_or_none() is not None:
+        makes["native_batch"] = _make_batch("native")
+    timed = _time_interleaved(makes, configs, repeats=8)
     pr3_s, pr3_results = timed["pr3_warm"]
     warm_s, warm_results = timed["warm"]
     numpy_s, numpy_results = timed["numpy_batch"]
+    native_s, native_results = timed.get("native_batch", (None, None))
 
     # Correctness: the dominance path against the dominance-off oracle,
     # and the "verify" cross-checks (dominance and backend) counting
@@ -1494,11 +1508,13 @@ def run_pure_dyn():
             "pr3_warm": pr3_s,
             "warm": warm_s,
             "numpy_batch": numpy_s,
+            "native_batch": native_s,
         },
         "results": {
             "pr3_warm": pr3_results,
             "warm": warm_results,
             "numpy_batch": numpy_results,
+            "native_batch": native_results,
             "off": off_results,
         },
         "divergences": verify_ctx.dominance_divergences,
@@ -1668,7 +1684,15 @@ def test_incremental_analysis_identical_and_fast():
     pd_pr3_s = pure_dyn["seconds"]["pr3_warm"]
     pd_warm_s = pure_dyn["seconds"]["warm"]
     pd_numpy_s = pure_dyn["seconds"]["numpy_batch"]
+    pd_native_s = pure_dyn["seconds"]["native_batch"]
     pd_maximal, pd_dominated = pure_dyn["dominance_stats"]
+    have_native = native_or_none() is not None
+    if have_native:
+        st_heavy = run_st_heavy_backends()
+        sh_n = len(st_heavy["configs"])
+        sh_warm_s = st_heavy["seconds"]["warm"]
+        sh_numpy_s = st_heavy["seconds"]["numpy_batch"]
+        sh_native_s = st_heavy["seconds"]["native_batch"]
     payload = {
         "workload": {
             "sweep_points": n,
@@ -1714,14 +1738,39 @@ def test_incremental_analysis_identical_and_fast():
                 "pr3_warm": round(pd_pr3_s, 4),
                 "warm_context": round(pd_warm_s, 4),
                 "numpy_batch": round(pd_numpy_s, 4),
+                "native_batch": (
+                    round(pd_native_s, 4) if have_native else None
+                ),
             },
             "warm_vs_pr3_warm": round(pd_pr3_s / pd_warm_s, 2),
             "numpy_batch_vs_warm": round(pd_warm_s / pd_numpy_s, 2),
+            "native_batch_vs_warm": (
+                round(pd_warm_s / pd_native_s, 2) if have_native else None
+            ),
+            "native_batch_vs_numpy": (
+                round(pd_numpy_s / pd_native_s, 2) if have_native else None
+            ),
             "dominated_instants": pd_dominated,
             "maximal_instants": pd_maximal,
             "dominance_verify_divergences": pure_dyn["divergences"],
             "backend_verify_divergences": pure_dyn["backend_divergences"],
         },
+        # The native backend's headline shape: singleton-lane groups on
+        # the ST-heavy sweep (every cycle length a distinct schedule).
+        "st_heavy_backends": (
+            {
+                "sweep_points": sh_n,
+                "seconds": {
+                    "warm_context": round(sh_warm_s, 4),
+                    "numpy_batch": round(sh_numpy_s, 4),
+                    "native_batch": round(sh_native_s, 4),
+                },
+                "numpy_batch_vs_warm": round(sh_warm_s / sh_numpy_s, 2),
+                "native_batch_vs_warm": round(sh_warm_s / sh_native_s, 2),
+            }
+            if have_native
+            else None
+        ),
     }
     report_json("BENCH_incremental_analysis", payload)
     report(
@@ -1762,7 +1811,18 @@ def test_incremental_analysis_identical_and_fast():
             f"numpy batched backend on the pure-DYN sweep: "
             f"{pd_warm_s / pd_numpy_s:.2f}x vs the warm Python path "
             "(one vectorized fix point, all candidates in lockstep)",
-        ],
+        ]
+        + (
+            [
+                f"native compiled backend: {pd_warm_s / pd_native_s:.2f}x "
+                f"vs warm Python on the pure-DYN sweep "
+                f"({pd_numpy_s / pd_native_s:.2f}x vs numpy); "
+                f"{sh_warm_s / sh_native_s:.2f}x vs warm Python on the "
+                f"ST-heavy singleton-lane sweep ({sh_n} points)",
+            ]
+            if have_native
+            else ["native compiled backend: repro._native not built, skipped"]
+        ),
     )
 
     # The headline claim: a warm context beats the seed behaviour >= 3x.
@@ -1845,6 +1905,103 @@ def test_array_backend_identical_and_fast():
     )
 
 
+def run_st_heavy_backends():
+    """Time warm Python vs the batched backends on the ST-heavy sweep.
+
+    The Fig. 9 OBC/EE sweep sends 11 ST messages, so every cycle length
+    is a distinct schedule key: the grouped backends see **singleton
+    lanes**, the shape where the array kernels' per-op dispatch is pure
+    overhead while the compiled backend still runs each lane's whole
+    holistic fix point in C.  Cached across test functions.
+    """
+    if "st_heavy" in _cache:
+        return _cache["st_heavy"]
+    system, options, configs = _sweep_configs()
+
+    # Same untimed warm-up rationale as ``run_modes``.
+    warmup = AnalysisContext(system)
+    for c in configs:
+        warmup.analyse(c)
+
+    def _make_batch(backend):
+        def make():
+            ctx = AnalysisContext(system, AnalysisOptions(backend=backend))
+
+            def run(cfgs):
+                return ctx.analyse_batch(cfgs)
+
+            run.batched = True
+            return run
+
+        return make
+
+    makes = {
+        "warm": lambda: AnalysisContext(system).analyse,
+        "numpy_batch": _make_batch("numpy"),
+    }
+    if native_or_none() is not None:
+        makes["native_batch"] = _make_batch("native")
+    timed = _time_interleaved(makes, configs, repeats=8)
+    out = {
+        "system": system,
+        "configs": configs,
+        "seconds": {key: timed[key][0] for key in makes},
+        "results": {key: timed[key][1] for key in makes},
+    }
+    _cache["st_heavy"] = out
+    return out
+
+
+def test_native_backend_identical_and_fast():
+    """The compiled backend's claims: bit identity on both sweep shapes,
+    >= 2x over the warm Python path on the ST-heavy singleton-lane
+    sweep, and at least parity with the numpy kernels on the wide
+    pure-DYN batch (where lockstep vectorization is at its best)."""
+    if native_or_none() is None:
+        print(
+            "bench_incremental_analysis: repro._native not built; "
+            "native backend claims skipped"
+        )
+        return
+    st_heavy = run_st_heavy_backends()
+    warm_sigs = [_signature(r) for r in st_heavy["results"]["warm"]]
+    for mode in ("numpy_batch", "native_batch"):
+        sigs = [_signature(r) for r in st_heavy["results"][mode]]
+        assert sigs == warm_sigs, (
+            f"{mode} diverged from the warm Python path on the ST-heavy sweep"
+        )
+
+    pure_dyn = run_pure_dyn()
+    off_sigs = [_signature(r) for r in pure_dyn["results"]["off"]]
+    native_results = pure_dyn["results"]["native_batch"]
+    assert [_signature(r) for r in native_results] == off_sigs, (
+        "native backend diverged from the Python oracle"
+    )
+    for py_r, nat_r in zip(pure_dyn["results"]["warm"], native_results):
+        assert py_r.wcrt == nat_r.wcrt, "wcrt values diverged"
+        assert list(py_r.wcrt) == list(nat_r.wcrt), (
+            "wcrt insertion order diverged"
+        )
+        assert py_r.cost == nat_r.cost, "cost breakdowns diverged"
+    assert pure_dyn["backend_divergences"] == 0, (
+        "backend='verify' caught divergences with the native backend in "
+        "the loop"
+    )
+
+    st_warm_s = st_heavy["seconds"]["warm"]
+    st_native_s = st_heavy["seconds"]["native_batch"]
+    assert st_warm_s / st_native_s >= 2.0, (
+        f"native backend only {st_warm_s / st_native_s:.2f}x faster than "
+        "the warm Python path on the ST-heavy singleton-lane sweep"
+    )
+    pd_numpy_s = pure_dyn["seconds"]["numpy_batch"]
+    pd_native_s = pure_dyn["seconds"]["native_batch"]
+    assert pd_numpy_s / pd_native_s >= 1.0, (
+        f"native backend fell behind the numpy kernels on the pure-DYN "
+        f"sweep ({pd_numpy_s / pd_native_s:.2f}x)"
+    )
+
+
 def test_optimisers_identical_serial_vs_parallel():
     """Fixed-seed optimiser outcomes are byte-identical with the pool on."""
     import dataclasses
@@ -1898,5 +2055,6 @@ if __name__ == "__main__":
     test_incremental_analysis_identical_and_fast()
     test_dominance_amortises_on_pure_dyn_sweep()
     test_array_backend_identical_and_fast()
+    test_native_backend_identical_and_fast()
     test_optimisers_identical_serial_vs_parallel()
     print("bench_incremental_analysis: all checks passed")

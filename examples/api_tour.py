@@ -11,8 +11,9 @@ guarantees:
 2. repeated analysis -- ``repro.analysis.AnalysisContext`` (the
    incremental engine: bit-identical to one-off, just faster);
 3. backends -- ``AnalysisOptions.backend`` (the batched numpy array
-   engine, bit-identical to the Python oracle, behind the
-   ``repro[numpy]`` extra);
+   engine behind the ``repro[numpy]`` extra and the compiled native
+   engine behind ``repro[native]``, both bit-identical to the Python
+   oracle);
 4. optimisation -- the strategy registry (``repro.core.optimise``
    dispatches any registered strategy by name) on the unified search
    runtime, serial or parallel, chunked or not, always byte-identical
@@ -108,16 +109,22 @@ True
 fix-point engine: ``"python"`` (default), ``"numpy"`` -- the batched
 array backend, which lowers the system's invariants into packed int64
 arrays once and advances a whole batch of busy-window fix points in
-lockstep via ``AnalysisContext.analyse_batch`` -- or ``"verify"``,
-which runs both and counts divergences (contractually zero).  Results
-are bit-identical across backends; numpy is the optional
-``repro[numpy]`` extra, so this snippet degrades to the Python backend
-when it is absent:
+lockstep via ``AnalysisContext.analyse_batch`` -- ``"native"`` -- the
+compiled backend, same lowering but with each lane's entire fix point
+running inside the ``repro._native`` C extension -- or ``"verify"``,
+which runs the oracle plus every available accelerated backend and
+counts divergences (contractually zero).  Results are bit-identical
+across backends; numpy is the optional ``repro[numpy]`` extra and the
+extension the ``repro[native]`` extra, so this snippet climbs to the
+best rung actually installed and degrades to the Python backend when
+neither is:
 
 >>> AnalysisOptions().backend
 'python'
->>> from repro.analysis.backend import numpy_or_none
->>> backend = "numpy" if numpy_or_none() is not None else "python"
+>>> from repro.analysis.backend import native_or_none, numpy_or_none
+>>> have_numpy = numpy_or_none() is not None
+>>> have_native = have_numpy and native_or_none() is not None
+>>> backend = "native" if have_native else "numpy" if have_numpy else "python"
 >>> batched = AnalysisContext(system, AnalysisOptions(backend=backend))
 >>> [r.wcrt for r in batched.analyse_batch(sweep)] == [
 ...     warm.analyse(c).wcrt for c in sweep

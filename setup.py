@@ -1,14 +1,23 @@
 """Packaging metadata (kept in ``setup.py`` -- no pyproject in this repo).
 
-The library itself is pure Python; the vectorized analysis backend
-(``AnalysisOptions.backend="numpy"``) needs numpy, which is deliberately
-an *optional* extra: ``pip install repro[numpy]``.  Without it the
-package imports and analyses normally on the Python backend, and
-selecting the numpy backend raises a ``RuntimeError`` naming the extra
-(see :func:`repro.analysis.backend.require_numpy`).
+The library itself is pure Python; the accelerated analysis backends
+are deliberately *optional* extras:
+
+* ``pip install repro[numpy]`` -- the vectorized array backend
+  (``AnalysisOptions.backend="numpy"``);
+* ``pip install repro[native]`` -- the compiled fix-point kernels
+  (``AnalysisOptions.backend="native"``), built from
+  ``src/repro/_native/nativemodule.c`` when a C toolchain is present.
+
+The extension is marked ``optional``: on a machine without a C
+compiler the build degrades gracefully -- the wheel installs without
+``repro._native``, the package imports and analyses normally on the
+Python backend, native tests skip, and selecting an unavailable backend
+raises an actionable ``RuntimeError`` naming its extra (see
+:mod:`repro.analysis.backend`).
 """
 
-from setuptools import find_packages, setup
+from setuptools import Extension, find_packages, setup
 
 setup(
     name="repro",
@@ -27,8 +36,18 @@ setup(
         # repro.cli:main (tested by tests/test_cli.py).
         "console_scripts": ["repro=repro.cli:main"],
     },
+    ext_modules=[
+        Extension(
+            "repro._native",
+            sources=["src/repro/_native/nativemodule.c"],
+            optional=True,  # no toolchain -> no extension, never a failure
+        ),
+    ],
     extras_require={
         # The batched array backend (AnalysisOptions.backend="numpy").
         "numpy": ["numpy>=1.22"],
+        # The compiled kernel backend (AnalysisOptions.backend="native");
+        # its dispatch shim stages plans and result buffers via numpy.
+        "native": ["numpy>=1.22"],
     },
 )

@@ -1,4 +1,4 @@
-"""Vectorized numpy kernel backend (``AnalysisOptions.backend``).
+"""Accelerated kernel backends (``AnalysisOptions.backend``).
 
 The holistic pipeline spends nearly all of its time in pure integer
 arithmetic -- FPS/DYN busy-window fix points over precomputed prefix
@@ -6,10 +6,19 @@ sums -- executed as per-candidate Python loops.  This package lowers the
 per-system invariants already computed by
 :class:`~repro.analysis.context.AnalysisContext` (interferer rows,
 ``NodeAvailability`` gap/slack prefix sums, ``InstantTables``, DYN fill
-rows) into packed int64 numpy arrays once per (schedule, frame
-structure) group, then advances the busy-window fix points of a whole
-candidate batch in lockstep under convergence masks
-(:func:`repro.analysis.backend.kernels.run_group`).
+rows) into packed int64 plans once per (schedule, frame structure)
+group (:mod:`repro.analysis.backend.arrays`), then advances the
+busy-window fix points of a whole candidate batch on one of two
+engines:
+
+* ``"numpy"`` -- lockstep vectorized evaluation under convergence masks
+  (:func:`repro.analysis.backend.kernels.run_group`);
+* ``"native"`` -- a compiled C extension (``repro._native``) running
+  each lane's full holistic fix point in tight scalar C loops with no
+  per-step dispatch at all
+  (:func:`repro.analysis.backend.native.run_group_native`) -- which is
+  also why it wins on the singleton-lane groups of ST-heavy sweeps
+  where the array kernels' per-op dispatch dominates.
 
 The contract is the repo's established one: results are bit-identical
 to the pure-Python oracle.  The ingredients:
@@ -20,31 +29,43 @@ to the pure-Python oracle.  The ingredients:
   intermediate could leave int64 is evaluated on the Python kernels
   instead (:data:`~repro.analysis.backend.arrays.OVERFLOW_LIMIT`);
 * the certified warm-start seeds and the per-instant pruning bound are
-  carried over as array state and array predicates, and both are
-  result-neutral by the repo's certification arguments (seeds below the
-  least fixed point converge to exactly it; uncertified seeds trigger
-  the same cold-replay detection as the Python path);
+  carried over as backend state, and both are result-neutral by the
+  repo's certification arguments (seeds below the least fixed point
+  converge to exactly it; uncertified seeds trigger the same
+  cold-replay detection as the Python path);
 * oracle/debug modes (``warm_start != "certified"``,
   ``dominance="verify"``, ``dyn_fill_strategy="exact"``) fall back to
   the Python path entirely -- their whole point is exercising the
   reference semantics.
 
-numpy is an *optional* dependency (the ``repro[numpy]`` extra).  The
-library imports it lazily through :func:`numpy_or_none`, and
-:func:`require_numpy` turns its absence into an actionable error at
-context construction instead of a deep ImportError mid-analysis.
+Both accelerators are *optional* dependencies (the ``repro[numpy]`` and
+``repro[native]`` extras).  The library imports them lazily through
+:func:`numpy_or_none` / :func:`native_or_none`, and :func:`require_backend`
+turns their absence into an actionable error at context construction
+instead of a deep ImportError mid-analysis.  :data:`BACKEND_REGISTRY`
+is the single source of truth for the legal ``AnalysisOptions.backend``
+values -- the CLI ``--backend`` choices and the context's validation
+error both derive from it.
 """
 
 from __future__ import annotations
-
-#: Legal values of ``AnalysisOptions.backend`` (re-exported for callers
-#: that do not want to import :mod:`repro.analysis.holistic`).
-BACKEND_MODES = ("python", "numpy", "verify")
 
 try:  # pragma: no cover - trivially one of the two branches per env
     import numpy as _numpy
 except ImportError:  # pragma: no cover
     _numpy = None
+
+try:  # pragma: no cover - one branch per build environment
+    from repro import _native as _native_module
+except ImportError:  # pragma: no cover
+    _native_module = None
+else:  # pragma: no cover
+    # ``src/repro/_native/`` (the C source directory) is importable as
+    # an attribute-less PEP 420 namespace package even when the compiled
+    # module was never built; only a module exposing the kernel entry
+    # points counts as the extension being installed.
+    if not hasattr(_native_module, "run_batch"):
+        _native_module = None
 
 
 def numpy_or_none():
@@ -55,6 +76,16 @@ def numpy_or_none():
     ``repro.analysis.backend._numpy`` to ``None``.
     """
     return _numpy
+
+
+def native_or_none():
+    """The compiled ``repro._native`` module, or ``None`` when absent.
+
+    Same pattern as :func:`numpy_or_none`: tests simulate a build
+    without the extension by monkeypatching
+    ``repro.analysis.backend._native_module`` to ``None``.
+    """
+    return _native_module
 
 
 def require_numpy():
@@ -73,3 +104,97 @@ def require_numpy():
             "'pip install repro[numpy]' (or choose backend=\"python\")."
         )
     return np
+
+
+def require_native():
+    """Return ``repro._native`` or raise an actionable :class:`RuntimeError`.
+
+    The native backend needs two things: the compiled extension (built
+    by ``pip install repro[native]`` when a C toolchain is present) and
+    numpy (the shim stages plan blobs and result buffers as int64
+    arrays; the extra depends on it).  Either absence fails eagerly, at
+    context construction.
+    """
+    native = native_or_none()
+    if native is None:
+        raise RuntimeError(
+            'AnalysisOptions.backend="native" requires the compiled '
+            "repro._native extension, which is built by the optional "
+            "'pip install repro[native]' extra (a C toolchain is needed "
+            'at install time); without it choose backend="numpy" or '
+            'backend="python".'
+        )
+    require_numpy()
+    return native
+
+
+def _always_available():
+    return True
+
+
+def _numpy_available():
+    return numpy_or_none() is not None
+
+
+def _native_available():
+    return native_or_none() is not None and numpy_or_none() is not None
+
+
+#: The single source of truth for ``AnalysisOptions.backend``: mode ->
+#: (one-line description, availability probe, eager requirement check).
+#: The CLI ``--backend`` choices, the context validation error and the
+#: docs' backend ladder all derive from this mapping -- a new backend
+#: appears exactly once, here.
+BACKEND_REGISTRY = {
+    "python": {
+        "description": "pure-Python scalar oracle (always available)",
+        "available": _always_available,
+        "require": lambda: None,
+    },
+    "numpy": {
+        "description": "batched lockstep array kernels (repro[numpy] extra)",
+        "available": _numpy_available,
+        "require": require_numpy,
+    },
+    "native": {
+        "description": "compiled C fix-point kernels (repro[native] extra)",
+        "available": _native_available,
+        "require": require_native,
+    },
+    "verify": {
+        "description": (
+            "run the Python oracle plus every available accelerated "
+            "backend and count divergences"
+        ),
+        "available": _numpy_available,
+        "require": require_numpy,
+    },
+}
+
+#: Legal values of ``AnalysisOptions.backend``, in registry order
+#: (re-exported by :mod:`repro.analysis.holistic`).
+BACKEND_MODES = tuple(BACKEND_REGISTRY)
+
+
+def describe_backends() -> str:
+    """One-line availability summary of every registered backend.
+
+    Used by the context's unknown-backend error and the CLI ``--backend``
+    help text, so both always list exactly the registry.
+    """
+    parts = []
+    for name, spec in BACKEND_REGISTRY.items():
+        state = "available" if spec["available"]() else "not installed"
+        parts.append(f'"{name}" ({spec["description"]}; {state})')
+    return ", ".join(parts)
+
+
+def require_backend(backend: str):
+    """Eagerly check that *backend* is usable; raise otherwise.
+
+    ``KeyError``-free: unknown names are the caller's
+    :class:`~repro.errors.ConfigurationError` (validated against
+    :data:`BACKEND_MODES` first); known-but-uninstalled backends raise
+    the registry's actionable :class:`RuntimeError`.
+    """
+    BACKEND_REGISTRY[backend]["require"]()

@@ -15,8 +15,18 @@ cheap and resolved per batch by
 
 A pure-DYN sweep is one group end to end (every candidate shares the
 schedule and the FrameID assignment), which is exactly the workload the
-batched kernels are built for; an ST-heavy sweep degenerates to
-singleton groups and wins nothing -- but stays bit-identical.
+batched kernels are built for.  An ST-heavy sweep degenerates to
+*singleton* groups -- a fresh group per cycle length -- so the lowering
+itself becomes the hot path.  Everything in an activity plan is in fact
+invariant under the **structure key alone** (interferer rows, FrameIDs,
+transmission times, dependency maps: none of it reads the schedule);
+only the availability staircase tables and the static response times
+vary with the schedule key.  :class:`StructureTemplate` therefore
+caches the whole activity lowering once per structure key (plus the
+static-name order, defensively), and :class:`GroupPlan` construction
+collapses to binding availability patterns and filling ``w0`` -- which
+is what lets the compiled backend beat the warm Python path even on
+singleton-lane sweeps.
 """
 
 from __future__ import annotations
@@ -107,6 +117,7 @@ class DynActPlan:
         "lower_slots", "dyn_index", "dep_rows", "frame_id", "largest",
         "n_hp", "all_p", "all_anc", "all_jrow", "lf_adj", "weights",
         "all_pm1", "p_max", "has_anc", "hp_rows_py", "lf_rows_py",
+        "max_adjusted",
     )
 
     def __init__(self, np, name, pos, row, sender_row, view, name_idx,
@@ -138,6 +149,12 @@ class DynActPlan:
         lf = [r for r in view.lf_info if r[3] > 0]
         rows = list(hp) + lf
         self.n_hp = len(hp)
+        # The k-error per-error cycle cost depends on the largest lf
+        # adjusted size (``_dyn_views``: max over *all* lf rows, default
+        # 0 -- but ``per_error`` is 1 whenever that max is <= 0, so the
+        # exact Python value is preserved even though rows with
+        # adjusted <= 0 are dropped from the packed matrices below).
+        self.max_adjusted = max((r[3] for r in view.lf_info), default=0)
         self.all_p = np.asarray(
             [r[1] for r in rows], dtype=np.int64
         ).reshape(-1, 1)
@@ -173,13 +190,15 @@ class DynActPlan:
         )
 
     def overflow_safe(self, cap_max, jitter_bound, gd_max, sigma_max,
-                      st_bus_max, lam_max, ms_len) -> bool:
+                      st_bus_max, lam_max, ms_len, extra_max=0) -> bool:
         """Prebound every int64 intermediate in unbounded Python ints.
 
         The window ``t`` never exceeds the cap (capped trajectories
         return before advancing) and every jitter is bounded by
         ``jitter_bound``, so per-row activation counts are bounded by
         ``ceil((cap + J) / period)``; the rest follows Eq. (3) termwise.
+        ``extra_max`` bounds the constant k-error ``extra_cycles`` term
+        charged per round (0 without a fault hypothesis).
         """
         s_max = cap_max + jitter_bound
         hp_max = sum(_ceil_div(s_max, p) for p, _ in self.hp_rows_py)
@@ -188,7 +207,7 @@ class DynActPlan:
         )
         w_max = (
             sigma_max
-            + (hp_max + lf_max) * gd_max
+            + (hp_max + lf_max + extra_max) * gd_max
             + st_bus_max
             + (self.lower_slots + lf_max + lam_max) * ms_len
         )
@@ -200,17 +219,28 @@ class DynActPlan:
 
 
 class FpsActPlan:
-    """Group-invariant lowering of one FPS task's busy-window maximisation."""
+    """Structure-invariant lowering of one FPS task's busy-window
+    maximisation.  Template instances (built once per structure key)
+    leave the schedule-dependent slots unset; :meth:`bind` attaches a
+    concrete availability pattern for one group."""
 
     __slots__ = (
         "name", "kind", "pos", "row", "pred_rows", "release", "wcet",
-        "own_sensitive", "plan", "availability", "av", "stair",
+        "own_sensitive", "plan", "node", "availability", "av", "stair",
         "r_p", "r_c", "r_anc", "r_jrow", "r_p_col", "r_pm1_col", "p_max",
         "has_anc", "rows_py", "dep_rows",
     )
 
-    def __init__(self, np, name, pos, row, pred_rows, plan, availability,
-                 name_idx):
+    #: Slots copied verbatim by :meth:`bind` (everything except the
+    #: availability-dependent triple set by the bind itself).
+    _SHARED_SLOTS = (
+        "name", "kind", "pos", "row", "pred_rows", "release", "wcet",
+        "own_sensitive", "plan", "node",
+        "r_p", "r_c", "r_anc", "r_jrow", "r_p_col", "r_pm1_col", "p_max",
+        "has_anc", "rows_py", "dep_rows",
+    )
+
+    def __init__(self, np, name, pos, row, pred_rows, plan, node, name_idx):
         self.name = name
         self.kind = "fps"
         self.pos = pos
@@ -220,12 +250,7 @@ class FpsActPlan:
         self.wcet = plan.wcet
         self.own_sensitive = plan.own_sensitive
         self.plan = plan
-        self.availability = availability
-        self.av = availability_arrays(availability)
-        # The vectorized staircase kernel mirrors the Python fast path,
-        # whose guard is ``gap_ends is not None and slack > 0 and
-        # wcet > 0``; everything else runs the per-lane Python fallback.
-        self.stair = self.av.stair and plan.wcet > 0
+        self.node = node
         info = plan.interferers
         self.r_p = np.asarray([r[1] for r in info], dtype=np.int64)
         self.r_c = np.asarray([r[3] for r in info], dtype=np.int64)
@@ -242,6 +267,23 @@ class FpsActPlan:
         self.has_anc = bool(any(r[2] for r in info))
         self.rows_py = tuple((int(r[1]), int(r[3])) for r in info)
         self.dep_rows = None
+
+    def bind(self, availability) -> "FpsActPlan":
+        """A shallow copy bound to one group's availability pattern.
+
+        The packed interferer arrays are shared (never mutated at run
+        time); only the availability triple is per group.  The
+        vectorized staircase kernel mirrors the Python fast path, whose
+        guard is ``gap_ends is not None and slack > 0 and wcet > 0``;
+        everything else runs the per-lane Python fallback.
+        """
+        bound = object.__new__(FpsActPlan)
+        for slot in self._SHARED_SLOTS:
+            setattr(bound, slot, getattr(self, slot))
+        bound.availability = availability
+        bound.av = availability_arrays(availability)
+        bound.stair = bound.av.stair and bound.wcet > 0
+        return bound
 
     def overflow_safe(self, cap_max, jitter_bound) -> bool:
         """Prebound the staircase and demand arithmetic in Python ints."""
@@ -261,26 +303,28 @@ class FpsActPlan:
         )
 
 
-class GroupPlan:
-    """All group-invariant state of one batched fix point.
+class StructureTemplate:
+    """The structure-key-invariant share of a :class:`GroupPlan`.
 
-    Built once per (schedule key, DYN structure key) and cached on the
-    context; see the module docstring for what varies per lane.
+    Everything lowered here reads only tier-(a)/(c) invariants (system
+    structure, FrameID assignment, bus-speed parameters) plus the
+    static-name *order* (part of the cache key, defensively) -- never
+    the schedule itself.  Cached once per structure key on the context
+    (``_structure_template``), so an ST-heavy sweep's singleton groups
+    pay the activity lowering exactly once instead of once per cycle
+    length.
     """
 
     __slots__ = (
-        "names", "name_idx", "w0", "static_wcrt", "static_max",
-        "release_max", "activities", "n_rows", "availability",
-        "wcrt_names", "wcrt_rows", "cost_rows", "deadlines",
-        "deadline_abs_max",
+        "names", "name_idx", "n_rows", "activities", "wcrt_names",
+        "wcrt_rows", "cost_rows", "deadlines", "deadline_abs_max",
+        "fault_rows", "release_max", "native_acts",
     )
 
     def __init__(self, ctx, config):
         np = numpy_or_none()
         arts = ctx._schedule_artifacts(config)
         views = ctx._dyn_views(config)
-        self.static_wcrt = arts.static_wcrt
-        self.availability = arts.availability
 
         # --- activity/name index ------------------------------------
         # Rows: static activities first (read-only), then DYN messages
@@ -300,7 +344,7 @@ class GroupPlan:
             return i
 
         fps_items = [
-            (plan, arts.availability[node])
+            (plan, node)
             for node in ctx.system.nodes
             for plan in ctx.fps_plans[node]
         ]
@@ -332,7 +376,7 @@ class GroupPlan:
                     largest_of_sender[view.name],
                 )
             )
-        for plan, availability in fps_items:
+        for plan, node in fps_items:
             activities.append(
                 FpsActPlan(
                     np,
@@ -341,7 +385,7 @@ class GroupPlan:
                     name_idx[plan.name],
                     tuple(name_idx[p] for p in plan.predecessors),
                     plan,
-                    availability,
+                    node,
                     name_idx,
                 )
             )
@@ -388,11 +432,75 @@ class GroupPlan:
             self.cost_rows = None
             self.deadlines = None
             self.deadline_abs_max = 0
-        w0 = np.zeros(len(names), dtype=np.int64)
+        self.release_max = max(
+            (a.release for a in activities if a.kind == "fps"), default=0
+        )
+        # Static rows the k-error hypothesis inflates (``_fix_point``'s
+        # ``_fault_static_names & wcrt`` intersection as row indices --
+        # the bumps are independent per row, so iteration order is
+        # irrelevant).  Lowered unconditionally: the rows are a group
+        # invariant whether or not the batch carries a hypothesis.
+        self.fault_rows = np.asarray(
+            [
+                name_idx[n]
+                for n in arts.static_wcrt
+                if n in ctx._fault_static_names
+            ],
+            dtype=np.int64,
+        )
+        #: Lazily built per-activity section of the compiled backend's
+        #: plan blob (structure-invariant, see
+        #: ``repro.analysis.backend.native.plan_blob``); ``None`` until
+        #: the first ``backend="native"`` group serializes it.
+        self.native_acts = None
+
+
+class GroupPlan:
+    """All group-invariant state of one batched fix point.
+
+    Built once per (schedule key, DYN structure key) and cached on the
+    context.  Construction is deliberately thin: the activity lowering
+    comes from the shared :class:`StructureTemplate` (FPS activities
+    bound to this group's availability patterns, DYN activities shared
+    outright -- they carry no schedule-dependent state); only ``w0``
+    and the availability bindings are built here.
+    """
+
+    __slots__ = (
+        "template", "names", "name_idx", "w0", "static_wcrt",
+        "static_max", "release_max", "activities", "n_rows",
+        "availability", "wcrt_names", "wcrt_rows", "cost_rows",
+        "deadlines", "deadline_abs_max", "fault_rows", "native_state",
+    )
+
+    def __init__(self, ctx, config):
+        np = numpy_or_none()
+        arts = ctx._schedule_artifacts(config)
+        template = ctx._structure_template(config, tuple(arts.static_wcrt))
+        self.template = template
+        self.names = template.names
+        self.name_idx = template.name_idx
+        self.n_rows = template.n_rows
+        self.wcrt_names = template.wcrt_names
+        self.wcrt_rows = template.wcrt_rows
+        self.cost_rows = template.cost_rows
+        self.deadlines = template.deadlines
+        self.deadline_abs_max = template.deadline_abs_max
+        self.fault_rows = template.fault_rows
+        self.release_max = template.release_max
+        self.static_wcrt = arts.static_wcrt
+        self.availability = arts.availability
+        self.activities = [
+            act if act.kind == "dyn" else act.bind(arts.availability[act.node])
+            for act in template.activities
+        ]
+        w0 = np.zeros(self.n_rows, dtype=np.int64)
+        name_idx = template.name_idx
         for name, value in arts.static_wcrt.items():
             w0[name_idx[name]] = value
         self.w0 = w0
         self.static_max = max(arts.static_wcrt.values(), default=0)
-        self.release_max = max(
-            (a.release for a in activities if a.kind == "fps"), default=0
-        )
+        #: Lazily built state of the compiled backend (the parsed plan
+        #: capsule plus its structural safety flags); ``None`` until the
+        #: first ``backend="native"`` batch touches this group.
+        self.native_state = None

@@ -119,6 +119,14 @@ class _GroupRun:
         # Response times (rows = activity names incl. the static,
         # read-only ones) and release jitters, one column per lane.
         self.W = np.repeat(plan.w0[:, None], L, axis=1)
+        # k-error hypothesis, static side: the ``_fix_point`` bump
+        # (``min(static + k * gd_cycle, cap)`` per fault-exposed static
+        # row), vectorized over lanes before the first pass reads W.
+        fault_k = ctx._fault_k
+        if fault_k and plan.fault_rows.size:
+            rows = plan.fault_rows
+            inflated = self.W[rows] + fault_k * gd_cycle[None, :]
+            self.W[rows] = np.minimum(inflated, self.caps[None, :])
         self.J = np.zeros((plan.n_rows, L), dtype=i8)
         # The Python fix point's exact-change-tracking memo, per lane:
         # interferer dirty flags, last own jitter / last output of each
@@ -157,19 +165,41 @@ class _GroupRun:
                 lam = n_ms - largest
                 theta = lam - f + 2
                 sigma = gd_cycle - st_bus - (f - 1) * ms_len
+                sendable = (f + largest - 1) <= n_ms
+                base = sigma + st_bus
+                extra_max = 0
+                if fault_k:
+                    # The k-error extra-cycles term of ``_dyn_views``,
+                    # vectorized: ``k * (2 + max_adjusted // theta)``
+                    # per lane (1 per error when no lf row survives).
+                    # ``extra`` enters Eq. (3) only as the constant
+                    # ``extra * gd_cycle`` summand, so it folds into the
+                    # hoisted base term exactly.  theta can be <= 0 only
+                    # on non-sendable lanes, which the where() zeroes --
+                    # the max(theta, 1) guard just keeps the vector
+                    # division defined there.
+                    m_adj = act.max_adjusted
+                    if m_adj <= 0:
+                        per_error = fault_k
+                    else:
+                        per_error = fault_k * (
+                            2 + m_adj // np.maximum(theta, 1)
+                        )
+                    extra = np.where(sendable, per_error, 0)
+                    base = base + extra * gd_cycle
+                    extra_max = int(extra.max())
                 self.lane_scalars[act.pos] = dict(
                     lam=lam,
                     theta=theta,
-                    # sigma and st_bus only ever enter Eq. (3) as their
-                    # sum, hoisted out of the round loop.
-                    base=sigma + st_bus,
+                    # sigma and st_bus (and the k-error constant) only
+                    # ever enter Eq. (3) as their sum, hoisted out of
+                    # the round loop.
+                    base=base,
                     gd=gd_cycle,
-                    sendable=(f + largest - 1) <= n_ms,
+                    sendable=sendable,
                     ms_len=ms_len,
                 )
-                self._all_send[act.pos] = bool(
-                    self.lane_scalars[act.pos]["sendable"].all()
-                )
+                self._all_send[act.pos] = bool(sendable.all())
                 self.seeds[act.pos] = np.full(L, -1, dtype=i8)
                 self.vec[act.pos] = act.overflow_safe(
                     cap_max,
@@ -179,6 +209,7 @@ class _GroupRun:
                     int(np.abs(st_bus).max()),
                     int(np.abs(lam).max()),
                     ms_len,
+                    extra_max,
                 )
             else:
                 self.seeds[act.pos] = np.full(
@@ -470,6 +501,7 @@ class _GroupRun:
                 int(j[lane]),
                 self.options.dyn_fill_strategy,
                 s if s >= 0 else None,
+                view.fault_cycles,
             )
             self.last_w[a, lane] = w
             self.last_ok[a, lane] = ok
@@ -740,95 +772,110 @@ class _GroupRun:
 
     # ------------------------------------------------------------------
     def _assemble(self):
-        from repro.analysis.holistic import AnalysisResult
-        from repro.core.cost import cost_function
+        return assemble_results(
+            self.ctx,
+            self.plan,
+            self.arts,
+            self.configs,
+            self.W,
+            self.conv,
+            self.cap_max,
+        )
 
-        np = self.np
-        arts = self.arts
-        plan = self.plan
-        # ``tolist`` hands back Python ints, so the assembled wcrt dicts
-        # are type-identical to the Python path's (JSON-serialisable,
-        # same reprs), not just value-equal.
-        wcrt_cols = self.W[plan.wcrt_rows].T.tolist()
-        names = plan.wcrt_names
-        costs = self._batch_costs()
-        results = []
-        for lane, config in enumerate(self.configs):
-            wcrt = dict(zip(names, wcrt_cols[lane]))
-            converged = bool(self.conv[lane])
-            cost = (
-                costs[lane]
-                if costs is not None
-                else cost_function(self.ctx.app, wcrt)
+
+def assemble_results(ctx, plan, arts, configs, W, conv, cap_max):
+    """``AnalysisResult`` list from a solved ``(n_rows, L)`` W matrix.
+
+    Shared by the numpy and native backends: both end their fix points
+    with the same response-time matrix and per-lane convergence flags,
+    and the assembly (wcrt dicts in the Python path's insertion order,
+    Eq. (5) costs, retimed tables) is backend-independent.
+    """
+    from repro.analysis.holistic import AnalysisResult
+    from repro.core.cost import cost_function
+
+    # ``tolist`` hands back Python ints, so the assembled wcrt dicts
+    # are type-identical to the Python path's (JSON-serialisable,
+    # same reprs), not just value-equal.
+    wcrt_cols = W[plan.wcrt_rows].T.tolist()
+    names = plan.wcrt_names
+    costs = batch_costs(ctx, plan, W, cap_max, len(configs))
+    results = []
+    for lane, config in enumerate(configs):
+        wcrt = dict(zip(names, wcrt_cols[lane]))
+        converged = bool(conv[lane])
+        cost = (
+            costs[lane]
+            if costs is not None
+            else cost_function(ctx.app, wcrt)
+        )
+        table = (
+            arts.table
+            if arts.table.config is config
+            else arts.table.retime_for(config)
+        )
+        results.append(
+            AnalysisResult(
+                config=config,
+                feasible=True,
+                schedulable=cost.schedulable and converged,
+                converged=converged,
+                cost=cost,
+                wcrt=wcrt,
+                table=table,
             )
-            table = (
-                arts.table
-                if arts.table.config is config
-                else arts.table.retime_for(config)
-            )
-            results.append(
-                AnalysisResult(
-                    config=config,
-                    feasible=True,
-                    schedulable=cost.schedulable and converged,
-                    converged=converged,
-                    cost=cost,
-                    wcrt=wcrt,
-                    table=table,
+        )
+    return results
+
+
+def batch_costs(ctx, plan, W, cap_max, L):
+    """Eq. (5) over all lanes at once, or ``None`` for the fallback.
+
+    The sums are prebounded (every response time is <= its lane's
+    cap, so each term is bounded by ``cap_max + |deadline|``) before
+    trusting int64; the term order matches ``cost_function``'s
+    iteration exactly, so the integer sums -- and hence the float
+    conversions -- are identical.
+    """
+    from repro.analysis.backend.arrays import OVERFLOW_LIMIT
+    from repro.core.cost import CostBreakdown
+
+    np = numpy_or_none()
+    if plan.cost_rows is None:
+        return None
+    n_terms = plan.cost_rows.size
+    bound = (cap_max + plan.deadline_abs_max + 1) * (n_terms + 1)
+    if bound >= OVERFLOW_LIMIT:
+        return None
+    diff = W[plan.cost_rows] - plan.deadlines[:, None]
+    pos = diff > 0
+    over = np.where(pos, diff, 0)
+    f1 = over.sum(axis=0)
+    f2 = diff.sum(axis=0)
+    misses = pos.sum(axis=0)
+    worst = over.max(axis=0, initial=0)
+    costs = []
+    for lane in range(L):
+        lane_f1 = int(f1[lane])
+        lane_f2 = int(f2[lane])
+        if lane_f1 > 0:
+            costs.append(
+                CostBreakdown(
+                    value=float(lane_f1),
+                    schedulable=False,
+                    misses=int(misses[lane]),
+                    worst_violation=int(worst[lane]),
+                    total_slack=-lane_f2,
                 )
             )
-        return results
-
-    def _batch_costs(self):
-        """Eq. (5) over all lanes at once, or ``None`` for the fallback.
-
-        The sums are prebounded (every response time is <= its lane's
-        cap, so each term is bounded by ``cap_max + |deadline|``) before
-        trusting int64; the term order matches ``cost_function``'s
-        iteration exactly, so the integer sums -- and hence the float
-        conversions -- are identical.
-        """
-        from repro.core.cost import CostBreakdown
-
-        np = self.np
-        plan = self.plan
-        if plan.cost_rows is None:
-            return None
-        n_terms = plan.cost_rows.size
-        bound = (self.cap_max + plan.deadline_abs_max + 1) * (n_terms + 1)
-        from repro.analysis.backend.arrays import OVERFLOW_LIMIT
-
-        if bound >= OVERFLOW_LIMIT:
-            return None
-        diff = self.W[plan.cost_rows] - plan.deadlines[:, None]
-        pos = diff > 0
-        over = np.where(pos, diff, 0)
-        f1 = over.sum(axis=0)
-        f2 = diff.sum(axis=0)
-        misses = pos.sum(axis=0)
-        worst = over.max(axis=0, initial=0)
-        costs = []
-        for lane in range(self.L):
-            lane_f1 = int(f1[lane])
-            lane_f2 = int(f2[lane])
-            if lane_f1 > 0:
-                costs.append(
-                    CostBreakdown(
-                        value=float(lane_f1),
-                        schedulable=False,
-                        misses=int(misses[lane]),
-                        worst_violation=int(worst[lane]),
-                        total_slack=-lane_f2,
-                    )
+        else:
+            costs.append(
+                CostBreakdown(
+                    value=float(lane_f2),
+                    schedulable=True,
+                    misses=0,
+                    worst_violation=0,
+                    total_slack=-lane_f2,
                 )
-            else:
-                costs.append(
-                    CostBreakdown(
-                        value=float(lane_f2),
-                        schedulable=True,
-                        misses=0,
-                        worst_violation=0,
-                        total_slack=-lane_f2,
-                    )
-                )
-        return costs
+            )
+    return costs

@@ -166,16 +166,18 @@ class AnalysisContext:
                 f"choose from {DOMINANCE_MODES}"
             )
         if self.options.backend not in BACKEND_MODES:
+            from repro.analysis.backend import describe_backends
+
             raise ConfigurationError(
                 f"unknown backend {self.options.backend!r}; "
-                f"choose from {BACKEND_MODES}"
+                f"choose from {describe_backends()}"
             )
-        if self.options.backend != "python":
-            # Fail at the one place the backend was chosen, not deep
-            # inside an analysis -- numpy is the ``repro[numpy]`` extra.
-            from repro.analysis.backend import require_numpy
+        # Fail at the one place the backend was chosen, not deep inside
+        # an analysis -- the registry knows each backend's optional
+        # extra (numpy -> repro[numpy], native -> repro[native]).
+        from repro.analysis.backend import require_backend
 
-            require_numpy()
+        require_backend(self.options.backend)
         fault_k = self.options.fault_hypothesis
         if fault_k is not None and (
             isinstance(fault_k, bool)
@@ -189,9 +191,6 @@ class AnalysisContext:
             )
         #: k of the k-error fault hypothesis (0 = clean channel).
         self._fault_k = fault_k or 0
-        #: Whether the array backend's fault-hypothesis fallback was
-        #: already announced (once per context, not once per batch).
-        self._fault_fallback_logged = False
         self.max_schedule_entries = max_schedule_entries
         self.max_structure_entries = max_structure_entries
         self.max_validation_entries = max_validation_entries
@@ -208,10 +207,11 @@ class AnalysisContext:
         #: :attr:`warm_start_divergences`).
         self.dominance_divergences = 0
         #: Divergences caught by the ``backend="verify"`` debug mode:
-        #: analyses where the numpy array backend produced a different
-        #: result than the Python oracle (contractually always 0 -- the
-        #: counter exists so tests and debug sweeps can assert exactly
-        #: that).
+        #: analyses where an accelerated backend (the numpy array
+        #: kernels, and the compiled native kernels when the extension
+        #: is importable) produced a different result than the Python
+        #: oracle (contractually always 0 -- the counter exists so
+        #: tests and debug sweeps can assert exactly that).
         self.backend_divergences = 0
         #: Last converged solution, seeding the legacy neighbour outer
         #: warm start (``warm_start="seed"`` only).
@@ -305,10 +305,16 @@ class AnalysisContext:
         #: of (system, configuration), so each distinct configuration is
         #: validated once.
         self._valid_cache: OrderedDict = OrderedDict()
-        #: Lowered array plans of the numpy backend, keyed by
+        #: Lowered array plans of the accelerated backends, keyed by
         #: (schedule key, DYN structure key); rides the same LRU bound
         #: as the schedule cache whose artifacts it packs.
         self._backend_plans: OrderedDict = OrderedDict()
+        #: Structure-key-invariant activity lowerings shared by those
+        #: plans (``StructureTemplate``), keyed by (structure key,
+        #: static-name order).  On an ST-heavy sweep every cycle length
+        #: is a fresh schedule key -- a fresh singleton ``GroupPlan`` --
+        #: but one template serves them all.
+        self._backend_structures: OrderedDict = OrderedDict()
         #: Monotone validation floor: per (everything except the DYN
         #: length), the smallest ``n_minislots`` that validated clean.
         #: Growing the dynamic segment only relaxes ``validate_for``'s
@@ -570,6 +576,30 @@ class AnalysisContext:
         )
         return deps
 
+    def _structure_template(self, config: FlexRayConfig, static_names):
+        """The backends' structure-invariant activity lowering, cached.
+
+        Keyed by the structure key plus the static-name insertion order
+        (the template's row layout leads with it; in practice the order
+        is schedule-key-invariant -- it follows the replay plan -- but
+        keying on it keeps the reuse provably sound).
+        """
+        from repro.analysis.backend.arrays import StructureTemplate
+
+        key = (self.structure_key(config), static_names)
+        template = self._backend_structures.get(key)
+        if template is None:
+            template = StructureTemplate(self, config)
+            _lru_insert(
+                self._backend_structures,
+                key,
+                template,
+                self.max_structure_entries,
+            )
+        else:
+            self._backend_structures.move_to_end(key)
+        return template
+
     def _dyn_views(self, config: FlexRayConfig) -> List[_DynView]:
         """Per-configuration DYN message views (tier c + scalars)."""
         structure = self._dyn_structure(config)
@@ -695,15 +725,26 @@ class AnalysisContext:
         backend = self.options.backend
         if backend == "python":
             return [self._analyse_python(c) for c in configs]
-        array_results = self._analyse_array_batch(configs)
         if backend == "numpy":
-            return array_results
+            return self._analyse_array_batch(configs)
+        if backend == "native":
+            return self._analyse_native_batch(configs)
+        # "verify": the Python oracle versus every available accelerated
+        # backend, mismatches counted per (analysis, backend) pair.
+        from repro.analysis.backend import native_or_none
+
         python_results = [self._analyse_python(c) for c in configs]
-        for array_result, python_result in zip(array_results, python_results):
-            if self._result_signature(array_result) != self._result_signature(
-                python_result
+        accelerated = [self._analyse_array_batch(configs)]
+        if native_or_none() is not None:
+            accelerated.append(self._analyse_native_batch(configs))
+        for fast_results in accelerated:
+            for fast_result, python_result in zip(
+                fast_results, python_results
             ):
-                self.backend_divergences += 1
+                if self._result_signature(
+                    fast_result
+                ) != self._result_signature(python_result):
+                    self.backend_divergences += 1
         return python_results
 
     @staticmethod
@@ -718,38 +759,64 @@ class AnalysisContext:
             tuple(result.wcrt.items()),
         )
 
-    def _analyse_array_batch(self, configs) -> list:
-        """The numpy path of :meth:`analyse_batch` (ordered like input).
+    def _backend_gated(self) -> bool:
+        """True when a batch must run the Python path per candidate.
 
         Oracle/debug modes (``warm_start != "certified"``,
         ``dominance="verify"``, ``dyn_fill_strategy="exact"``) exist to
-        exercise the reference semantics, so they -- and a numpy-less
-        environment under ``backend="verify"`` -- run the Python path
-        per candidate.
+        exercise the reference semantics, so the accelerated backends
+        stand down for them entirely.
         """
-        from repro.analysis.backend import numpy_or_none
-        from repro.analysis.holistic import _infeasible
-
         options = self.options
-        if (
-            numpy_or_none() is None
-            or options.warm_start != "certified"
+        return (
+            options.warm_start != "certified"
             or options.dominance == "verify"
             or options.dyn_fill_strategy != "bound"
+        )
+
+    def _analyse_array_batch(self, configs) -> list:
+        """The numpy path of :meth:`analyse_batch` (ordered like input)."""
+        from repro.analysis.backend import numpy_or_none
+
+        if numpy_or_none() is None or self._backend_gated():
+            return [self._analyse_python(c) for c in configs]
+        from repro.analysis.backend.kernels import run_group
+
+        return self._analyse_grouped_batch(configs, run_group)
+
+    def _analyse_native_batch(self, configs) -> list:
+        """The compiled-kernel path of :meth:`analyse_batch`.
+
+        Same grouping and gating as the numpy path; each group runs
+        through :func:`repro.analysis.backend.native.run_group_native`,
+        which delegates structurally unsafe or overflow-flagged groups
+        back to the numpy kernels (whose per-activity Python fallbacks
+        close the exactness loop).
+        """
+        from repro.analysis.backend import native_or_none, numpy_or_none
+
+        if (
+            native_or_none() is None
+            or numpy_or_none() is None
+            or self._backend_gated()
         ):
             return [self._analyse_python(c) for c in configs]
-        if options.fault_hypothesis is not None:
-            if not self._fault_fallback_logged:
-                logger.info(
-                    "array backend: falling back to the python backend "
-                    "(fault_hypothesis=%d is implemented by the python "
-                    "kernels only)",
-                    options.fault_hypothesis,
-                )
-                self._fault_fallback_logged = True
-            return [self._analyse_python(c) for c in configs]
+        from repro.analysis.backend.native import run_group_native
+
+        return self._analyse_grouped_batch(configs, run_group_native)
+
+    def _analyse_grouped_batch(self, configs, run_fn) -> list:
+        """Group feasible candidates and run each group on *run_fn*.
+
+        Shared by the numpy and native backends: candidates are grouped
+        by (schedule key, DYN structure key), the per-group
+        :class:`~repro.analysis.backend.arrays.GroupPlan` lowering is
+        cached on the context (both backends consume the same plans),
+        and infeasible candidates short-circuit exactly like the Python
+        path.
+        """
         from repro.analysis.backend.arrays import GroupPlan
-        from repro.analysis.backend.kernels import run_group
+        from repro.analysis.holistic import _infeasible
 
         results = [None] * len(configs)
         groups: "OrderedDict[tuple, list]" = OrderedDict()
@@ -774,7 +841,7 @@ class AnalysisContext:
             else:
                 self._backend_plans.move_to_end(key)
             for i, result in zip(
-                indices, run_group(self, plan, [configs[i] for i in indices])
+                indices, run_fn(self, plan, [configs[i] for i in indices])
             ):
                 results[i] = result
         return results

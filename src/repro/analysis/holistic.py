@@ -34,8 +34,10 @@ WARM_START_MODES = ("certified", "off", "seed", "verify")
 #: Legal values of :attr:`AnalysisOptions.dominance`.
 DOMINANCE_MODES = ("on", "off", "verify")
 
-#: Legal values of :attr:`AnalysisOptions.backend`.
-BACKEND_MODES = ("python", "numpy", "verify")
+#: Legal values of :attr:`AnalysisOptions.backend`, re-exported from the
+#: backend registry (:data:`repro.analysis.backend.BACKEND_REGISTRY`) so
+#: a new backend appears in exactly one place.
+from repro.analysis.backend import BACKEND_MODES  # noqa: E402
 
 
 @dataclass(frozen=True)
@@ -133,8 +135,20 @@ class AnalysisOptions:
     #:   the reference path.  Selecting it without numpy installed
     #:   raises a :class:`RuntimeError` naming the ``repro[numpy]``
     #:   extra.
-    #: * ``"verify"`` -- debug mode: run every analysis on both
-    #:   backends, count divergences on the owning
+    #: * ``"native"`` -- the compiled backend: the same lowered plans
+    #:   are packed into a flat blob and each candidate's *entire*
+    #:   holistic fix point runs in tight scalar C loops inside the
+    #:   ``repro._native`` extension (built by the ``repro[native]``
+    #:   extra), with no per-step dispatch at all -- including the
+    #:   singleton-lane groups the array kernels stand down on.  Same
+    #:   bit-identity contract and the same Python fallbacks for the
+    #:   oracle/debug modes; overflow-flagged or structurally unsafe
+    #:   groups delegate to the numpy kernels.  Selecting it without
+    #:   the compiled module raises a :class:`RuntimeError` naming the
+    #:   ``repro[native]`` extra.
+    #: * ``"verify"`` -- debug mode: run every analysis on the Python
+    #:   oracle plus every available accelerated backend, count
+    #:   divergences on the owning
     #:   :class:`~repro.analysis.context.AnalysisContext`
     #:   (``backend_divergences``, contractually always 0) and return
     #:   the Python result.
@@ -148,9 +162,11 @@ class AnalysisOptions:
     #: frame instances at the worst per-error cycle cost.  The result is
     #: a *pessimistic* upper bound on any run with at most k channel
     #: errors (fuzz-verified against the fault-injecting simulator).
-    #: ``k=0`` is bit-identical to ``None`` aside from forcing the
-    #: Python backend; the array backend falls back to Python with a
-    #: logged reason whenever a hypothesis is set.
+    #: ``k=0`` is bit-identical to ``None``.  All backends implement the
+    #: hypothesis natively: the accelerated kernels charge the static
+    #: ``k * gd_cycle`` slips and the constant per-error DYN extra
+    #: cycles inside the lowered plans, bit-identically to the Python
+    #: kernels.
     fault_hypothesis: Optional[int] = None
 
 

@@ -27,7 +27,7 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.analysis.backend import BACKEND_MODES
+from repro.analysis.backend import BACKEND_MODES, describe_backends
 from repro.analysis.holistic import AnalysisOptions, analyse_system
 from repro.casestudy.cruise_control import cruise_controller
 from repro.core.campaign import (
@@ -307,14 +307,16 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    # Choices and help both derive from the one backend registry
+    # (repro.analysis.backend.BACKEND_REGISTRY), so a new backend shows
+    # up here -- with its availability on this interpreter -- without
+    # touching the CLI.
     parser.add_argument(
         "--backend",
         choices=BACKEND_MODES,
         default="python",
-        help="analysis evaluation backend: 'numpy' batches fix points as "
-        "vectorized array sweeps (needs the repro[numpy] extra), 'verify' "
-        "runs both and asserts bit identity; results are identical "
-        "either way",
+        help="analysis evaluation backend; results are bit-identical "
+        f"across all of them: {describe_backends()}",
     )
     parser.add_argument(
         "--fault-hypothesis",

@@ -1,17 +1,21 @@
-"""The array backend contract: bit identity, verify mode, the extra.
+"""The accelerated backend contract: bit identity, verify mode, extras.
 
 ``AnalysisOptions.backend="numpy"`` lowers each system's invariants
 into packed arrays once and advances whole batches of busy-window fix
-points in lockstep (:mod:`repro.analysis.backend`).  Its *entire*
-contract is "same answers, faster": these tests pin bit identity with
-the Python oracle at every observable level -- full analysis results
-over fuzzed systems and every ``warm_start`` x ``dominance`` mode,
-the ``"verify"`` cross-check counter, optimiser traces with their
-evaluation and cache-hit accounting, and the pre-refactor legacy trace
-fixtures byte-for-byte -- plus the packaging contract: numpy is the
-optional ``repro[numpy]`` extra, selecting the backend without it is
-an eager, actionable ``RuntimeError``, and these tests *skip* (not
-fail) on a numpy-less interpreter.
+points in lockstep; ``backend="native"`` runs the same lowered plans
+inside the compiled ``repro._native`` C extension
+(:mod:`repro.analysis.backend`).  Their *entire* contract is "same
+answers, faster": these tests pin bit identity with the Python oracle
+at every observable level -- full analysis results over fuzzed systems
+(including fault hypotheses ``k in {0, 1, 2}``) and every
+``warm_start`` x ``dominance`` mode, the ``"verify"`` cross-check
+counter, optimiser traces with their evaluation and cache-hit
+accounting, and the pre-refactor legacy trace fixtures byte-for-byte
+-- plus the packaging contract: each accelerator is an optional extra
+(``repro[numpy]`` / ``repro[native]``), selecting a backend without
+its extra is an eager, actionable ``RuntimeError``, and these tests
+*skip* (not fail) on an interpreter missing the extra (native tests
+carry the ``native`` pytest marker for CI selection).
 """
 
 import json
@@ -23,7 +27,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.analysis import AnalysisContext
-from repro.analysis.backend import numpy_or_none
+from repro.analysis.backend import native_or_none, numpy_or_none
 from repro.analysis.holistic import (
     AnalysisOptions,
     DOMINANCE_MODES,
@@ -62,6 +66,11 @@ from tests.util import fig3_system, fig4_system
 requires_numpy = pytest.mark.skipif(
     numpy_or_none() is None,
     reason="numpy backend tests need the repro[numpy] extra",
+)
+
+requires_native = pytest.mark.skipif(
+    native_or_none() is None or numpy_or_none() is None,
+    reason="native backend tests need the compiled repro[native] extra",
 )
 
 
@@ -112,20 +121,54 @@ class TestNumpyExtra:
 
 
 # ----------------------------------------------------------------------
+# the repro[native] extra
+# ----------------------------------------------------------------------
+class TestNativeExtra:
+    def test_native_backend_without_extension_is_actionable(
+        self, monkeypatch
+    ):
+        """Selecting the compiled backend on a build that never produced
+        the extension fails eagerly -- at context construction -- with
+        an error naming the ``repro[native]`` extra."""
+        monkeypatch.setattr("repro.analysis.backend._native_module", None)
+        with pytest.raises(RuntimeError) as exc:
+            AnalysisContext(fig3_system(), AnalysisOptions(backend="native"))
+        assert "repro[native]" in str(exc.value)
+        assert "pip install" in str(exc.value)
+
+    @requires_native
+    def test_native_backend_without_numpy_is_actionable(self, monkeypatch):
+        """The native shim stages plans and buffers via numpy, so the
+        extension alone is not enough: a numpy-less interpreter gets the
+        numpy extra's error, still eagerly."""
+        monkeypatch.setattr("repro.analysis.backend._numpy", None)
+        with pytest.raises(RuntimeError) as exc:
+            AnalysisContext(fig3_system(), AnalysisOptions(backend="native"))
+        assert "repro[numpy]" in str(exc.value)
+
+
+# ----------------------------------------------------------------------
 # bit identity with the Python oracle
 # ----------------------------------------------------------------------
 @requires_numpy
 class TestBitIdentity:
-    @given(small_system(), st.integers(3, 9))
+    @given(small_system(), st.integers(3, 9), st.sampled_from((0, 1, 2)))
     @settings(max_examples=25, deadline=None)
-    def test_numpy_matches_python_on_random_systems(self, system, points):
+    def test_numpy_matches_python_on_random_systems(
+        self, system, points, fault_k
+    ):
         """Fuzzed systems, full-result identity: every field the
         serializer covers (wcrt in insertion order included), plus the
-        result-list order of the batch."""
+        result-list order of the batch -- under every fault hypothesis
+        ``k in {0, 1, 2}``, which the array backend now computes
+        natively instead of falling back."""
         configs = _sweep_configs(system, points)
-        python = AnalysisContext(system).analyse_batch(configs)
+        python = AnalysisContext(
+            system, AnalysisOptions(fault_hypothesis=fault_k)
+        ).analyse_batch(configs)
         numpy_ = AnalysisContext(
-            system, AnalysisOptions(backend="numpy")
+            system,
+            AnalysisOptions(backend="numpy", fault_hypothesis=fault_k),
         ).analyse_batch(configs)
         assert _result_docs(numpy_) == _result_docs(python)
 
@@ -164,6 +207,66 @@ class TestBitIdentity:
         assert _result_docs(verified) == _result_docs(python)
 
 
+@requires_native
+@pytest.mark.native
+class TestNativeBitIdentity:
+    """The compiled backend under the numpy battery's microscope.
+
+    Same oracle, same observables: fuzzed systems (with fault
+    hypotheses), every mode combination, and the verify counter -- which
+    on a native-enabled build cross-checks python vs numpy *and* python
+    vs native per analysis.
+    """
+
+    @given(small_system(), st.integers(3, 9), st.sampled_from((0, 1, 2)))
+    @settings(max_examples=25, deadline=None)
+    def test_native_matches_python_on_random_systems(
+        self, system, points, fault_k
+    ):
+        configs = _sweep_configs(system, points)
+        python = AnalysisContext(
+            system, AnalysisOptions(fault_hypothesis=fault_k)
+        ).analyse_batch(configs)
+        native = AnalysisContext(
+            system,
+            AnalysisOptions(backend="native", fault_hypothesis=fault_k),
+        ).analyse_batch(configs)
+        assert _result_docs(native) == _result_docs(python)
+
+    @pytest.mark.parametrize("warm_start", WARM_START_MODES)
+    @pytest.mark.parametrize("dominance", DOMINANCE_MODES)
+    def test_native_matches_python_in_every_mode(self, warm_start, dominance):
+        """Oracle/debug modes route the native backend onto the Python
+        path by design; certified modes run the C kernels -- either way
+        the answers are identical and the divergence counters stay 0."""
+        system = fig4_system()
+        configs = _sweep_configs(system, 6)
+        results = {}
+        for backend in ("python", "native"):
+            options = AnalysisOptions(
+                backend=backend, warm_start=warm_start, dominance=dominance
+            )
+            context = AnalysisContext(system, options)
+            results[backend] = context.analyse_batch(configs)
+            assert context.warm_start_divergences == 0
+            assert context.dominance_divergences == 0
+        assert _result_docs(results["native"]) == _result_docs(
+            results["python"]
+        )
+
+    def test_verify_mode_cross_checks_native_with_zero_divergences(self):
+        """On a native-enabled build ``backend="verify"`` compares the
+        Python oracle against *both* accelerated backends per analysis;
+        the counter is contractually zero."""
+        system = fig4_system()
+        configs = _sweep_configs(system, 8)
+        context = AnalysisContext(system, AnalysisOptions(backend="verify"))
+        verified = context.analyse_batch(configs)
+        assert context.backend_divergences == 0
+        python = AnalysisContext(system).analyse_batch(configs)
+        assert _result_docs(verified) == _result_docs(python)
+
+
 # ----------------------------------------------------------------------
 # optimiser-level identity: traces, evaluations, cache hits
 # ----------------------------------------------------------------------
@@ -173,14 +276,9 @@ def _numpy_bus(**kw) -> BusOptimisationOptions:
     )
 
 
-def _small_numpy_bus(**kw) -> BusOptimisationOptions:
-    """The legacy-case ``_small_bus`` budgets on the array backend."""
-    return _numpy_bus(
-        ee_max_dyn_points=48,
-        cf_candidates=64,
-        max_extra_static_slots=1,
-        max_slot_size_steps=1,
-        **kw,
+def _native_bus(**kw) -> BusOptimisationOptions:
+    return BusOptimisationOptions(
+        analysis=AnalysisOptions(backend="native"), **kw
     )
 
 
@@ -207,25 +305,47 @@ def _legacy_fixture(case_id: str) -> dict:
         return json.load(fh)
 
 
-#: Legacy cases re-run on the array backend: every strategy that takes
-#: plain ``BusOptimisationOptions`` (SA/GA ride the same evaluator, and
-#: are covered at the pinned-options level by test_legacy_equivalence).
-NUMPY_LEGACY_CASES = (
-    ("bbc_fig3", lambda: optimise_bbc(fig3_system(), _numpy_bus())),
-    ("bbc_fig4", lambda: optimise_bbc(fig4_system(), _numpy_bus())),
-    (
-        "obc_cf_fig4",
-        lambda: optimise_obc(fig4_system(), _numpy_bus(), "curvefit"),
-    ),
-    (
-        "obc_ee_paper3",
-        lambda: _paper3_case(_small_numpy_bus(), "exhaustive"),
-    ),
-    (
-        "obc_ee_paper3_chunked",
-        lambda: _paper3_case(_small_numpy_bus(obc_chunk_size=3), "exhaustive"),
-    ),
-)
+def _legacy_backend_cases(backend):
+    """Legacy cases re-run on an accelerated backend: every strategy
+    that takes plain ``BusOptimisationOptions`` (SA/GA ride the same
+    evaluator, and are covered at the pinned-options level by
+    test_legacy_equivalence)."""
+
+    def bus(**kw):
+        return BusOptimisationOptions(
+            analysis=AnalysisOptions(backend=backend), **kw
+        )
+
+    def small_bus(**kw):
+        # The legacy-case ``_small_bus`` budgets on this backend.
+        return bus(
+            ee_max_dyn_points=48,
+            cf_candidates=64,
+            max_extra_static_slots=1,
+            max_slot_size_steps=1,
+            **kw,
+        )
+
+    return (
+        ("bbc_fig3", lambda: optimise_bbc(fig3_system(), bus())),
+        ("bbc_fig4", lambda: optimise_bbc(fig4_system(), bus())),
+        (
+            "obc_cf_fig4",
+            lambda: optimise_obc(fig4_system(), bus(), "curvefit"),
+        ),
+        (
+            "obc_ee_paper3",
+            lambda: _paper3_case(small_bus(), "exhaustive"),
+        ),
+        (
+            "obc_ee_paper3_chunked",
+            lambda: _paper3_case(small_bus(obc_chunk_size=3), "exhaustive"),
+        ),
+    )
+
+
+NUMPY_LEGACY_CASES = _legacy_backend_cases("numpy")
+NATIVE_LEGACY_CASES = _legacy_backend_cases("native")
 
 
 def _paper3_case(bus, method):
@@ -251,6 +371,26 @@ def test_legacy_traces_identical_under_numpy_backend(case_id, run):
     assert got == expected
 
 
+@requires_native
+@pytest.mark.native
+@pytest.mark.parametrize(
+    "case_id,run",
+    NATIVE_LEGACY_CASES,
+    ids=[c[0] for c in NATIVE_LEGACY_CASES],
+)
+def test_legacy_traces_identical_under_native_backend(case_id, run):
+    """The same pre-refactor oracle fixtures, byte-for-byte on the
+    compiled backend -- trace order, evaluation counts, cache hits."""
+    expected = _legacy_fixture(case_id)
+    got = result_to_dict(run())
+    got["elapsed_seconds"] = 0.0
+    expected.setdefault("stop_reason", None)
+    assert got["trace"] == expected["trace"], (
+        f"{case_id}: native-backend search trace diverged from the oracle"
+    )
+    assert got == expected
+
+
 # ----------------------------------------------------------------------
 # campaign resume across backends
 # ----------------------------------------------------------------------
@@ -267,7 +407,7 @@ def test_backend_excluded_from_campaign_fingerprint():
                 )
             )
         )
-        for backend in ("python", "numpy", "verify")
+        for backend in ("python", "numpy", "native", "verify")
     }
     digests.add(_options_fingerprint(base))
     assert len(digests) == 1
@@ -291,6 +431,30 @@ def test_campaign_resumes_across_backends(tmp_path):
 
     numpy_jobs = campaign_matrix(systems, ["bbc"], bus=_numpy_bus())
     resumed = run_campaign(systems, numpy_jobs, checkpoint_dir=str(tmp_path))
+    assert len(resumed.resumed) == 1 and not resumed.executed
+    assert (
+        result_to_dict(resumed.results["fig4__bbc"])
+        == result_to_dict(cold.results["fig4__bbc"])
+    )
+
+
+@requires_native
+@pytest.mark.native
+def test_campaign_resumes_across_backends_including_native(tmp_path):
+    """A checkpoint written under the Python backend resumes untouched
+    when re-issued on the compiled backend -- the fingerprint treats
+    ``"native"`` exactly like the other result-identical modes."""
+    systems = {"fig4": fig4_system()}
+    cold = run_campaign(
+        systems, campaign_matrix(systems, ["bbc"]),
+        checkpoint_dir=str(tmp_path),
+    )
+    assert len(cold.executed) == 1
+
+    native_jobs = campaign_matrix(systems, ["bbc"], bus=_native_bus())
+    resumed = run_campaign(
+        systems, native_jobs, checkpoint_dir=str(tmp_path)
+    )
     assert len(resumed.resumed) == 1 and not resumed.executed
     assert (
         result_to_dict(resumed.results["fig4__bbc"])
@@ -371,4 +535,36 @@ def test_numpy_backend_smoke_identical_and_not_slower():
     assert python_s / numpy_s >= 1.2, (
         f"array backend smoke ratio {python_s / numpy_s:.2f}x "
         f"(python {python_s:.3f}s vs numpy {numpy_s:.3f}s)"
+    )
+
+
+@requires_native
+@pytest.mark.native
+@pytest.mark.perf_smoke
+def test_native_backend_smoke_identical_and_not_slower():
+    """<10s tier-1 smoke of the compiled sweep: bit identity on the
+    same 96-point DYN-only sweep, same deliberately loose speed floor
+    as the numpy smoke (the real claims -- >=2x over warm Python on
+    ST-heavy sweeps, >= numpy on pure-DYN -- live in
+    ``BENCH_incremental_analysis.json``)."""
+    system = _dyn_only_smoke_system()
+    configs = _sweep_configs(
+        system, 96, BusOptimisationOptions(ee_max_dyn_points=96)
+    )
+
+    python_ctx = AnalysisContext(system)
+    t0 = time.perf_counter()
+    python_results = python_ctx.analyse_batch(configs)
+    python_s = time.perf_counter() - t0
+
+    native_ctx = AnalysisContext(system, AnalysisOptions(backend="native"))
+    t0 = time.perf_counter()
+    native_results = native_ctx.analyse_batch(configs)
+    native_s = time.perf_counter() - t0
+
+    assert _result_docs(native_results) == _result_docs(python_results)
+    assert native_s < 10.0
+    assert python_s / native_s >= 1.2, (
+        f"native backend smoke ratio {python_s / native_s:.2f}x "
+        f"(python {python_s:.3f}s vs native {native_s:.3f}s)"
     )
